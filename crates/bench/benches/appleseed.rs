@@ -1,0 +1,64 @@
+//! Micro-benchmarks for the Appleseed trust metric (backs experiment E3/E6):
+//! cost vs network size, convergence threshold and exploration bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semrec_datagen::community::{generate_community, CommunityGenConfig};
+use semrec_trust::appleseed::{appleseed, AppleseedParams};
+use semrec_trust::TrustGraph;
+
+fn network(agents: usize) -> TrustGraph {
+    let mut config = CommunityGenConfig::small(3003);
+    config.agents = agents;
+    generate_community(&config).community.trust
+}
+
+fn bench_network_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appleseed/network_size");
+    for n in [200usize, 800, 3200] {
+        let graph = network(n);
+        let source = graph.agents().next().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| appleseed(&graph, source, &AppleseedParams::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let graph = network(800);
+    let source = graph.agents().next().unwrap();
+    let mut group = c.benchmark_group("appleseed/convergence");
+    for tc in [0.1f64, 0.01, 0.001] {
+        group.bench_with_input(BenchmarkId::from_parameter(tc), &tc, |b, &tc| {
+            b.iter(|| {
+                appleseed(
+                    &graph,
+                    source,
+                    &AppleseedParams { convergence: tc, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_exploration(c: &mut Criterion) {
+    let graph = network(3200);
+    let source = graph.agents().next().unwrap();
+    let mut group = c.benchmark_group("appleseed/exploration_bound");
+    for cap in [100usize, 400, usize::MAX] {
+        let label = if cap == usize::MAX { "unbounded".to_owned() } else { cap.to_string() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            let params = AppleseedParams {
+                max_nodes: (cap != usize::MAX).then_some(cap),
+                ..Default::default()
+            };
+            b.iter(|| appleseed(&graph, source, &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_size, bench_convergence, bench_bounded_exploration);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks for the decentralized web: publishing homepages and
+//! crawling them back (backs E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use semrec_core::Community;
+use semrec_datagen::community::{generate_community, CommunityGenConfig};
+use semrec_web::crawler::{crawl, CrawlConfig};
+use semrec_web::publish::publish_community;
+use semrec_web::store::DocumentWeb;
+
+fn community(agents: usize) -> Community {
+    let mut config = CommunityGenConfig::small(8008);
+    config.agents = agents;
+    generate_community(&config).community
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let community = community(200);
+    let mut group = c.benchmark_group("crawl/publish");
+    group.throughput(Throughput::Elements(200));
+    group.bench_function("200_homepages", |b| {
+        b.iter(|| {
+            let web = DocumentWeb::new();
+            publish_community(&community, &web)
+        })
+    });
+    group.finish();
+}
+
+fn bench_crawl_threads(c: &mut Criterion) {
+    let community = community(400);
+    let web = DocumentWeb::new();
+    publish_community(&community, &web);
+    let seeds: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+
+    let mut group = c.benchmark_group("crawl/full_crawl_400_docs");
+    group.throughput(Throughput::Elements(400));
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                crawl(&web, &seeds, &CrawlConfig { threads, ..Default::default() })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_publish, bench_crawl_threads);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the Dinic max-flow solver and the Advogato metric
+//! (backs experiment E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semrec_datagen::community::{generate_community, CommunityGenConfig};
+use semrec_trust::advogato::{advogato, AdvogatoParams};
+use semrec_trust::maxflow::FlowNetwork;
+
+/// A layered random-ish flow network: `layers × width` grid with forward
+/// edges, capacities cycling 1..=7.
+fn layered_network(layers: usize, width: usize) -> (FlowNetwork, u32, u32) {
+    let mut net = FlowNetwork::new();
+    let source = net.add_node();
+    let sink = net.add_node();
+    let mut previous: Vec<u32> = (0..width).map(|_| net.add_node()).collect();
+    for (i, &node) in previous.iter().enumerate() {
+        net.add_edge(source, node, (i % 7 + 1) as i64);
+    }
+    for layer in 1..layers {
+        let current: Vec<u32> = (0..width).map(|_| net.add_node()).collect();
+        for (i, &from) in previous.iter().enumerate() {
+            for offset in 0..3usize {
+                let to = current[(i + offset * layer) % width];
+                net.add_edge(from, to, ((i + offset) % 7 + 1) as i64);
+            }
+        }
+        previous = current;
+    }
+    for (i, &node) in previous.iter().enumerate() {
+        net.add_edge(node, sink, (i % 7 + 1) as i64);
+    }
+    (net, source, sink)
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow/dinic_layered");
+    for (layers, width) in [(4usize, 16usize), (8, 32), (16, 64)] {
+        let label = format!("{layers}x{width}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter_batched(
+                || layered_network(layers, width),
+                |(mut net, s, t)| net.max_flow(s, t),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_advogato(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow/advogato");
+    for n in [200usize, 800] {
+        let mut config = CommunityGenConfig::small(4004);
+        config.agents = n;
+        let graph = generate_community(&config).community.trust;
+        let seed = graph.agents().next().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                advogato(
+                    &graph,
+                    seed,
+                    &AdvogatoParams { target_group_size: 50, ..Default::default() },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dinic, bench_advogato);
+criterion_main!(benches);

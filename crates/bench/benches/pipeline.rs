@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the end-to-end recommendation pipeline (backs E6):
+//! single-query latency by community size, and parallel batch throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use semrec_core::{batch, Recommender, RecommenderConfig};
+use semrec_datagen::community::{generate_community, CommunityGenConfig};
+
+fn engine(agents: usize) -> Recommender {
+    let mut config = CommunityGenConfig::small(7007);
+    config.agents = agents;
+    Recommender::new(generate_community(&config).community, RecommenderConfig::default())
+}
+
+fn bench_single_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/recommend");
+    for n in [200usize, 800, 3200] {
+        let recommender = engine(n);
+        let target = recommender.community().agents().next().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| recommender.recommend(target, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let recommender = engine(800);
+    let targets: Vec<_> = recommender.community().agents().take(64).collect();
+    let mut group = c.benchmark_group("pipeline/batch64");
+    group.throughput(Throughput::Elements(targets.len() as u64));
+    for threads in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| batch::recommend_batch(&recommender, &targets, 10, threads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_build(c: &mut Criterion) {
+    let community = generate_community(&CommunityGenConfig::small(7007)).community;
+    c.bench_function("pipeline/engine_build_200_agents", |b| {
+        b.iter(|| Recommender::new(community.clone(), RecommenderConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_single_query, bench_batch_throughput, bench_engine_build);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benchmarks for taxonomy-based profile generation (Eq. 3) and
+//! similarity computation (backs E1/E4/E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semrec_datagen::catalog_gen::{generate_catalog, CatalogGenConfig};
+use semrec_datagen::taxonomy_gen::{generate_taxonomy, TaxonomyGenConfig};
+use semrec_profiles::generation::{generate_profile, ProfileParams};
+use semrec_profiles::similarity;
+use semrec_taxonomy::{Catalog, ProductId, Taxonomy};
+
+fn world(topics: usize, products: usize) -> (Taxonomy, Catalog) {
+    let taxonomy = generate_taxonomy(&TaxonomyGenConfig::book_like(topics, 5005));
+    let catalog = generate_catalog(
+        &taxonomy,
+        &CatalogGenConfig { products, seed: 5005, ..Default::default() },
+    );
+    (taxonomy, catalog)
+}
+
+fn ratings(catalog: &Catalog, count: usize) -> Vec<(ProductId, f64)> {
+    (0..count)
+        .map(|i| (ProductId::from_index((i * 37) % catalog.len()), 1.0))
+        .collect()
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiles/generation");
+    for (topics, history) in [(1000usize, 10usize), (20_000, 10), (20_000, 100)] {
+        let (taxonomy, catalog) = world(topics, 2000);
+        let rs = ratings(&catalog, history);
+        let label = format!("{topics}topics_{history}ratings");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| generate_profile(&taxonomy, &catalog, &rs, &ProfileParams::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let (taxonomy, catalog) = world(20_000, 2000);
+    let params = ProfileParams::default();
+    let a = generate_profile(&taxonomy, &catalog, &ratings(&catalog, 50), &params);
+    let b_ratings: Vec<_> = (0..50)
+        .map(|i| (ProductId::from_index((i * 53 + 7) % catalog.len()), 1.0))
+        .collect();
+    let b_profile = generate_profile(&taxonomy, &catalog, &b_ratings, &params);
+    println!("profile supports: {} and {}", a.support(), b_profile.support());
+
+    let mut group = c.benchmark_group("profiles/similarity");
+    group.bench_function("cosine", |bench| {
+        bench.iter(|| similarity::cosine(&a, &b_profile))
+    });
+    group.bench_function("pearson", |bench| {
+        bench.iter(|| similarity::pearson(&a, &b_profile))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_similarity);
+criterion_main!(benches);

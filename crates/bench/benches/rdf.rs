@@ -1,0 +1,118 @@
+//! Micro-benchmarks for the RDF substrate: Turtle parse/serialize and graph
+//! pattern matching (backs E12's publish/crawl throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semrec_core::Community;
+use semrec_datagen::community::{generate_community, CommunityGenConfig};
+use semrec_rdf::{turtle, vocab, writer, Graph};
+use semrec_web::publish::homepage_turtle;
+
+fn sample_community() -> Community {
+    generate_community(&CommunityGenConfig::small(6006)).community
+}
+
+fn big_homepage_doc(community: &Community) -> String {
+    // The agent with the most statements makes the heaviest document.
+    let agent = community
+        .agents()
+        .max_by_key(|&a| community.ratings_of(a).len() + community.trust.out_edges(a).len())
+        .unwrap();
+    homepage_turtle(community, agent)
+}
+
+fn bench_turtle(c: &mut Criterion) {
+    let community = sample_community();
+    let doc = big_homepage_doc(&community);
+    let graph = turtle::parse(&doc).unwrap();
+    println!("homepage document: {} bytes, {} triples", doc.len(), graph.len());
+
+    let mut group = c.benchmark_group("rdf/turtle");
+    group.bench_function("parse_homepage", |b| b.iter(|| turtle::parse(&doc).unwrap()));
+    group.bench_function("serialize_homepage", |b| b.iter(|| writer::to_turtle(&graph)));
+    group.bench_function("ntriples_serialize", |b| {
+        b.iter(|| semrec_rdf::ntriples::to_ntriples(&graph))
+    });
+    group.finish();
+}
+
+fn bench_pattern_matching(c: &mut Criterion) {
+    let community = sample_community();
+    // Merge many homepages into one graph to get realistic index sizes.
+    let mut graph = Graph::new();
+    for agent in community.agents().take(100) {
+        let doc = homepage_turtle(&community, agent);
+        graph.merge(&turtle::parse(&doc).unwrap());
+    }
+    println!("merged graph: {} triples", graph.len());
+
+    let mut group = c.benchmark_group("rdf/patterns");
+    for (label, predicate) in [
+        ("trust_values", vocab::trust::value()),
+        ("ratings", vocab::rec::score()),
+        ("types", vocab::rdf::type_()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &predicate, |b, p| {
+            b.iter(|| graph.triples_matching(None, Some(p), None).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_rdfxml(c: &mut Criterion) {
+    let community = sample_community();
+    let agent = community
+        .agents()
+        .max_by_key(|&a| community.ratings_of(a).len() + community.trust.out_edges(a).len())
+        .unwrap();
+    let doc = semrec_web::publish::homepage_rdfxml(&community, agent);
+    let graph = semrec_rdf::rdfxml::parse(&doc).unwrap();
+    println!("RDF/XML homepage: {} bytes, {} triples", doc.len(), graph.len());
+
+    let mut group = c.benchmark_group("rdf/rdfxml");
+    group.bench_function("parse_homepage", |b| {
+        b.iter(|| semrec_rdf::rdfxml::parse(&doc).unwrap())
+    });
+    group.bench_function("serialize_homepage", |b| {
+        b.iter(|| semrec_rdf::rdfxml::to_rdfxml(&graph).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    use semrec_rdf::query::{select, var, TriplePattern};
+    let community = sample_community();
+    let mut graph = Graph::new();
+    for agent in community.agents().take(100) {
+        graph.merge(&turtle::parse(&homepage_turtle(&community, agent)).unwrap());
+    }
+    let mut group = c.benchmark_group("rdf/query");
+    group.bench_function("trust_statements_3way_join", |b| {
+        b.iter(|| {
+            select(
+                &graph,
+                &[
+                    TriplePattern::new(var("s"), vocab::trust::truster().into(), var("a")),
+                    TriplePattern::new(var("s"), vocab::trust::trustee().into(), var("b")),
+                    TriplePattern::new(var("s"), vocab::trust::value().into(), var("v")),
+                ],
+            )
+            .len()
+        })
+    });
+    group.bench_function("foaf_2hop_join", |b| {
+        b.iter(|| {
+            select(
+                &graph,
+                &[
+                    TriplePattern::new(var("x"), vocab::foaf::knows().into(), var("y")),
+                    TriplePattern::new(var("y"), vocab::foaf::knows().into(), var("z")),
+                ],
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_turtle, bench_pattern_matching, bench_rdfxml, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **E1 — Example 1**: topic score assignment.
+//!
+//! The paper's only fully worked computation: 4 books, s = 1000, *Matrix
+//! Analysis* with 5 descriptors → Algebra descriptor allotted 50, spread
+//! along the Figure 1 path as 29.087 / 14.543 / 4.848 / 1.212 / 0.303.
+
+use semrec_eval::table::{fmt, Table};
+use semrec_profiles::generation::{descriptor_scores, generate_profile, ProfileParams};
+use semrec_taxonomy::fixtures::example1;
+
+/// The reproduced vs paper values, for shape assertions.
+pub struct Outcome {
+    /// `(topic label, reproduced score, paper score)` along the path.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Total profile mass of the full Example 1 profile.
+    pub profile_total: f64,
+}
+
+const PAPER: [(&str, f64); 5] = [
+    ("Algebra", 29.087),
+    ("Pure", 14.543),
+    ("Mathematics", 4.848),
+    ("Science", 1.212),
+    ("Books", 0.303),
+];
+
+/// Runs E1.
+pub fn run() -> Outcome {
+    super::header("E1", "Example 1 — topic score assignment (s = 1000, 4 books, 5 descriptors)");
+    let e = example1();
+
+    let ratings: Vec<_> = e.catalog.iter().map(|p| (p, 1.0)).collect();
+    let params = ProfileParams::default();
+    let n_desc = e.catalog.descriptors(e.matrix_analysis).len();
+    let allotment = params.total_score / (ratings.len() as f64 * n_desc as f64);
+    println!(
+        "Allotment for descriptor `Algebra`: s/(|R|·|f(b)|) = 1000/({}·{}) = {}",
+        ratings.len(),
+        n_desc,
+        allotment
+    );
+
+    let scores = descriptor_scores(&e.fig.taxonomy, e.fig.algebra, allotment);
+    let mut table = Table::new(["topic", "reproduced", "paper", "Δ"]);
+    let mut rows = Vec::new();
+    for (&(topic, got), (label, paper)) in scores.iter().zip(PAPER) {
+        assert_eq!(e.fig.taxonomy.label(topic), label);
+        table.row([label.to_string(), fmt(got), fmt(paper), format!("{:+.3}", got - paper)]);
+        rows.push((label.to_owned(), got, paper));
+    }
+    println!("{}", table.render());
+    println!("(The paper's printed values round κ slightly differently; the path total");
+    println!(" is exactly 50 in both.)");
+
+    let profile = generate_profile(&e.fig.taxonomy, &e.catalog, &ratings, &params);
+    println!("\nFull Example 1 profile: {} topics scored, total mass {:.3} (= s)",
+        profile.support(), profile.total());
+
+    Outcome { rows, profile_total: profile.total() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_numbers() {
+        let outcome = run();
+        assert_eq!(outcome.rows.len(), 5);
+        for (label, got, paper) in &outcome.rows {
+            assert!((got - paper).abs() < 0.01, "{label}: {got} vs {paper}");
+        }
+        let total: f64 = outcome.rows.iter().map(|&(_, g, _)| g).sum();
+        assert!((total - 50.0).abs() < 1e-9);
+        assert!((outcome.profile_total - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,85 @@
+//! The reproduced experiments E1–E12 (DESIGN.md §3).
+//!
+//! Every experiment is a function of the chosen [`crate::Scale`] that prints
+//! its table(s) to stdout — the same rows recorded in EXPERIMENTS.md — and
+//! returns a small summary struct so tests can pin the expected *shape*
+//! (who wins, where crossovers fall) without fixing absolute numbers.
+
+pub mod e01_example1;
+pub mod e02_figure1;
+pub mod e03_appleseed;
+pub mod e04_trust_similarity;
+pub mod e05_overlap;
+pub mod e06_scalability;
+pub mod e07_attack;
+pub mod e08_quality;
+pub mod e09_synthesis;
+pub mod e10_taxonomy_shape;
+pub mod e11_advogato;
+pub mod e12_crawl;
+pub mod e13_stereotypes;
+pub mod e14_freshness;
+
+use crate::Scale;
+
+/// Runs one experiment by id (`"e1"` … `"e14"`); `true` if the id is known.
+pub fn run(id: &str, scale: Scale) -> bool {
+    match id {
+        "e1" => {
+            e01_example1::run();
+        }
+        "e2" => {
+            e02_figure1::run();
+        }
+        "e3" => {
+            e03_appleseed::run(scale);
+        }
+        "e4" => {
+            e04_trust_similarity::run(scale);
+        }
+        "e5" => {
+            e05_overlap::run(scale);
+        }
+        "e6" => {
+            e06_scalability::run(scale);
+        }
+        "e7" => {
+            e07_attack::run(scale);
+        }
+        "e8" => {
+            e08_quality::run(scale);
+        }
+        "e9" => {
+            e09_synthesis::run(scale);
+        }
+        "e10" => {
+            e10_taxonomy_shape::run(scale);
+        }
+        "e11" => {
+            e11_advogato::run(scale);
+        }
+        "e12" => {
+            e12_crawl::run(scale);
+        }
+        "e13" => {
+            e13_stereotypes::run(scale);
+        }
+        "e14" => {
+            e14_freshness::run(scale);
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];
+
+/// Prints a section header.
+pub(crate) fn header(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}

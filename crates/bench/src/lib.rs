@@ -1,0 +1,13 @@
+//! # semrec-bench — experiment harness
+//!
+//! One module per reproduced experiment (see DESIGN.md §3 for the index).
+//! The `experiments` binary dispatches on experiment id and prints the
+//! reproduced table/series; Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

@@ -1,0 +1,53 @@
+//! Experiment scale selection.
+
+use semrec_datagen::community::CommunityGenConfig;
+
+/// How big the synthetic world is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// 200 agents — smoke-test speed.
+    Small,
+    /// 1,000 agents — the default; every experiment finishes in seconds.
+    Medium,
+    /// 9,100 agents / 9,953 books / 20,000 topics — the §4.1 deployment.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `paper`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The community generator configuration at this scale.
+    pub fn community(self, seed: u64) -> CommunityGenConfig {
+        match self {
+            Scale::Small => CommunityGenConfig::small(seed),
+            Scale::Medium => CommunityGenConfig::medium(seed),
+            Scale::Paper => CommunityGenConfig::paper_scale(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn configs_scale_up() {
+        assert!(Scale::Paper.community(1).agents > Scale::Medium.community(1).agents);
+        assert!(Scale::Medium.community(1).agents > Scale::Small.community(1).agents);
+    }
+}

@@ -1,0 +1,228 @@
+//! The unified recommender pipeline (§3): trust neighborhood formation →
+//! similarity-based filtering → rank synthesization → recommendation
+//! generation.
+//!
+//! All computation is *local to one given user* (§2): the engine never
+//! compares the target against the whole community, only against the
+//! bounded trust neighborhood — the scalability answer of §3.2.
+
+use semrec_profiles::generation::ProfileParams;
+use semrec_trust::neighborhood::{form_neighborhood, NeighborhoodParams};
+use semrec_trust::AgentId;
+
+use crate::error::Result;
+use crate::model::Community;
+use crate::profiles::{ProfileStore, SimilarityMeasure};
+use crate::recommend::{novel_only, vote, Recommendation, VotingParams};
+use crate::synthesis::{synthesize, PeerScores, SynthesisStrategy};
+
+/// Full configuration of the recommendation pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecommenderConfig {
+    /// Trust neighborhood formation (§3.2).
+    pub neighborhood: NeighborhoodParams,
+    /// Profile generation (§3.3, Eq. 3).
+    pub profile: ProfileParams,
+    /// Similarity measure over profiles (§3.3).
+    pub similarity: SimilarityMeasure,
+    /// Rank synthesization strategy (§3.4).
+    pub synthesis: SynthesisStrategy,
+    /// Voting scheme (§3.4).
+    pub voting: VotingParams,
+    /// Restrict output to §3.4's novelty scheme (untouched categories only).
+    pub novel_categories_only: bool,
+}
+
+/// Diagnostic detail of one pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineTrace {
+    /// Neighborhood size after trust filtering.
+    pub neighborhood_size: usize,
+    /// Trust metric iterations.
+    pub trust_iterations: usize,
+    /// Nodes the trust metric explored.
+    pub nodes_explored: usize,
+    /// Peers surviving rank synthesization with positive weight.
+    pub effective_peers: usize,
+}
+
+/// The recommender engine: a community plus materialized profiles.
+#[derive(Clone, Debug)]
+pub struct Recommender {
+    community: Community,
+    profiles: ProfileStore,
+    config: RecommenderConfig,
+}
+
+impl Recommender {
+    /// Builds the engine, materializing every agent's profile once.
+    pub fn new(community: Community, config: RecommenderConfig) -> Self {
+        let profiles = ProfileStore::build(&community, &config.profile);
+        Recommender { community, profiles, config }
+    }
+
+    /// The underlying community.
+    pub fn community(&self) -> &Community {
+        &self.community
+    }
+
+    /// The materialized profile store.
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecommenderConfig {
+        &self.config
+    }
+
+    /// Computes the synthesized peer weights for a target agent —
+    /// the §3.2 + §3.3 + §3.4 front half of the pipeline.
+    pub fn peer_weights(&self, target: AgentId) -> Result<(Vec<(AgentId, f64)>, PipelineTrace)> {
+        let neighborhood =
+            form_neighborhood(&self.community.trust, target, &self.config.neighborhood)?;
+        let target_profile = self.profiles.profile(target);
+        let peers: Vec<PeerScores> = neighborhood
+            .normalized()
+            .into_iter()
+            .map(|(agent, trust)| PeerScores {
+                agent,
+                trust,
+                similarity: self
+                    .config
+                    .similarity
+                    .apply(target_profile, self.profiles.profile(agent)),
+            })
+            .collect();
+        let weighted = synthesize(self.config.synthesis, &peers);
+        let trace = PipelineTrace {
+            neighborhood_size: neighborhood.peers.len(),
+            trust_iterations: neighborhood.iterations,
+            nodes_explored: neighborhood.nodes_explored,
+            effective_peers: weighted.len(),
+        };
+        Ok((weighted, trace))
+    }
+
+    /// Produces the top-`n` recommendations for a target agent.
+    pub fn recommend(&self, target: AgentId, n: usize) -> Result<Vec<Recommendation>> {
+        Ok(self.recommend_traced(target, n)?.0)
+    }
+
+    /// Like [`Recommender::recommend`], also returning pipeline diagnostics.
+    pub fn recommend_traced(
+        &self,
+        target: AgentId,
+        n: usize,
+    ) -> Result<(Vec<Recommendation>, PipelineTrace)> {
+        let (weighted, trace) = self.peer_weights(target)?;
+        let mut recs = vote(&self.community, target, &weighted, &self.config.voting);
+        if self.config.novel_categories_only {
+            recs = novel_only(&self.community, self.profiles.profile(target), recs);
+        }
+        recs.truncate(n);
+        Ok((recs, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::fixtures::example1;
+    use semrec_taxonomy::ProductId;
+
+    /// A small community where trust and taste align:
+    /// alice trusts bob (math reader) and dave (sci-fi reader); alice reads math.
+    fn setup() -> (Recommender, Vec<AgentId>, Vec<ProductId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let alice = c.add_agent("http://ex.org/alice").unwrap();
+        let bob = c.add_agent("http://ex.org/bob").unwrap();
+        let dave = c.add_agent("http://ex.org/dave").unwrap();
+        let eve = c.add_agent("http://ex.org/eve").unwrap();
+
+        c.trust.set_trust(alice, bob, 0.9).unwrap();
+        c.trust.set_trust(alice, dave, 0.8).unwrap();
+        // Eve is not trusted by anyone alice knows.
+        c.trust.set_trust(eve, alice, 1.0).unwrap();
+
+        // Alice reads number theory.
+        c.set_rating(alice, products[1], 1.0).unwrap();
+        // Bob reads math: matrix analysis.
+        c.set_rating(bob, products[0], 1.0).unwrap();
+        // Dave reads cyberpunk.
+        c.set_rating(dave, products[2], 1.0).unwrap();
+        c.set_rating(dave, products[3], 0.9).unwrap();
+        // Eve pushes neuromancer hard (but is outside the trust neighborhood).
+        c.set_rating(eve, products[3], 1.0).unwrap();
+
+        let rec = Recommender::new(c, RecommenderConfig::default());
+        (rec, vec![alice, bob, dave, eve], products)
+    }
+
+    #[test]
+    fn recommends_only_from_the_trust_neighborhood() {
+        let (rec, agents, _) = setup();
+        let (weights, trace) = rec.peer_weights(agents[0]).unwrap();
+        assert!(weights.iter().all(|&(p, _)| p != agents[3]), "eve must be excluded");
+        assert_eq!(trace.neighborhood_size, 2);
+        assert!(trace.trust_iterations > 0);
+    }
+
+    #[test]
+    fn similar_taste_peers_get_heavier_votes() {
+        let (rec, agents, _) = setup();
+        let (weights, _) = rec.peer_weights(agents[0]).unwrap();
+        let w = |a: AgentId| weights.iter().find(|&&(p, _)| p == a).map_or(0.0, |&(_, w)| w);
+        // Bob shares the Mathematics branch with alice; dave does not.
+        assert!(w(agents[1]) > w(agents[2]), "bob {} vs dave {}", w(agents[1]), w(agents[2]));
+    }
+
+    #[test]
+    fn top_recommendation_comes_from_trusted_similar_peer() {
+        let (rec, agents, products) = setup();
+        let recs = rec.recommend(agents[0], 3).unwrap();
+        assert!(!recs.is_empty());
+        assert_eq!(recs[0].product, products[0], "matrix analysis should lead");
+        // Alice's own book never appears.
+        assert!(recs.iter().all(|r| r.product != products[1]));
+    }
+
+    #[test]
+    fn truncation_to_n() {
+        let (rec, agents, _) = setup();
+        assert_eq!(rec.recommend(agents[0], 1).unwrap().len(), 1);
+        assert!(rec.recommend(agents[0], 100).unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn novelty_mode_filters_known_branches() {
+        let (rec, agents, products) = setup();
+        let config = RecommenderConfig { novel_categories_only: true, ..Default::default() };
+        let rec = Recommender::new(rec.community().clone(), config);
+        let recs = rec.recommend(agents[0], 10).unwrap();
+        // Alice knows the Mathematics branch; only sci-fi is novel.
+        assert!(recs.iter().all(|r| r.product != products[0]));
+        assert!(recs.iter().any(|r| r.product == products[2] || r.product == products[3]));
+    }
+
+    #[test]
+    fn isolated_agent_gets_no_recommendations() {
+        let (rec, _, _) = setup();
+        let mut c = rec.community().clone();
+        let loner = c.add_agent("http://ex.org/loner").unwrap();
+        let rec = Recommender::new(c, RecommenderConfig::default());
+        let (recs, trace) = rec.recommend_traced(loner, 10).unwrap();
+        assert!(recs.is_empty());
+        assert_eq!(trace.neighborhood_size, 0);
+    }
+
+    #[test]
+    fn trace_reports_effective_peers() {
+        let (rec, agents, _) = setup();
+        let (_, trace) = rec.recommend_traced(agents[0], 10).unwrap();
+        assert!(trace.effective_peers <= trace.neighborhood_size);
+        assert!(trace.effective_peers >= 1);
+    }
+}

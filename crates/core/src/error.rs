@@ -1,0 +1,71 @@
+//! Error types for the recommender framework.
+
+use std::fmt;
+
+/// Result alias for framework operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors from community construction or recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An agent id did not designate an existing agent.
+    UnknownAgent(usize),
+    /// An agent URI was already registered.
+    DuplicateAgent(String),
+    /// A product id did not designate a catalogued product.
+    UnknownProduct(usize),
+    /// A rating outside `[-1, +1]` (or NaN).
+    InvalidRating(f64),
+    /// A trust metric failed.
+    Trust(semrec_trust::TrustError),
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownAgent(idx) => write!(f, "unknown agent index {idx}"),
+            CoreError::DuplicateAgent(uri) => write!(f, "agent URI already registered: {uri}"),
+            CoreError::UnknownProduct(idx) => write!(f, "unknown product index {idx}"),
+            CoreError::InvalidRating(r) => write!(f, "rating {r} outside [-1, +1]"),
+            CoreError::Trust(e) => write!(f, "trust metric error: {e}"),
+            CoreError::InvalidConfig { name, expected } => {
+                write!(f, "invalid configuration `{name}`: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Trust(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<semrec_trust::TrustError> for CoreError {
+    fn from(e: semrec_trust::TrustError) -> Self {
+        CoreError::Trust(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(semrec_trust::TrustError::UnknownAgent(3));
+        assert!(e.to_string().contains("trust metric"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CoreError::InvalidRating(2.0)).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! The information model of §3.1: agents `A`, products `B`, partial trust
+//! functions `T`, partial rating functions `R`, taxonomy `C` and descriptor
+//! assignment `f` — assembled into one [`Community`].
+//!
+//! Agent and rating data is conceptually *distributed* across machine-
+//! readable homepages (the `semrec-web` crate simulates exactly that);
+//! taxonomy, product set and descriptor assignment "must hold globally and
+//! therefore offer public accessibility". A `Community` is the merged local
+//! view a recommender works on after crawling.
+
+use std::collections::HashMap;
+
+use semrec_taxonomy::{Catalog, ProductId, Taxonomy};
+use semrec_trust::{AgentId, TrustGraph};
+
+use crate::error::{CoreError, Result};
+
+/// Per-agent metadata: the URI that globally identifies the agent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AgentInfo {
+    /// Globally unique identifier ("assigned through URIs", §3.1).
+    pub uri: String,
+}
+
+/// The §3.1 information model: a community of agents with trust statements
+/// and product ratings over a shared taxonomy and catalog.
+#[derive(Clone, Debug)]
+pub struct Community {
+    agents: Vec<AgentInfo>,
+    by_uri: HashMap<String, AgentId>,
+    /// The set `T` of partial trust functions.
+    pub trust: TrustGraph,
+    /// Partial rating functions `r_i: B → [-1, +1]⊥`, sorted by product id.
+    ratings: Vec<Vec<(ProductId, f64)>>,
+    /// The globally published taxonomy `C`.
+    pub taxonomy: Taxonomy,
+    /// The globally published product set `B` with descriptor assignment `f`.
+    pub catalog: Catalog,
+}
+
+impl Community {
+    /// Creates an empty community over the given global taxonomy and catalog.
+    pub fn new(taxonomy: Taxonomy, catalog: Catalog) -> Self {
+        Community {
+            agents: Vec::new(),
+            by_uri: HashMap::new(),
+            trust: TrustGraph::new(),
+            ratings: Vec::new(),
+            taxonomy,
+            catalog,
+        }
+    }
+
+    /// Registers an agent by URI, returning its dense id.
+    pub fn add_agent(&mut self, uri: impl Into<String>) -> Result<AgentId> {
+        let uri = uri.into();
+        if self.by_uri.contains_key(&uri) {
+            return Err(CoreError::DuplicateAgent(uri));
+        }
+        let id = self.trust.add_agent();
+        debug_assert_eq!(id.index(), self.agents.len());
+        self.by_uri.insert(uri.clone(), id);
+        self.agents.push(AgentInfo { uri });
+        self.ratings.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Number of agents `n = |A|`.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Iterates all agent ids.
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> {
+        (0..self.agents.len()).map(AgentId::from_index)
+    }
+
+    /// The agent's metadata.
+    pub fn agent(&self, id: AgentId) -> Result<&AgentInfo> {
+        self.agents.get(id.index()).ok_or(CoreError::UnknownAgent(id.index()))
+    }
+
+    /// Looks an agent up by URI.
+    pub fn agent_by_uri(&self, uri: &str) -> Option<AgentId> {
+        self.by_uri.get(uri).copied()
+    }
+
+    /// Sets `r_i(b_j) = rating`, replacing any previous rating.
+    ///
+    /// Ratings must lie in `[-1, +1]`; the product must be catalogued.
+    pub fn set_rating(&mut self, agent: AgentId, product: ProductId, rating: f64) -> Result<()> {
+        if agent.index() >= self.agents.len() {
+            return Err(CoreError::UnknownAgent(agent.index()));
+        }
+        if product.index() >= self.catalog.len() {
+            return Err(CoreError::UnknownProduct(product.index()));
+        }
+        if !(-1.0..=1.0).contains(&rating) || rating.is_nan() {
+            return Err(CoreError::InvalidRating(rating));
+        }
+        let ratings = &mut self.ratings[agent.index()];
+        match ratings.binary_search_by_key(&product, |&(p, _)| p) {
+            Ok(pos) => ratings[pos].1 = rating,
+            Err(pos) => ratings.insert(pos, (product, rating)),
+        }
+        Ok(())
+    }
+
+    /// `r_i(b_j)`: the rating, or `None` for `⊥`.
+    pub fn rating(&self, agent: AgentId, product: ProductId) -> Option<f64> {
+        let ratings = self.ratings.get(agent.index())?;
+        ratings
+            .binary_search_by_key(&product, |&(p, _)| p)
+            .ok()
+            .map(|pos| ratings[pos].1)
+    }
+
+    /// All ratings of an agent, sorted by product id.
+    pub fn ratings_of(&self, agent: AgentId) -> &[(ProductId, f64)] {
+        &self.ratings[agent.index()]
+    }
+
+    /// Removes a rating; returns `true` if one existed.
+    pub fn remove_rating(&mut self, agent: AgentId, product: ProductId) -> bool {
+        let Some(ratings) = self.ratings.get_mut(agent.index()) else { return false };
+        match ratings.binary_search_by_key(&product, |&(p, _)| p) {
+            Ok(pos) => {
+                ratings.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Total number of rating statements across all agents.
+    pub fn rating_count(&self) -> usize {
+        self.ratings.iter().map(Vec::len).sum()
+    }
+
+    /// Mean ratings per agent.
+    pub fn mean_ratings_per_agent(&self) -> f64 {
+        if self.agents.is_empty() {
+            return 0.0;
+        }
+        self.rating_count() as f64 / self.agents.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::fixtures::example1;
+
+    fn community() -> (Community, Vec<ProductId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        (Community::new(e.fig.taxonomy, e.catalog), products)
+    }
+
+    #[test]
+    fn agents_register_by_uri() {
+        let (mut c, _) = community();
+        let alice = c.add_agent("http://example.org/alice").unwrap();
+        let bob = c.add_agent("http://example.org/bob").unwrap();
+        assert_eq!(c.agent_count(), 2);
+        assert_eq!(c.agent_by_uri("http://example.org/alice"), Some(alice));
+        assert_eq!(c.agent(bob).unwrap().uri, "http://example.org/bob");
+        assert_eq!(c.agent_by_uri("http://example.org/carol"), None);
+        assert!(matches!(
+            c.add_agent("http://example.org/alice"),
+            Err(CoreError::DuplicateAgent(_))
+        ));
+    }
+
+    #[test]
+    fn trust_graph_stays_in_sync() {
+        let (mut c, _) = community();
+        let alice = c.add_agent("http://example.org/alice").unwrap();
+        let bob = c.add_agent("http://example.org/bob").unwrap();
+        c.trust.set_trust(alice, bob, 0.9).unwrap();
+        assert_eq!(c.trust.trust(alice, bob), Some(0.9));
+        assert_eq!(c.trust.agent_count(), c.agent_count());
+    }
+
+    #[test]
+    fn ratings_are_partial_functions() {
+        let (mut c, products) = community();
+        let alice = c.add_agent("http://example.org/alice").unwrap();
+        c.set_rating(alice, products[0], 0.8).unwrap();
+        c.set_rating(alice, products[1], -0.5).unwrap();
+        assert_eq!(c.rating(alice, products[0]), Some(0.8));
+        assert_eq!(c.rating(alice, products[2]), None); // ⊥
+        assert_eq!(c.ratings_of(alice).len(), 2);
+        c.set_rating(alice, products[0], 1.0).unwrap();
+        assert_eq!(c.rating(alice, products[0]), Some(1.0));
+        assert_eq!(c.rating_count(), 2);
+    }
+
+    #[test]
+    fn rating_validation() {
+        let (mut c, products) = community();
+        let alice = c.add_agent("http://example.org/alice").unwrap();
+        assert!(matches!(
+            c.set_rating(alice, products[0], 1.5),
+            Err(CoreError::InvalidRating(_))
+        ));
+        assert!(matches!(
+            c.set_rating(alice, ProductId::from_index(999), 0.5),
+            Err(CoreError::UnknownProduct(999))
+        ));
+        let ghost = AgentId::from_index(42);
+        assert!(matches!(
+            c.set_rating(ghost, products[0], 0.5),
+            Err(CoreError::UnknownAgent(42))
+        ));
+    }
+
+    #[test]
+    fn remove_rating() {
+        let (mut c, products) = community();
+        let alice = c.add_agent("http://example.org/alice").unwrap();
+        c.set_rating(alice, products[0], 0.8).unwrap();
+        assert!(c.remove_rating(alice, products[0]));
+        assert!(!c.remove_rating(alice, products[0]));
+        assert_eq!(c.rating(alice, products[0]), None);
+    }
+
+    #[test]
+    fn statistics() {
+        let (mut c, products) = community();
+        let alice = c.add_agent("http://example.org/a").unwrap();
+        let _bob = c.add_agent("http://example.org/b").unwrap();
+        c.set_rating(alice, products[0], 1.0).unwrap();
+        assert_eq!(c.mean_ratings_per_agent(), 0.5);
+    }
+}

@@ -1,0 +1,179 @@
+//! Community-wide profile computation and caching.
+//!
+//! Profile generation is a per-agent pure function of their ratings, so a
+//! [`ProfileStore`] materializes every agent's taxonomy profile once and
+//! similarity queries become vector operations. In a truly decentralized
+//! deployment each agent computes these locally per crawl (§2 — "performs
+//! all recommendation computations locally"); the store is the local cache
+//! of that computation.
+
+use semrec_profiles::generation::{generate_profile, ProfileParams};
+use semrec_profiles::{similarity, ProfileVector};
+use semrec_trust::AgentId;
+
+use crate::model::Community;
+
+/// Which similarity measure the engine uses over profile vectors (§3.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimilarityMeasure {
+    /// Pearson's correlation coefficient (refs \[6\], \[3\]).
+    Pearson,
+    /// Cosine distance from Information Retrieval.
+    #[default]
+    Cosine,
+}
+
+impl SimilarityMeasure {
+    /// Applies the measure; `None` when undefined for the pair.
+    pub fn apply(self, a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
+        match self {
+            SimilarityMeasure::Pearson => similarity::pearson(a, b),
+            SimilarityMeasure::Cosine => similarity::cosine(a, b),
+        }
+    }
+}
+
+/// Materialized taxonomy profiles for every agent of a community.
+#[derive(Clone, Debug)]
+pub struct ProfileStore {
+    profiles: Vec<ProfileVector>,
+    params: ProfileParams,
+}
+
+impl ProfileStore {
+    /// Computes all profiles.
+    pub fn build(community: &Community, params: &ProfileParams) -> Self {
+        let profiles = community
+            .agents()
+            .map(|a| {
+                generate_profile(
+                    &community.taxonomy,
+                    &community.catalog,
+                    community.ratings_of(a),
+                    params,
+                )
+            })
+            .collect();
+        ProfileStore { profiles, params: *params }
+    }
+
+    /// The profile of an agent.
+    pub fn profile(&self, agent: AgentId) -> &ProfileVector {
+        &self.profiles[agent.index()]
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The parameters the profiles were generated with.
+    pub fn params(&self) -> &ProfileParams {
+        &self.params
+    }
+
+    /// Recomputes a single agent's profile (after their ratings changed).
+    pub fn refresh(&mut self, community: &Community, agent: AgentId) {
+        self.profiles[agent.index()] = generate_profile(
+            &community.taxonomy,
+            &community.catalog,
+            community.ratings_of(agent),
+            &self.params,
+        );
+    }
+
+    /// Similarity between two agents under the given measure.
+    pub fn similarity(
+        &self,
+        measure: SimilarityMeasure,
+        a: AgentId,
+        b: AgentId,
+    ) -> Option<f64> {
+        measure.apply(self.profile(a), self.profile(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::fixtures::example1;
+
+    fn setup() -> (Community, Vec<semrec_taxonomy::ProductId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let alice = c.add_agent("http://ex.org/alice").unwrap();
+        let bob = c.add_agent("http://ex.org/bob").unwrap();
+        // Alice likes the math books, Bob the cyberpunk novels.
+        c.set_rating(alice, products[0], 1.0).unwrap();
+        c.set_rating(alice, products[1], 0.8).unwrap();
+        c.set_rating(bob, products[2], 1.0).unwrap();
+        c.set_rating(bob, products[3], 0.9).unwrap();
+        (c, products)
+    }
+
+    #[test]
+    fn builds_one_profile_per_agent() {
+        let (c, _) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        assert_eq!(store.len(), 2);
+        for a in c.agents() {
+            assert!((store.profile(a).total() - 1000.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn similarity_reflects_divergent_interests() {
+        let (c, _) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        let agents: Vec<_> = c.agents().collect();
+        let sim = store
+            .similarity(SimilarityMeasure::Cosine, agents[0], agents[1])
+            .unwrap();
+        let self_sim = store
+            .similarity(SimilarityMeasure::Cosine, agents[0], agents[0])
+            .unwrap();
+        assert!(self_sim > sim);
+        assert!((self_sim - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_tracks_rating_changes() {
+        let (mut c, products) = setup();
+        let mut store = ProfileStore::build(&c, &ProfileParams::default());
+        let agents: Vec<_> = c.agents().collect();
+        let before = store
+            .similarity(SimilarityMeasure::Cosine, agents[0], agents[1])
+            .unwrap();
+        // Bob now also reads Alice's math books.
+        c.set_rating(agents[1], products[0], 1.0).unwrap();
+        c.set_rating(agents[1], products[1], 1.0).unwrap();
+        store.refresh(&c, agents[1]);
+        let after = store
+            .similarity(SimilarityMeasure::Cosine, agents[0], agents[1])
+            .unwrap();
+        assert!(after > before, "similarity must rise: {before} → {after}");
+    }
+
+    #[test]
+    fn pearson_measure_dispatches() {
+        let (c, _) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        let agents: Vec<_> = c.agents().collect();
+        let p = store.similarity(SimilarityMeasure::Pearson, agents[0], agents[0]);
+        assert!((p.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_community() {
+        let e = example1();
+        let c = Community::new(e.fig.taxonomy, e.catalog);
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        assert!(store.is_empty());
+    }
+}

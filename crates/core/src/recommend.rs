@@ -1,0 +1,237 @@
+//! Recommendation generation (§3.4).
+//!
+//! Given synthesized peer weights, products are scored by weighted voting:
+//! "every a_j voting for all its appreciated products b_k ∈ r_j with its own
+//! rank weight. Products positively mentioned within several rating
+//! histories of high weighted peers thus have greater chance of being
+//! recommended." A second, content-driven scheme proposes products "from
+//! categories that a_i has left untouched until now" — creating an
+//! "incentive for trying new product groups".
+
+use std::collections::HashMap;
+
+use semrec_taxonomy::ProductId;
+use semrec_trust::AgentId;
+
+use crate::model::Community;
+
+/// A recommended product with its aggregated vote score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    /// The recommended product.
+    pub product: ProductId,
+    /// Aggregated (weighted) vote score; higher is better.
+    pub score: f64,
+    /// Number of peers that voted for the product.
+    pub voters: usize,
+}
+
+/// Parameters of the voting scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VotingParams {
+    /// Minimum peer rating for a product to count as "appreciated".
+    pub min_rating: f64,
+    /// Weight votes by the peer's rating value (not just their rank weight).
+    pub rating_weighted_votes: bool,
+    /// Require at least this many distinct voters per product.
+    pub min_voters: usize,
+}
+
+impl Default for VotingParams {
+    fn default() -> Self {
+        VotingParams { min_rating: 0.0, rating_weighted_votes: true, min_voters: 1 }
+    }
+}
+
+/// Scores products by weighted peer voting, excluding those the target agent
+/// already rated. Returns recommendations sorted by descending score.
+pub fn vote(
+    community: &Community,
+    target: AgentId,
+    weighted_peers: &[(AgentId, f64)],
+    params: &VotingParams,
+) -> Vec<Recommendation> {
+    let mut scores: HashMap<ProductId, (f64, usize)> = HashMap::new();
+    for &(peer, weight) in weighted_peers {
+        if weight <= 0.0 {
+            continue;
+        }
+        for &(product, rating) in community.ratings_of(peer) {
+            if rating <= params.min_rating {
+                continue;
+            }
+            if community.rating(target, product).is_some() {
+                continue; // never recommend what the user already rated
+            }
+            let vote = if params.rating_weighted_votes { weight * rating } else { weight };
+            let entry = scores.entry(product).or_insert((0.0, 0));
+            entry.0 += vote;
+            entry.1 += 1;
+        }
+    }
+    let mut out: Vec<Recommendation> = scores
+        .into_iter()
+        .filter(|&(_, (_, voters))| voters >= params.min_voters)
+        .map(|(product, (score, voters))| Recommendation { product, score, voters })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.product.cmp(&b.product))
+    });
+    out
+}
+
+/// Restricts recommendations to products from categories the target has left
+/// untouched: none of the product's descriptors (nor their ancestors below
+/// ⊤) carry score in the target's profile.
+///
+/// This implements §3.4's content-driven novelty scheme.
+pub fn novel_only(
+    community: &Community,
+    target_profile: &semrec_profiles::ProfileVector,
+    recommendations: Vec<Recommendation>,
+) -> Vec<Recommendation> {
+    let taxonomy = &community.taxonomy;
+    recommendations
+        .into_iter()
+        .filter(|rec| {
+            community.catalog.descriptors(rec.product).iter().all(|&d| {
+                // Untouched: the descriptor and all its proper ancestors
+                // except ⊤ have zero profile score.
+                target_profile.get(d) == 0.0
+                    && taxonomy
+                        .ancestors(d)
+                        .iter()
+                        .filter(|&&a| a != semrec_taxonomy::TopicId::TOP)
+                        .all(|&a| target_profile.get(a) == 0.0)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_profiles::generation::{generate_profile, ProfileParams};
+    use semrec_taxonomy::fixtures::example1;
+
+    /// Alice rated nothing; Bob and Carol are her (weighted) peers.
+    fn setup() -> (Community, Vec<AgentId>, Vec<ProductId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let alice = c.add_agent("http://ex.org/alice").unwrap();
+        let bob = c.add_agent("http://ex.org/bob").unwrap();
+        let carol = c.add_agent("http://ex.org/carol").unwrap();
+        // Bob: matrix analysis (1.0), snow crash (0.5).
+        c.set_rating(bob, products[0], 1.0).unwrap();
+        c.set_rating(bob, products[2], 0.5).unwrap();
+        // Carol: snow crash (1.0), neuromancer (0.8), dislikes fermat (-0.5).
+        c.set_rating(carol, products[2], 1.0).unwrap();
+        c.set_rating(carol, products[3], 0.8).unwrap();
+        c.set_rating(carol, products[1], -0.5).unwrap();
+        (c, vec![alice, bob, carol], products)
+    }
+
+    #[test]
+    fn products_backed_by_many_peers_win() {
+        let (c, agents, products) = setup();
+        let recs = vote(
+            &c,
+            agents[0],
+            &[(agents[1], 1.0), (agents[2], 1.0)],
+            &VotingParams::default(),
+        );
+        // Snow crash: 0.5 + 1.0 = 1.5 beats matrix analysis 1.0 and neuromancer 0.8.
+        assert_eq!(recs[0].product, products[2]);
+        assert_eq!(recs[0].voters, 2);
+        assert!((recs[0].score - 1.5).abs() < 1e-12);
+        assert_eq!(recs.len(), 3); // the disliked product never appears
+    }
+
+    #[test]
+    fn already_rated_products_are_excluded() {
+        let (mut c, agents, products) = setup();
+        c.set_rating(agents[0], products[2], 0.1).unwrap();
+        let recs = vote(
+            &c,
+            agents[0],
+            &[(agents[1], 1.0), (agents[2], 1.0)],
+            &VotingParams::default(),
+        );
+        assert!(recs.iter().all(|r| r.product != products[2]));
+    }
+
+    #[test]
+    fn peer_weight_scales_votes() {
+        let (c, agents, products) = setup();
+        let recs = vote(
+            &c,
+            agents[0],
+            &[(agents[1], 1.0), (agents[2], 0.1)],
+            &VotingParams::default(),
+        );
+        // Bob's matrix analysis (1.0) now beats snow crash (0.5 + 0.1).
+        assert_eq!(recs[0].product, products[0]);
+    }
+
+    #[test]
+    fn min_voters_filters_singletons() {
+        let (c, agents, products) = setup();
+        let recs = vote(
+            &c,
+            agents[0],
+            &[(agents[1], 1.0), (agents[2], 1.0)],
+            &VotingParams { min_voters: 2, ..Default::default() },
+        );
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].product, products[2]);
+    }
+
+    #[test]
+    fn unweighted_votes_count_heads() {
+        let (c, agents, products) = setup();
+        let recs = vote(
+            &c,
+            agents[0],
+            &[(agents[1], 1.0), (agents[2], 1.0)],
+            &VotingParams { rating_weighted_votes: false, ..Default::default() },
+        );
+        let snow = recs.iter().find(|r| r.product == products[2]).unwrap();
+        assert!((snow.score - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_peers_are_ignored() {
+        let (c, agents, _) = setup();
+        let recs = vote(&c, agents[0], &[(agents[1], 0.0)], &VotingParams::default());
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn novel_only_drops_familiar_branches() {
+        let (mut c, agents, products) = setup();
+        // Alice has read a math book: the Mathematics branch is familiar.
+        c.set_rating(agents[0], products[1], 1.0).unwrap();
+        let profile = generate_profile(
+            &c.taxonomy,
+            &c.catalog,
+            c.ratings_of(agents[0]),
+            &ProfileParams::default(),
+        );
+        let recs = vote(
+            &c,
+            agents[0],
+            &[(agents[1], 1.0), (agents[2], 1.0)],
+            &VotingParams::default(),
+        );
+        let novel = novel_only(&c, &profile, recs.clone());
+        // Matrix analysis shares the Mathematics branch → filtered; the
+        // cyberpunk novels are genuinely new territory.
+        assert!(novel.iter().all(|r| r.product != products[0]));
+        assert!(novel.iter().any(|r| r.product == products[2]));
+        assert!(novel.len() < recs.len());
+    }
+}

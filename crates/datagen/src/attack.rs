@@ -1,0 +1,341 @@
+//! Attack injection — the §2 security issue made concrete.
+//!
+//! "Collaborative filtering tends to be highly susceptive to manipulation.
+//! For instance, malicious agents a_j can accomplish high similarity with
+//! a_i by simply copying its profile." This module injects the standard
+//! shilling-attack taxonomy:
+//!
+//! * [`AttackStrategy::ProfileCopy`] — the paper's own example: sybils
+//!   clone the victim's rating history (maximal targeted similarity);
+//! * [`AttackStrategy::Bandwagon`] — sybils rate globally popular products
+//!   (high similarity to *many* users without knowing any victim);
+//! * [`AttackStrategy::Random`] — sybils rate random products (the weakest
+//!   baseline attack).
+//!
+//! All sybils additionally rate the pushed product 1.0. Experiment E7
+//! measures how often the pushed product reaches the victim's top-N under
+//! plain CF versus the trust-filtered hybrid.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semrec_core::Community;
+use semrec_taxonomy::ProductId;
+use semrec_trust::AgentId;
+
+/// How sybils construct their cover profiles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AttackStrategy {
+    /// Clone the victim's positive ratings (the paper's §3.2 example).
+    #[default]
+    ProfileCopy,
+    /// Rate the most popular products (similarity to many users at once).
+    Bandwagon,
+    /// Rate random products.
+    Random,
+}
+
+/// Configuration of a sybil (shilling) attack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttackConfig {
+    /// Number of sybil accounts to create.
+    pub sybils: usize,
+    /// The product the attacker wants recommended.
+    pub pushed_product: ProductId,
+    /// The agent whose profile is copied (and who is to be manipulated).
+    pub victim: AgentId,
+    /// Sybils issue mutual trust statements (a clique), mimicking real
+    /// reputations — harmless against local trust but cheap to do.
+    pub build_clique: bool,
+    /// RNG seed (used for sybil trust weights).
+    pub seed: u64,
+}
+
+/// Injects a sybil attack with the chosen cover-profile strategy, returning
+/// the sybil agent ids. Cover profiles match the victim's history length.
+pub fn inject_attack(
+    community: &mut Community,
+    config: &AttackConfig,
+    strategy: AttackStrategy,
+) -> Vec<AgentId> {
+    match strategy {
+        AttackStrategy::ProfileCopy => inject_profile_copy_attack(community, config),
+        AttackStrategy::Bandwagon | AttackStrategy::Random => {
+            inject_generic(community, config, strategy)
+        }
+    }
+}
+
+fn inject_generic(
+    community: &mut Community,
+    config: &AttackConfig,
+    strategy: AttackStrategy,
+) -> Vec<AgentId> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let cover_size = community
+        .ratings_of(config.victim)
+        .iter()
+        .filter(|&&(_, r)| r > 0.0)
+        .count()
+        .max(3);
+
+    // Cover product pool: popularity-ranked for bandwagon, shuffled for random.
+    let mut pool: Vec<(ProductId, usize)> = community
+        .catalog
+        .iter()
+        .map(|p| {
+            let raters = community
+                .agents()
+                .filter(|&a| community.rating(a, p).is_some_and(|r| r > 0.0))
+                .count();
+            (p, raters)
+        })
+        .collect();
+    match strategy {
+        AttackStrategy::Bandwagon => {
+            pool.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        }
+        _ => {
+            for i in (1..pool.len()).rev() {
+                let j = rng.random_range(0..=i);
+                pool.swap(i, j);
+            }
+        }
+    }
+    let cover: Vec<ProductId> = pool
+        .iter()
+        .map(|&(p, _)| p)
+        .filter(|&p| p != config.pushed_product)
+        .take(cover_size)
+        .collect();
+
+    let sybils: Vec<AgentId> = (0..config.sybils)
+        .map(|i| {
+            community
+                .add_agent(format!(
+                    "http://sybil.example.org/{strategy:?}/{seed}/{i}#me",
+                    seed = config.seed
+                ))
+                .expect("sybil URIs are unique")
+        })
+        .collect();
+    for &sybil in &sybils {
+        for &product in &cover {
+            community.set_rating(sybil, product, 1.0).expect("cover rating valid");
+        }
+        community
+            .set_rating(sybil, config.pushed_product, 1.0)
+            .expect("pushed rating valid");
+    }
+    if config.build_clique {
+        build_clique(community, &sybils, &mut rng);
+    }
+    sybils
+}
+
+fn build_clique(community: &mut Community, sybils: &[AgentId], rng: &mut StdRng) {
+    for &a in sybils {
+        for &b in sybils {
+            if a != b {
+                let w = 0.8 + 0.2 * rng.random::<f64>();
+                community.trust.set_trust(a, b, w).expect("clique edge valid");
+            }
+        }
+    }
+}
+
+/// Injects the attack, returning the sybil agent ids.
+///
+/// Sybils copy every *positive* rating of the victim (maximizing profile
+/// similarity) and rate the pushed product with 1.0. No honest agent trusts
+/// them — exactly the situation the paper's trust filtering is built for.
+pub fn inject_profile_copy_attack(
+    community: &mut Community,
+    config: &AttackConfig,
+) -> Vec<AgentId> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let victim_ratings: Vec<(ProductId, f64)> = community
+        .ratings_of(config.victim)
+        .iter()
+        .copied()
+        .filter(|&(_, r)| r > 0.0)
+        .collect();
+
+    let sybils: Vec<AgentId> = (0..config.sybils)
+        .map(|i| {
+            community
+                .add_agent(format!(
+                    "http://sybil.example.org/{seed}/{i}#me",
+                    seed = config.seed
+                ))
+                .expect("sybil URIs are unique")
+        })
+        .collect();
+
+    for &sybil in &sybils {
+        for &(product, rating) in &victim_ratings {
+            community.set_rating(sybil, product, rating).expect("copied rating valid");
+        }
+        community
+            .set_rating(sybil, config.pushed_product, 1.0)
+            .expect("pushed rating valid");
+    }
+
+    if config.build_clique {
+        build_clique(community, &sybils, &mut rng);
+    }
+
+    sybils
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::{generate_community, CommunityGenConfig};
+
+    #[test]
+    fn sybils_clone_the_victim_and_push() {
+        let mut g = generate_community(&CommunityGenConfig::small(5));
+        let victim = g.community.agents().next().unwrap();
+        let pushed = ProductId::from_index(0);
+        let positives = g
+            .community
+            .ratings_of(victim)
+            .iter()
+            .filter(|&&(p, r)| r > 0.0 && p != pushed)
+            .count();
+        let before_agents = g.community.agent_count();
+        let sybils = inject_profile_copy_attack(
+            &mut g.community,
+            &AttackConfig {
+                sybils: 10,
+                pushed_product: pushed,
+                victim,
+                build_clique: true,
+                seed: 1,
+            },
+        );
+        assert_eq!(sybils.len(), 10);
+        assert_eq!(g.community.agent_count(), before_agents + 10);
+        for &s in &sybils {
+            assert_eq!(g.community.rating(s, pushed), Some(1.0));
+            let copied = g
+                .community
+                .ratings_of(s)
+                .iter()
+                .filter(|&&(p, r)| r > 0.0 && p != pushed)
+                .count();
+            assert_eq!(copied, positives);
+        }
+    }
+
+    #[test]
+    fn clique_edges_but_no_honest_trust() {
+        let mut g = generate_community(&CommunityGenConfig::small(6));
+        let victim = g.community.agents().next().unwrap();
+        let honest: Vec<_> = g.community.agents().collect();
+        let sybils = inject_profile_copy_attack(
+            &mut g.community,
+            &AttackConfig {
+                sybils: 5,
+                pushed_product: ProductId::from_index(3),
+                victim,
+                build_clique: true,
+                seed: 2,
+            },
+        );
+        // Full clique: 5 * 4 edges among sybils.
+        for &a in &sybils {
+            let out: Vec<_> = g.community.trust.out_edges(a).to_vec();
+            assert_eq!(out.len(), 4);
+            assert!(out.iter().all(|&(t, _)| sybils.contains(&t)));
+        }
+        // No honest agent trusts a sybil.
+        for &h in &honest {
+            for &(t, _) in g.community.trust.out_edges(h) {
+                assert!(!sybils.contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn bandwagon_sybils_rate_popular_cover_products() {
+        let mut g = generate_community(&CommunityGenConfig::small(8));
+        let victim = g.community.agents().next().unwrap();
+        let pushed = ProductId::from_index(0);
+        // The most-rated product before the attack.
+        let most_popular = g
+            .community
+            .catalog
+            .iter()
+            .filter(|&p| p != pushed)
+            .max_by_key(|&p| {
+                g.community
+                    .agents()
+                    .filter(|&a| g.community.rating(a, p).is_some_and(|r| r > 0.0))
+                    .count()
+            })
+            .unwrap();
+        let sybils = inject_attack(
+            &mut g.community,
+            &AttackConfig {
+                sybils: 4,
+                pushed_product: pushed,
+                victim,
+                build_clique: false,
+                seed: 4,
+            },
+            AttackStrategy::Bandwagon,
+        );
+        for &s in &sybils {
+            assert_eq!(g.community.rating(s, pushed), Some(1.0));
+            assert_eq!(
+                g.community.rating(s, most_popular),
+                Some(1.0),
+                "bandwagon cover must include the popularity head"
+            );
+        }
+    }
+
+    #[test]
+    fn random_sybils_differ_from_profile_copies() {
+        let mut a = generate_community(&CommunityGenConfig::small(9));
+        let mut b = a.clone();
+        let victim = a.community.agents().next().unwrap();
+        let config = AttackConfig {
+            sybils: 1,
+            pushed_product: ProductId::from_index(2),
+            victim,
+            build_clique: false,
+            seed: 5,
+        };
+        let copy = inject_attack(&mut a.community, &config, AttackStrategy::ProfileCopy);
+        let random = inject_attack(&mut b.community, &config, AttackStrategy::Random);
+        let ratings = |c: &semrec_core::Community, s: AgentId| -> Vec<ProductId> {
+            c.ratings_of(s).iter().map(|&(p, _)| p).collect()
+        };
+        assert_ne!(
+            ratings(&a.community, copy[0]),
+            ratings(&b.community, random[0]),
+            "random cover must not equal the victim clone"
+        );
+    }
+
+    #[test]
+    fn no_clique_mode() {
+        let mut g = generate_community(&CommunityGenConfig::small(7));
+        let victim = g.community.agents().next().unwrap();
+        let sybils = inject_profile_copy_attack(
+            &mut g.community,
+            &AttackConfig {
+                sybils: 3,
+                pushed_product: ProductId::from_index(1),
+                victim,
+                build_clique: false,
+                seed: 3,
+            },
+        );
+        for &s in &sybils {
+            assert!(g.community.trust.out_edges(s).is_empty());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Random product catalog generation.
+//!
+//! Substitutes for the 9,953 Amazon-categorized books of §4.1: every product
+//! gets 1–5 topic descriptors (Amazon's subject descriptors) drawn with a
+//! locality bias — descriptors of one product cluster taxonomically, like
+//! real subject headings do — plus a Zipf popularity rank used later by the
+//! rating sampler.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semrec_taxonomy::{Catalog, Taxonomy, TopicId};
+
+/// Configuration of the catalog generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CatalogGenConfig {
+    /// Number of products `m = |B|`.
+    pub products: usize,
+    /// Maximum descriptors per product (≥ 1); counts are geometric-ish.
+    pub max_descriptors: usize,
+    /// Probability that an extra descriptor stays in the first descriptor's
+    /// taxonomic vicinity (sibling or parent) rather than being random.
+    pub descriptor_locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CatalogGenConfig {
+    fn default() -> Self {
+        CatalogGenConfig { products: 1000, max_descriptors: 5, descriptor_locality: 0.7, seed: 0 }
+    }
+}
+
+/// Generates a catalog over the given taxonomy.
+///
+/// Descriptors are drawn uniformly over *leaf* topics first (specific
+/// categories, like Amazon's), with extra descriptors placed nearby.
+pub fn generate_catalog(taxonomy: &Taxonomy, config: &CatalogGenConfig) -> Catalog {
+    assert!(config.max_descriptors >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let leaves: Vec<TopicId> = taxonomy.leaves().collect();
+    let all: Vec<TopicId> = taxonomy.iter().collect();
+    let pool = if leaves.is_empty() { &all } else { &leaves };
+
+    let mut catalog = Catalog::new();
+    for i in 0..config.products {
+        let first = pool[rng.random_range(0..pool.len())];
+        let mut descriptors = vec![first];
+        // Geometric-ish descriptor count: each extra slot filled with p=0.5.
+        while descriptors.len() < config.max_descriptors && rng.random::<f64>() < 0.5 {
+            let extra = if rng.random::<f64>() < config.descriptor_locality {
+                nearby(taxonomy, first, &mut rng)
+            } else {
+                pool[rng.random_range(0..pool.len())]
+            };
+            descriptors.push(extra);
+        }
+        catalog
+            .add_product(taxonomy, synthetic_isbn(i), format!("Product {i}"), descriptors)
+            .expect("generated identifiers are unique");
+    }
+    catalog
+}
+
+/// A topic taxonomically close to `origin`: a sibling, its parent, or itself.
+fn nearby(taxonomy: &Taxonomy, origin: TopicId, rng: &mut StdRng) -> TopicId {
+    let parents = taxonomy.parents(origin);
+    if parents.is_empty() {
+        return origin;
+    }
+    let parent = parents[rng.random_range(0..parents.len())];
+    let siblings = taxonomy.children(parent);
+    if rng.random::<f64>() < 0.3 || siblings.is_empty() {
+        parent
+    } else {
+        siblings[rng.random_range(0..siblings.len())]
+    }
+}
+
+/// A deterministic `urn:isbn:` identifier with a valid ISBN-10 check digit.
+pub fn synthetic_isbn(index: usize) -> String {
+    let body = format!("{:09}", index % 1_000_000_000);
+    let mut sum = 0u32;
+    for (i, c) in body.chars().enumerate() {
+        sum += (10 - i as u32) * c.to_digit(10).unwrap();
+    }
+    let check = (11 - sum % 11) % 11;
+    let check_char = if check == 10 { 'X'.to_string() } else { check.to_string() };
+    format!("urn:isbn:{body}{check_char}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy_gen::{generate_taxonomy, TaxonomyGenConfig};
+
+    fn taxonomy() -> Taxonomy {
+        generate_taxonomy(&TaxonomyGenConfig::book_like(300, 11))
+    }
+
+    #[test]
+    fn generates_requested_products() {
+        let t = taxonomy();
+        let c = generate_catalog(&t, &CatalogGenConfig { products: 250, ..Default::default() });
+        assert_eq!(c.len(), 250);
+    }
+
+    #[test]
+    fn every_product_has_descriptors_in_bounds() {
+        let t = taxonomy();
+        let config = CatalogGenConfig { products: 300, max_descriptors: 4, ..Default::default() };
+        let c = generate_catalog(&t, &config);
+        for p in c.iter() {
+            let d = c.descriptors(p);
+            assert!(!d.is_empty());
+            assert!(d.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = taxonomy();
+        let a = generate_catalog(&t, &CatalogGenConfig { seed: 5, ..Default::default() });
+        let b = generate_catalog(&t, &CatalogGenConfig { seed: 5, ..Default::default() });
+        for p in a.iter() {
+            assert_eq!(a.descriptors(p), b.descriptors(p));
+        }
+    }
+
+    #[test]
+    fn isbn_check_digits_are_valid() {
+        for i in [0usize, 1, 42, 123_456_789, 999] {
+            let isbn = synthetic_isbn(i);
+            let digits = isbn.strip_prefix("urn:isbn:").unwrap();
+            assert_eq!(digits.len(), 10);
+            let sum: u32 = digits
+                .chars()
+                .enumerate()
+                .map(|(pos, c)| {
+                    let v = if c == 'X' { 10 } else { c.to_digit(10).unwrap() };
+                    (10 - pos as u32) * v
+                })
+                .sum();
+            assert_eq!(sum % 11, 0, "invalid check digit in {isbn}");
+        }
+    }
+
+    #[test]
+    fn identifiers_are_unique_and_resolvable() {
+        let t = taxonomy();
+        let c = generate_catalog(&t, &CatalogGenConfig { products: 100, ..Default::default() });
+        for p in c.iter() {
+            let ident = &c.product(p).identifier;
+            assert_eq!(c.by_identifier(ident), Some(p));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # semrec-datagen — synthetic decentralized communities
+//!
+//! The paper's experiments ran on data crawled from All Consuming and
+//! Advogato (≈9,100 users, 9,953 Amazon-categorized books, §4.1). That
+//! infrastructure no longer exists, so this crate generates communities
+//! with the same statistical structure — sparse homophilous trust networks,
+//! latent-interest-driven implicit ratings, Zipf popularity, Amazon-shaped
+//! taxonomies — with every knob the experiments sweep exposed and seeded
+//! determinism throughout. See DESIGN.md §1 for the substitution argument.
+//!
+//! ```
+//! use semrec_datagen::community::{generate_community, CommunityGenConfig};
+//!
+//! let generated = generate_community(&CommunityGenConfig::small(42));
+//! assert_eq!(generated.community.agent_count(), 200);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod catalog_gen;
+pub mod community;
+pub mod taxonomy_gen;
+pub mod zipf;
+
+pub use attack::{inject_attack, inject_profile_copy_attack, AttackConfig, AttackStrategy};
+pub use community::{generate_community, CommunityGenConfig, GeneratedCommunity};
+pub use taxonomy_gen::{generate_taxonomy, TaxonomyGenConfig};
+pub use zipf::Zipf;

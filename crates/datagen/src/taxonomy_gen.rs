@@ -1,0 +1,132 @@
+//! Random taxonomy generation.
+//!
+//! Substitutes for Amazon's real taxonomies (§4: ">20,000 topics" for books,
+//! "more topics … though being less deep" for DVDs). Shape is controlled by
+//! a depth bias: parents for new topics are drawn with weight
+//! `exp(depth_bias · depth)`, so positive bias grows deep, narrow,
+//! book-taxonomy-like trees and negative bias grows broad, shallow,
+//! DVD-taxonomy-like ones. Experiment E10 uses exactly these two presets.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semrec_taxonomy::{Taxonomy, TopicId};
+
+/// Configuration of the taxonomy generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaxonomyGenConfig {
+    /// Number of topics to generate (including ⊤).
+    pub topics: usize,
+    /// Depth bias β: parent weight `∝ exp(β · depth)`.
+    pub depth_bias: f64,
+    /// Hard depth cap (topics never exceed this depth).
+    pub max_depth: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TaxonomyGenConfig {
+    /// Book-like shape: deep and narrow (Amazon book taxonomy flavor).
+    pub fn book_like(topics: usize, seed: u64) -> Self {
+        TaxonomyGenConfig { topics, depth_bias: 0.15, max_depth: 10, seed }
+    }
+
+    /// DVD-like shape: broad and shallow (Amazon DVD taxonomy flavor).
+    pub fn dvd_like(topics: usize, seed: u64) -> Self {
+        TaxonomyGenConfig { topics, depth_bias: -2.0, max_depth: 4, seed }
+    }
+}
+
+/// Generates a random tree taxonomy.
+pub fn generate_taxonomy(config: &TaxonomyGenConfig) -> Taxonomy {
+    assert!(config.topics >= 1, "a taxonomy has at least its top element");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = Taxonomy::builder("Top");
+    let mut nodes: Vec<(TopicId, u32)> = vec![(TopicId::TOP, 0)];
+    // Incremental weighted parent choice: keep cumulative weights in sync.
+    let mut weights: Vec<f64> = vec![1.0];
+    let mut total_weight = 1.0;
+
+    for i in 1..config.topics {
+        // Weighted sample over current nodes.
+        let mut pick = rng.random::<f64>() * total_weight;
+        let mut chosen = 0usize;
+        for (idx, &w) in weights.iter().enumerate() {
+            if pick < w {
+                chosen = idx;
+                break;
+            }
+            pick -= w;
+            chosen = idx;
+        }
+        let (parent, parent_depth) = nodes[chosen];
+        let depth = parent_depth + 1;
+        let id = builder
+            .add_topic(format!("Topic {i}"), parent)
+            .expect("generated labels are unique");
+        nodes.push((id, depth));
+        let w = if depth >= config.max_depth {
+            0.0 // never a parent again
+        } else {
+            (config.depth_bias * f64::from(depth)).exp()
+        };
+        weights.push(w);
+        total_weight += w;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::stats;
+
+    #[test]
+    fn generates_requested_topic_count() {
+        let t = generate_taxonomy(&TaxonomyGenConfig::book_like(500, 42));
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_taxonomy(&TaxonomyGenConfig::book_like(200, 7));
+        let b = generate_taxonomy(&TaxonomyGenConfig::book_like(200, 7));
+        for id in a.iter() {
+            assert_eq!(a.parents(id), b.parents(id));
+        }
+        let c = generate_taxonomy(&TaxonomyGenConfig::book_like(200, 8));
+        let differs = a.iter().any(|id| a.parents(id) != c.parents(id));
+        assert!(differs, "different seeds should give different trees");
+    }
+
+    #[test]
+    fn book_like_is_deeper_than_dvd_like() {
+        let book = generate_taxonomy(&TaxonomyGenConfig::book_like(2000, 1));
+        let dvd = generate_taxonomy(&TaxonomyGenConfig::dvd_like(2000, 1));
+        let sb = stats(&book);
+        let sd = stats(&dvd);
+        assert!(
+            sb.mean_leaf_depth > sd.mean_leaf_depth + 1.0,
+            "book {} vs dvd {}",
+            sb.mean_leaf_depth,
+            sd.mean_leaf_depth
+        );
+        assert!(sd.mean_branching > sb.mean_branching);
+    }
+
+    #[test]
+    fn max_depth_is_honored() {
+        let t = generate_taxonomy(&TaxonomyGenConfig {
+            topics: 3000,
+            depth_bias: 2.0, // aggressively deep
+            max_depth: 5,
+            seed: 3,
+        });
+        assert!(t.max_depth() <= 5);
+    }
+
+    #[test]
+    fn single_topic_taxonomy() {
+        let t = generate_taxonomy(&TaxonomyGenConfig { topics: 1, depth_bias: 0.0, max_depth: 3, seed: 0 });
+        assert_eq!(t.len(), 1);
+    }
+}

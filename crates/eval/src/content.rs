@@ -1,0 +1,143 @@
+//! Content-based filtering (§5): "Content-based filtering only takes into
+//! account the content of products, based upon metadata and extracted
+//! features." With taxonomy descriptors as the metadata, a content-based
+//! recommender scores every unrated product by the similarity of its topic
+//! profile to the user's interest profile — no peers involved at all.
+//!
+//! "Modern recommender systems are hybrid, combining both content-based and
+//! collaborative filtering" — this module is the pure content half that the
+//! paper's framework hybridizes away from; E8 compares it directly.
+
+use semrec_core::{Community, ProfileStore};
+use semrec_profiles::generation::descriptor_scores;
+use semrec_profiles::{similarity, ProfileVector};
+use semrec_taxonomy::ProductId;
+use semrec_trust::AgentId;
+
+/// Precomputed taxonomy profiles for every product (unit mass each).
+#[derive(Clone, Debug)]
+pub struct ProductProfiles {
+    profiles: Vec<ProfileVector>,
+}
+
+impl ProductProfiles {
+    /// Builds profiles for the whole catalog.
+    pub fn build(community: &Community) -> Self {
+        let profiles = community
+            .catalog
+            .iter()
+            .map(|p| {
+                let descriptors = community.catalog.descriptors(p);
+                let per = 1.0 / descriptors.len() as f64;
+                let mut v = ProfileVector::new();
+                for &d in descriptors {
+                    for (topic, score) in descriptor_scores(&community.taxonomy, d, per) {
+                        v.add(topic, score);
+                    }
+                }
+                v
+            })
+            .collect();
+        ProductProfiles { profiles }
+    }
+
+    /// The profile of one product.
+    pub fn profile(&self, product: ProductId) -> &ProfileVector {
+        &self.profiles[product.index()]
+    }
+
+    /// Number of profiled products.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if the catalog was empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+/// Pure content-based recommendation: rank unrated products by cosine
+/// similarity between their topic profile and the user's interest profile.
+pub fn content_based(
+    community: &Community,
+    product_profiles: &ProductProfiles,
+    user_profiles: &ProfileStore,
+    target: AgentId,
+    n: usize,
+) -> Vec<ProductId> {
+    let mine = user_profiles.profile(target);
+    if mine.is_empty() {
+        return Vec::new();
+    }
+    let mut scored: Vec<(ProductId, f64)> = community
+        .catalog
+        .iter()
+        .filter(|&p| community.rating(target, p).is_none())
+        .filter_map(|p| {
+            similarity::cosine(mine, product_profiles.profile(p)).map(|s| (p, s))
+        })
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.truncate(n);
+    scored.into_iter().map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_profiles::generation::ProfileParams;
+    use semrec_taxonomy::fixtures::example1;
+
+    fn setup() -> (Community, AgentId, Vec<ProductId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let alice = c.add_agent("http://ex.org/alice").unwrap();
+        // Alice reads math: Fermat's Enigma.
+        c.set_rating(alice, products[1], 1.0).unwrap();
+        (c, alice, products)
+    }
+
+    #[test]
+    fn recommends_same_branch_products_first() {
+        let (c, alice, products) = setup();
+        let pp = ProductProfiles::build(&c);
+        let up = ProfileStore::build(&c, &ProfileParams::default());
+        let recs = content_based(&c, &pp, &up, alice, 3);
+        // Matrix Analysis (Mathematics branch) must beat the cyberpunk books.
+        assert_eq!(recs.first(), Some(&products[0]));
+        assert!(!recs.contains(&products[1]), "own ratings excluded");
+    }
+
+    #[test]
+    fn empty_profile_yields_nothing() {
+        let (mut c, _, products) = setup();
+        let bob = c.add_agent("http://ex.org/bob").unwrap();
+        c.set_rating(bob, products[2], -1.0).unwrap(); // dislikes only
+        let pp = ProductProfiles::build(&c);
+        let up = ProfileStore::build(&c, &ProfileParams::default());
+        assert!(content_based(&c, &pp, &up, bob, 5).is_empty());
+    }
+
+    #[test]
+    fn product_profiles_have_unit_mass() {
+        let (c, _, _) = setup();
+        let pp = ProductProfiles::build(&c);
+        assert_eq!(pp.len(), 4);
+        for p in c.catalog.iter() {
+            assert!((pp.profile(p).total() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn needs_no_peers_at_all() {
+        // A one-user community still gets content recommendations.
+        let (c, alice, _) = setup();
+        assert_eq!(c.agent_count(), 1);
+        let pp = ProductProfiles::build(&c);
+        let up = ProfileStore::build(&c, &ProfileParams::default());
+        assert!(!content_based(&c, &pp, &up, alice, 5).is_empty());
+    }
+}

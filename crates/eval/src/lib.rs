@@ -1,0 +1,29 @@
+//! # semrec-eval — evaluation substrate
+//!
+//! §1 promises "empirical analysis and performance evaluations … at all
+//! stages"; this crate is the shared machinery: leave-n-out splits
+//! ([`split`]), ranking metrics ([`metrics`]), sample statistics
+//! ([`stats`]), the baseline recommenders every experiment compares against
+//! ([`baselines`], [`content`], [`itemcf`]), the evaluation loop
+//! ([`runner`]) and ASCII tables
+//! ([`table`]) so every experiment prints reproducible rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod bootstrap;
+pub mod content;
+pub mod itemcf;
+pub mod metrics;
+pub mod runner;
+pub mod split;
+pub mod stats;
+pub mod table;
+
+pub use metrics::{aggregate, breese_score, ndcg, precision_recall, AggregateMetrics, PrecisionRecall};
+pub use bootstrap::{paired_bootstrap, BootstrapComparison};
+pub use runner::evaluate;
+pub use split::{leave_n_out, Split, SplitConfig};
+pub use stats::{correlation, histogram, summarize, welch_t, Summary};
+pub use table::Table;

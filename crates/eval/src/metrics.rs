@@ -1,0 +1,219 @@
+//! Ranking quality metrics.
+//!
+//! Precision/recall/F1 at N for held-out recovery, Breese's half-life
+//! utility (R-score) for position-sensitive credit, and coverage.
+
+use semrec_taxonomy::ProductId;
+
+/// Precision@N, recall@N and F1 of one recommendation list against a
+/// held-out relevant set.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrecisionRecall {
+    /// Fraction of recommended items that are relevant.
+    pub precision: f64,
+    /// Fraction of relevant items that were recommended.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of relevant items recovered.
+    pub hits: usize,
+}
+
+/// Computes precision/recall of `recommended` (already truncated to N)
+/// against `relevant` (must be sorted).
+pub fn precision_recall(recommended: &[ProductId], relevant: &[ProductId]) -> PrecisionRecall {
+    debug_assert!(relevant.windows(2).all(|w| w[0] <= w[1]), "relevant must be sorted");
+    if recommended.is_empty() || relevant.is_empty() {
+        return PrecisionRecall::default();
+    }
+    let hits = recommended
+        .iter()
+        .filter(|p| relevant.binary_search(p).is_ok())
+        .count();
+    let precision = hits as f64 / recommended.len() as f64;
+    let recall = hits as f64 / relevant.len() as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    PrecisionRecall { precision, recall, f1, hits }
+}
+
+/// Breese half-life utility: positional credit `Σ 2^(-(pos)/(α-1))` over hit
+/// positions, normalized by the maximum achievable credit.
+///
+/// `half_life` (α) is the rank at which an item has a 50% chance of being
+/// seen; Breese et al. use 5.
+pub fn breese_score(
+    recommended: &[ProductId],
+    relevant: &[ProductId],
+    half_life: f64,
+) -> f64 {
+    if recommended.is_empty() || relevant.is_empty() {
+        return 0.0;
+    }
+    let credit = |pos: usize| 0.5f64.powf(pos as f64 / (half_life - 1.0));
+    let gained: f64 = recommended
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| relevant.binary_search(p).is_ok())
+        .map(|(pos, _)| credit(pos))
+        .sum();
+    let max: f64 = (0..relevant.len().min(recommended.len())).map(credit).sum();
+    if max > 0.0 {
+        gained / max
+    } else {
+        0.0
+    }
+}
+
+/// Normalized discounted cumulative gain at the list's length: binary
+/// relevance, `log2` position discount, normalized by the ideal ordering.
+pub fn ndcg(recommended: &[ProductId], relevant: &[ProductId]) -> f64 {
+    if recommended.is_empty() || relevant.is_empty() {
+        return 0.0;
+    }
+    let discount = |pos: usize| 1.0 / ((pos + 2) as f64).log2();
+    let dcg: f64 = recommended
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| relevant.binary_search(p).is_ok())
+        .map(|(pos, _)| discount(pos))
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(recommended.len())).map(discount).sum();
+    if ideal > 0.0 {
+        dcg / ideal
+    } else {
+        0.0
+    }
+}
+
+/// Aggregated evaluation over many users.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AggregateMetrics {
+    /// Mean precision over evaluated users.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean F1.
+    pub f1: f64,
+    /// Mean Breese score (half-life 5).
+    pub breese: f64,
+    /// Mean nDCG.
+    pub ndcg: f64,
+    /// Fraction of users who received at least one recommendation.
+    pub coverage: f64,
+    /// Users evaluated.
+    pub users: usize,
+}
+
+/// Averages per-user metrics; `lists` pairs each user's recommendations with
+/// their (sorted) held-out relevant set.
+pub fn aggregate(lists: &[(Vec<ProductId>, Vec<ProductId>)]) -> AggregateMetrics {
+    if lists.is_empty() {
+        return AggregateMetrics::default();
+    }
+    let mut agg = AggregateMetrics { users: lists.len(), ..Default::default() };
+    for (recommended, relevant) in lists {
+        let pr = precision_recall(recommended, relevant);
+        agg.precision += pr.precision;
+        agg.recall += pr.recall;
+        agg.f1 += pr.f1;
+        agg.breese += breese_score(recommended, relevant, 5.0);
+        agg.ndcg += ndcg(recommended, relevant);
+        if !recommended.is_empty() {
+            agg.coverage += 1.0;
+        }
+    }
+    let n = lists.len() as f64;
+    agg.precision /= n;
+    agg.recall /= n;
+    agg.f1 /= n;
+    agg.breese /= n;
+    agg.ndcg /= n;
+    agg.coverage /= n;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProductId {
+        ProductId::from_index(i)
+    }
+
+    #[test]
+    fn perfect_list() {
+        let rec = vec![p(1), p(2), p(3)];
+        let rel = vec![p(1), p(2), p(3)];
+        let pr = precision_recall(&rec, &rel);
+        assert_eq!(pr.precision, 1.0);
+        assert_eq!(pr.recall, 1.0);
+        assert_eq!(pr.f1, 1.0);
+        assert_eq!(pr.hits, 3);
+        assert!((breese_score(&rec, &rel, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_list() {
+        let pr = precision_recall(&[p(1)], &[p(2)]);
+        assert_eq!(pr, PrecisionRecall::default());
+        assert_eq!(breese_score(&[p(1)], &[p(2)], 5.0), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // 2 of 4 recommended are relevant; 2 of 3 relevant recovered.
+        let rec = vec![p(1), p(9), p(2), p(8)];
+        let rel = vec![p(1), p(2), p(3)];
+        let pr = precision_recall(&rec, &rel);
+        assert_eq!(pr.precision, 0.5);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pr.hits, 2);
+        assert!(pr.f1 > 0.5 && pr.f1 < 0.67);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_hits_and_normalizes() {
+        let rel = vec![p(1), p(2)];
+        assert!((ndcg(&[p(1), p(2)], &rel) - 1.0).abs() < 1e-12);
+        let early = ndcg(&[p(1), p(9), p(8)], &rel);
+        let late = ndcg(&[p(9), p(8), p(1)], &rel);
+        assert!(early > late);
+        assert_eq!(ndcg(&[p(9)], &rel), 0.0);
+        assert_eq!(ndcg(&[], &rel), 0.0);
+        // A short perfect list is still perfect relative to its length.
+        assert!((ndcg(&[p(1)], &rel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breese_rewards_early_hits() {
+        let rel = vec![p(1)];
+        let early = breese_score(&[p(1), p(9), p(8)], &rel, 5.0);
+        let late = breese_score(&[p(9), p(8), p(1)], &rel, 5.0);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(precision_recall(&[], &[p(1)]), PrecisionRecall::default());
+        assert_eq!(precision_recall(&[p(1)], &[]), PrecisionRecall::default());
+        assert_eq!(aggregate(&[]), AggregateMetrics::default());
+    }
+
+    #[test]
+    fn aggregate_averages_and_coverage() {
+        let lists = vec![
+            (vec![p(1), p(2)], vec![p(1), p(2)]), // perfect
+            (vec![], vec![p(3)]),                 // no recommendations
+        ];
+        let agg = aggregate(&lists);
+        assert_eq!(agg.users, 2);
+        assert_eq!(agg.precision, 0.5);
+        assert_eq!(agg.recall, 0.5);
+        assert_eq!(agg.coverage, 0.5);
+    }
+}

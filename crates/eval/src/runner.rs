@@ -1,0 +1,71 @@
+//! The evaluation loop: run any recommender over a split, aggregate metrics.
+
+use semrec_core::Community;
+use semrec_taxonomy::ProductId;
+use semrec_trust::AgentId;
+
+use crate::metrics::{aggregate, AggregateMetrics};
+use crate::split::Split;
+
+/// Evaluates a recommender function over a split: for each held-out user,
+/// `recommend(train, user)` produces a top-N list which is scored against
+/// the user's hidden positives.
+pub fn evaluate<F>(split: &Split, mut recommend: F) -> AggregateMetrics
+where
+    F: FnMut(&Community, AgentId) -> Vec<ProductId>,
+{
+    let lists: Vec<(Vec<ProductId>, Vec<ProductId>)> = split
+        .held_out
+        .iter()
+        .map(|(agent, hidden)| (recommend(&split.train, *agent), hidden.clone()))
+        .collect();
+    aggregate(&lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::{leave_n_out, SplitConfig};
+    use semrec_taxonomy::fixtures::example1;
+
+    fn community() -> Community {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        for i in 0..4 {
+            let a = c.add_agent(format!("http://ex.org/u{i}")).unwrap();
+            for &p in &products {
+                c.set_rating(a, p, 1.0).unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn oracle_recommender_scores_perfectly() {
+        let c = community();
+        let split = leave_n_out(&c, &SplitConfig { hold_out: 2, min_remaining: 1, ..Default::default() });
+        assert!(!split.held_out.is_empty());
+        // Oracle: recommend everything the user has NOT rated in train.
+        let metrics = evaluate(&split, |train, agent| {
+            train
+                .catalog
+                .iter()
+                .filter(|&p| train.rating(agent, p).is_none())
+                .collect()
+        });
+        assert_eq!(metrics.recall, 1.0);
+        assert_eq!(metrics.precision, 1.0); // only the 2 hidden are unrated
+        assert_eq!(metrics.coverage, 1.0);
+    }
+
+    #[test]
+    fn empty_recommender_scores_zero() {
+        let c = community();
+        let split = leave_n_out(&c, &SplitConfig { hold_out: 1, min_remaining: 1, ..Default::default() });
+        let metrics = evaluate(&split, |_, _| Vec::new());
+        assert_eq!(metrics.recall, 0.0);
+        assert_eq!(metrics.coverage, 0.0);
+        assert_eq!(metrics.users, split.held_out.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Train/test splitting for offline evaluation.
+//!
+//! The standard protocol for implicit-rating recommenders: hide `n` positive
+//! ratings per eligible user (leave-n-out), train on the rest, and check how
+//! many hidden products the recommender recovers in its top-N list.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semrec_core::Community;
+use semrec_taxonomy::ProductId;
+use semrec_trust::AgentId;
+
+/// A leave-n-out split.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// The community with held-out ratings removed.
+    pub train: Community,
+    /// Held-out positive products per evaluated agent.
+    pub held_out: Vec<(AgentId, Vec<ProductId>)>,
+}
+
+/// Configuration of the split.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SplitConfig {
+    /// Positives to hide per user.
+    pub hold_out: usize,
+    /// Users must retain at least this many ratings after the split.
+    pub min_remaining: usize,
+    /// Cap on evaluated users (0 = all eligible).
+    pub max_users: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig { hold_out: 5, min_remaining: 2, max_users: 0, seed: 0 }
+    }
+}
+
+/// Builds a leave-n-out split of the community.
+///
+/// Only *positive* ratings are hidden (they are what recommendation recovery
+/// measures); users without enough positives are skipped.
+pub fn leave_n_out(community: &Community, config: &SplitConfig) -> Split {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut train = community.clone();
+    let mut held_out = Vec::new();
+
+    for agent in community.agents() {
+        if config.max_users > 0 && held_out.len() >= config.max_users {
+            break;
+        }
+        let positives: Vec<ProductId> = community
+            .ratings_of(agent)
+            .iter()
+            .filter(|&&(_, r)| r > 0.0)
+            .map(|&(p, _)| p)
+            .collect();
+        if positives.len() < config.hold_out + config.min_remaining {
+            continue;
+        }
+        // Sample hold_out distinct positives.
+        let mut pool = positives;
+        let mut hidden = Vec::with_capacity(config.hold_out);
+        for _ in 0..config.hold_out {
+            let idx = rng.random_range(0..pool.len());
+            hidden.push(pool.swap_remove(idx));
+        }
+        for &p in &hidden {
+            train.remove_rating(agent, p);
+        }
+        hidden.sort_unstable();
+        held_out.push((agent, hidden));
+    }
+    Split { train, held_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::fixtures::example1;
+
+    fn community(ratings_per_agent: usize) -> Community {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        for i in 0..6 {
+            let a = c.add_agent(format!("http://ex.org/u{i}")).unwrap();
+            for j in 0..ratings_per_agent {
+                c.set_rating(a, products[j % 4], 1.0).unwrap();
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn hides_exactly_n_positives() {
+        let c = community(4);
+        let split = leave_n_out(&c, &SplitConfig { hold_out: 2, min_remaining: 1, ..Default::default() });
+        assert_eq!(split.held_out.len(), 6);
+        for (agent, hidden) in &split.held_out {
+            assert_eq!(hidden.len(), 2);
+            for &p in hidden {
+                assert_eq!(split.train.rating(*agent, p), None);
+                assert!(c.rating(*agent, p).is_some());
+            }
+            assert_eq!(split.train.ratings_of(*agent).len(), 2);
+        }
+    }
+
+    #[test]
+    fn skips_users_with_too_few_positives() {
+        let c = community(2);
+        let split = leave_n_out(&c, &SplitConfig { hold_out: 2, min_remaining: 2, ..Default::default() });
+        assert!(split.held_out.is_empty());
+        // Nothing removed from train.
+        assert_eq!(split.train.rating_count(), c.rating_count());
+    }
+
+    #[test]
+    fn negative_ratings_are_never_hidden() {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let a = c.add_agent("http://ex.org/a").unwrap();
+        for &p in &products[..3] {
+            c.set_rating(a, p, 1.0).unwrap();
+        }
+        c.set_rating(a, products[3], -1.0).unwrap();
+        let split = leave_n_out(&c, &SplitConfig { hold_out: 1, min_remaining: 2, ..Default::default() });
+        assert_eq!(split.held_out.len(), 1);
+        assert_ne!(split.held_out[0].1[0], products[3]);
+        assert_eq!(split.train.rating(a, products[3]), Some(-1.0));
+    }
+
+    #[test]
+    fn deterministic_and_capped() {
+        let c = community(5);
+        let cfg = SplitConfig { hold_out: 2, min_remaining: 1, max_users: 3, seed: 9 };
+        let a = leave_n_out(&c, &cfg);
+        let b = leave_n_out(&c, &cfg);
+        assert_eq!(a.held_out, b.held_out);
+        assert_eq!(a.held_out.len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sample statistics for experiment reporting: means with confidence
+//! intervals, correlation, Welch's t, and text histograms.
+
+/// Mean, standard deviation and a 95% normal-approximation confidence
+/// half-width of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std_dev: f64,
+    /// 95% CI half-width (`1.96 · σ/√n`).
+    pub ci95: f64,
+}
+
+/// Summarizes a sample.
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary::default();
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Summary { n, mean, std_dev: 0.0, ci95: 0.0 };
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64;
+    let std_dev = var.sqrt();
+    Summary { n, mean, std_dev, ci95: 1.96 * std_dev / (n as f64).sqrt() }
+}
+
+/// Pearson correlation of two paired samples; `None` if undefined.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "paired samples must align");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some((cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Welch's t statistic for the difference of two sample means.
+///
+/// Values above ≈2 indicate a significant difference at the 5% level for
+/// reasonably sized samples. Returns 0 for degenerate inputs.
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    let sa = summarize(a);
+    let sb = summarize(b);
+    if sa.n < 2 || sb.n < 2 {
+        return 0.0;
+    }
+    let se = (sa.std_dev * sa.std_dev / sa.n as f64 + sb.std_dev * sb.std_dev / sb.n as f64)
+        .sqrt();
+    if se == 0.0 {
+        return 0.0;
+    }
+    (sa.mean - sb.mean) / se
+}
+
+/// A fixed-width text histogram of a sample over `bins` equal-width buckets.
+pub fn histogram(values: &[f64], bins: usize, width: usize) -> String {
+    if values.is_empty() || bins == 0 {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::EPSILON);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let mut idx = ((v - min) / span * bins as f64) as usize;
+        if idx >= bins {
+            idx = bins - 1;
+        }
+        counts[idx] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &count) in counts.iter().enumerate() {
+        let lo = min + span * i as f64 / bins as f64;
+        let hi = min + span * (i + 1) as f64 / bins as f64;
+        let bar = "#".repeat(count * width / peak);
+        out.push_str(&format!("[{lo:>9.3}, {hi:>9.3}) |{bar:<width$}| {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn degenerate_summaries() {
+        assert_eq!(summarize(&[]), Summary::default());
+        let one = summarize(&[3.0]);
+        assert_eq!(one.mean, 3.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((correlation(&xs, &[2.0, 4.0, 6.0, 8.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((correlation(&xs, &[8.0, 6.0, 4.0, 2.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&xs, &[5.0, 5.0, 5.0, 5.0]), None);
+        assert_eq!(correlation(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let a = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8];
+        let b = [5.0, 5.5, 4.5, 5.2, 4.8, 5.1];
+        assert!(welch_t(&a, &b) > 5.0);
+        assert!(welch_t(&b, &a) < -5.0);
+        assert!(welch_t(&a, &a).abs() < 1e-12);
+        assert_eq!(welch_t(&[1.0], &b), 0.0);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        let values = [1.0, 1.1, 1.2, 5.0, 9.0, 9.1, 9.2, 9.3];
+        let h = histogram(&values, 4, 20);
+        let lines: Vec<_> = h.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with("| 3"));
+        assert!(lines[3].ends_with("| 4"));
+        assert_eq!(histogram(&[], 4, 20), "");
+    }
+}

@@ -1,0 +1,112 @@
+//! Flat category-based profiles — the Sollenborn & Funk baseline (ref \[14\]).
+//!
+//! "Category-based collaborative filtering and related methods reduce
+//! dimensionality by generating vectors containing categories … However,
+//! the more fine-grained latter categories are defined, the less profile
+//! overlap we may expect. Furthermore, relationships and mutual impact
+//! between categories become lost."
+//!
+//! This baseline assigns each product's score only to its *descriptor
+//! topics themselves* — no upward propagation — so it keeps Eq. 3's
+//! normalization discipline but discards the taxonomy structure. E8/E10
+//! compare it against the taxonomy-based generator.
+
+use semrec_taxonomy::{Catalog, ProductId};
+
+use crate::generation::ProfileParams;
+use crate::vector::ProfileVector;
+
+/// Generates a flat category profile: descriptor topics only, no ancestors.
+pub fn generate_flat_profile(
+    catalog: &Catalog,
+    ratings: &[(ProductId, f64)],
+    params: &ProfileParams,
+) -> ProfileVector {
+    let liked: Vec<(ProductId, f64)> = ratings
+        .iter()
+        .copied()
+        .filter(|&(_, r)| r > params.min_rating)
+        .collect();
+    if liked.is_empty() {
+        return ProfileVector::new();
+    }
+    let weight_sum: f64 = if params.rating_weighted {
+        liked.iter().map(|&(_, r)| r).sum()
+    } else {
+        liked.len() as f64
+    };
+    let mut profile = ProfileVector::new();
+    for &(product, rating) in &liked {
+        let share = if params.rating_weighted { rating } else { 1.0 };
+        let allotment = params.total_score * share / weight_sum;
+        let descriptors = catalog.descriptors(product);
+        let per_descriptor = allotment / descriptors.len() as f64;
+        for &d in descriptors {
+            profile.add(d, per_descriptor);
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::generate_profile;
+    use semrec_taxonomy::fixtures::example1;
+
+    #[test]
+    fn flat_profile_mass_equals_s() {
+        let e = example1();
+        let ratings: Vec<_> = e.catalog.iter().map(|p| (p, 1.0)).collect();
+        let flat = generate_flat_profile(&e.catalog, &ratings, &ProfileParams::default());
+        assert!((flat.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_profiles_score_no_ancestors() {
+        let e = example1();
+        let ratings = vec![(e.matrix_analysis, 1.0)];
+        let flat = generate_flat_profile(&e.catalog, &ratings, &ProfileParams::default());
+        // Only the 5 descriptors themselves carry score.
+        assert_eq!(flat.support(), 5);
+        assert_eq!(flat.get(e.fig.science), 0.0);
+        assert_eq!(flat.get(semrec_taxonomy::TopicId::TOP), 0.0);
+        assert!((flat.get(e.fig.algebra) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taxonomy_profiles_overlap_where_flat_ones_do_not() {
+        // Two users reading sibling leaf topics: flat profiles are disjoint,
+        // taxonomy profiles share the whole ancestor chain — the paper's
+        // core argument for Eq. 3.
+        let e = example1();
+        let t = &e.fig.taxonomy;
+        let params = ProfileParams::default();
+
+        // One reads Algebra-only books (Matrix Analysis), the other Number
+        // Theory (Fermat's Enigma) — different leaves under Mathematics.
+        let ra = vec![(e.matrix_analysis, 1.0)];
+        let rb = vec![(e.fermats_enigma, 1.0)];
+
+        let flat_a = generate_flat_profile(&e.catalog, &ra, &params);
+        let flat_b = generate_flat_profile(&e.catalog, &rb, &params);
+        assert_eq!(flat_a.overlap(&flat_b), 0);
+
+        let tax_a = generate_profile(t, &e.catalog, &ra, &params);
+        let tax_b = generate_profile(t, &e.catalog, &rb, &params);
+        assert!(tax_a.overlap(&tax_b) >= 3, "shared ancestors must overlap");
+        let sim = crate::similarity::cosine(&tax_a, &tax_b).unwrap();
+        assert!(sim > 0.0);
+    }
+
+    #[test]
+    fn empty_when_nothing_liked() {
+        let e = example1();
+        let flat = generate_flat_profile(
+            &e.catalog,
+            &[(e.snow_crash, -1.0)],
+            &ProfileParams::default(),
+        );
+        assert!(flat.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Taxonomy-based interest profile generation (§3.3, Eq. 3, Example 1).
+//!
+//! Each product a user likes infers interest score for its topic descriptors
+//! `f(b)`, *and fractional interest for all super-topics*, with remote
+//! super-topics accorded less than near ones. Along the path
+//! `(p_0 = ⊤, …, p_q = d)` scores obey the sibling-discount recurrence
+//!
+//! ```text
+//! sco(p_m) = sco(p_{m+1}) / (sib(p_{m+1}) + 1)          (Eq. 3)
+//! ```
+//!
+//! and the whole profile is normalized so all topic score sums to a fixed
+//! value `s` — "high product ratings from agents with short product rating
+//! histories have higher impact … than product ratings from persons issuing
+//! rife ratings". `s` is divided evenly among all contributing products.
+//!
+//! Example 1 (reproduced in experiment E1 and the tests below): 4 books,
+//! `s = 1000`, *Matrix Analysis* with 5 descriptors → its Algebra descriptor
+//! is allotted `1000/(4·5) = 50`, which Eq. 3 spreads along
+//! Algebra → Pure → Mathematics → Science → Books as
+//! 29.09 / 14.55 / 4.85 / 1.21 / 0.30.
+
+use semrec_taxonomy::{Catalog, ProductId, Taxonomy, TopicId};
+
+use crate::vector::ProfileVector;
+
+/// Parameters of profile generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileParams {
+    /// The fixed total score `s` every profile is normalized to.
+    pub total_score: f64,
+    /// Minimum rating for a product to count as "liked" and contribute.
+    /// The paper's All Consuming data is implicit (mentions = likes), which
+    /// corresponds to ratings of 1.0 and a threshold of 0.
+    pub min_rating: f64,
+    /// Extension: weight each product's share of `s` by its rating value
+    /// instead of dividing evenly. Off by default (paper behaviour).
+    pub rating_weighted: bool,
+}
+
+impl Default for ProfileParams {
+    fn default() -> Self {
+        ProfileParams { total_score: 1000.0, min_rating: 0.0, rating_weighted: false }
+    }
+}
+
+/// Distributes `allotment` along one root path per Eq. 3 into `out`.
+///
+/// The leaf keeps the largest share κ and each ancestor level divides by
+/// `sib + 1`; κ is chosen so the path total equals the allotment.
+fn distribute_along_path(path: &[TopicId], taxonomy: &Taxonomy, allotment: f64, out: &mut ProfileVector) {
+    debug_assert!(!path.is_empty());
+    if path.len() == 1 {
+        // Descriptor is ⊤ itself.
+        out.add(path[0], allotment);
+        return;
+    }
+    // factor[m] relative to the leaf's κ: factor[q] = 1,
+    // factor[m] = factor[m+1] / (sib(p_{m+1}) + 1).
+    let q = path.len() - 1;
+    let mut factors = vec![0.0; path.len()];
+    factors[q] = 1.0;
+    for m in (0..q).rev() {
+        let child = path[m + 1];
+        let parent = path[m];
+        let sib = taxonomy.siblings_under(child, parent) as f64;
+        factors[m] = factors[m + 1] / (sib + 1.0);
+    }
+    let sum: f64 = factors.iter().sum();
+    let kappa = allotment / sum;
+    for (m, &topic) in path.iter().enumerate() {
+        out.add(topic, kappa * factors[m]);
+    }
+}
+
+/// Generates the taxonomy-based interest profile of a user from their
+/// rated products.
+///
+/// Products below `min_rating` are skipped; if nothing qualifies the profile
+/// is empty. The result always satisfies `profile.total() == total_score`
+/// (up to floating point) when non-empty.
+pub fn generate_profile(
+    taxonomy: &Taxonomy,
+    catalog: &Catalog,
+    ratings: &[(ProductId, f64)],
+    params: &ProfileParams,
+) -> ProfileVector {
+    let liked: Vec<(ProductId, f64)> = ratings
+        .iter()
+        .copied()
+        .filter(|&(_, r)| r > params.min_rating)
+        .collect();
+    if liked.is_empty() {
+        return ProfileVector::new();
+    }
+
+    let weight_sum: f64 = if params.rating_weighted {
+        liked.iter().map(|&(_, r)| r).sum()
+    } else {
+        liked.len() as f64
+    };
+
+    let mut profile = ProfileVector::new();
+    for &(product, rating) in &liked {
+        let share = if params.rating_weighted { rating } else { 1.0 };
+        let product_allotment = params.total_score * share / weight_sum;
+        let descriptors = catalog.descriptors(product);
+        let per_descriptor = product_allotment / descriptors.len() as f64;
+        for &descriptor in descriptors {
+            let paths = taxonomy.paths_from_top(descriptor);
+            let per_path = per_descriptor / paths.len() as f64;
+            for path in &paths {
+                distribute_along_path(path, taxonomy, per_path, &mut profile);
+            }
+        }
+    }
+    profile
+}
+
+/// The per-topic scores Eq. 3 accords to a single descriptor allotment,
+/// reported per path topic — the exact computation of Example 1.
+pub fn descriptor_scores(
+    taxonomy: &Taxonomy,
+    descriptor: TopicId,
+    allotment: f64,
+) -> Vec<(TopicId, f64)> {
+    let mut v = ProfileVector::new();
+    let paths = taxonomy.paths_from_top(descriptor);
+    let per_path = allotment / paths.len() as f64;
+    for path in &paths {
+        distribute_along_path(path, taxonomy, per_path, &mut v);
+    }
+    let mut out: Vec<_> = v.iter().collect();
+    // Deepest (most specific) topic first, mirroring Example 1's narration.
+    out.sort_by_key(|&(t, _)| std::cmp::Reverse(taxonomy.depth(t)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::fixtures::{example1, figure1};
+
+    #[test]
+    fn example_1_exact_scores() {
+        // "Suppose that s=1000 … the score assigned to descriptor Algebra
+        // amounts to s/(4·5)=50. … Score 29.087 becomes accorded to topic
+        // Algebra. Likewise, we get 14.543 for Pure, 4.848 for Mathematics,
+        // 1.212 for Science, and 0.303 for Books."
+        let f = figure1();
+        let scores = descriptor_scores(&f.taxonomy, f.algebra, 50.0);
+        let labels: Vec<(&str, f64)> =
+            scores.iter().map(|&(t, s)| (f.taxonomy.label(t), s)).collect();
+        assert_eq!(labels.len(), 5);
+        let expect = [
+            ("Algebra", 29.09),
+            ("Pure", 14.55),
+            ("Mathematics", 4.85),
+            ("Science", 1.21),
+            ("Books", 0.30),
+        ];
+        for ((label, score), (want_label, want)) in labels.iter().zip(expect) {
+            assert_eq!(*label, want_label);
+            // The paper prints 29.087/14.543/4.848/1.212/0.303 — identical up
+            // to its own rounding of κ (±0.004).
+            assert!(
+                (score - want).abs() < 0.01,
+                "{label}: got {score}, expected ≈{want}"
+            );
+        }
+        // The path total is exactly the descriptor's allotment.
+        let sum: f64 = scores.iter().map(|&(_, s)| s).sum();
+        assert!((sum - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_analysis_allotment_is_fifty() {
+        // 4 books, 5 descriptors on Matrix Analysis → 1000/(4·5) = 50.
+        let e = example1();
+        let ratings: Vec<(ProductId, f64)> =
+            e.catalog.iter().map(|p| (p, 1.0)).collect();
+        assert_eq!(ratings.len(), 4);
+        let params = ProfileParams::default();
+        let n_desc = e.catalog.descriptors(e.matrix_analysis).len() as f64;
+        let allotment = params.total_score / (4.0 * n_desc);
+        assert_eq!(allotment, 50.0);
+    }
+
+    #[test]
+    fn profile_mass_equals_s() {
+        let e = example1();
+        let ratings: Vec<(ProductId, f64)> = e.catalog.iter().map(|p| (p, 1.0)).collect();
+        let profile =
+            generate_profile(&e.fig.taxonomy, &e.catalog, &ratings, &ProfileParams::default());
+        assert!((profile.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn example1_full_profile_scores_algebra_as_reported() {
+        let e = example1();
+        let ratings: Vec<(ProductId, f64)> = e.catalog.iter().map(|p| (p, 1.0)).collect();
+        let profile =
+            generate_profile(&e.fig.taxonomy, &e.catalog, &ratings, &ProfileParams::default());
+        // Algebra receives score only from the Algebra descriptor of
+        // Matrix Analysis: ≈29.09.
+        assert!((profile.get(e.fig.algebra) - 29.0909).abs() < 0.01);
+        // Books (⊤) accumulates the top-level residue from all 4 books.
+        assert!(profile.get(semrec_taxonomy::TopicId::TOP) > 0.0);
+    }
+
+    #[test]
+    fn disliked_products_do_not_contribute() {
+        let e = example1();
+        let ratings = vec![(e.matrix_analysis, 1.0), (e.snow_crash, -0.8)];
+        let profile =
+            generate_profile(&e.fig.taxonomy, &e.catalog, &ratings, &ProfileParams::default());
+        assert_eq!(profile.get(e.fig.cyberpunk), 0.0);
+        assert!((profile.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_ratings_yield_empty_profile() {
+        let e = example1();
+        let profile =
+            generate_profile(&e.fig.taxonomy, &e.catalog, &[], &ProfileParams::default());
+        assert!(profile.is_empty());
+        let all_disliked = vec![(e.snow_crash, -1.0)];
+        let profile = generate_profile(
+            &e.fig.taxonomy,
+            &e.catalog,
+            &all_disliked,
+            &ProfileParams::default(),
+        );
+        assert!(profile.is_empty());
+    }
+
+    #[test]
+    fn fewer_ratings_mean_higher_per_product_impact() {
+        // "high product ratings from agents with short product rating
+        // histories have higher impact on profile generation".
+        let e = example1();
+        let one = generate_profile(
+            &e.fig.taxonomy,
+            &e.catalog,
+            &[(e.snow_crash, 1.0)],
+            &ProfileParams::default(),
+        );
+        let two = generate_profile(
+            &e.fig.taxonomy,
+            &e.catalog,
+            &[(e.snow_crash, 1.0), (e.matrix_analysis, 1.0)],
+            &ProfileParams::default(),
+        );
+        assert!(one.get(e.fig.cyberpunk) > two.get(e.fig.cyberpunk));
+        assert!((one.total() - two.total()).abs() < 1e-6); // both normalized to s
+    }
+
+    #[test]
+    fn rating_weighted_variant_shifts_mass() {
+        let e = example1();
+        let ratings = vec![(e.snow_crash, 1.0), (e.matrix_analysis, 0.25)];
+        let even = generate_profile(
+            &e.fig.taxonomy,
+            &e.catalog,
+            &ratings,
+            &ProfileParams::default(),
+        );
+        let weighted = generate_profile(
+            &e.fig.taxonomy,
+            &e.catalog,
+            &ratings,
+            &ProfileParams { rating_weighted: true, ..Default::default() },
+        );
+        assert!(weighted.get(e.fig.cyberpunk) > even.get(e.fig.cyberpunk));
+        assert!((weighted.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_descriptor_takes_whole_allotment() {
+        let f = figure1();
+        let scores = descriptor_scores(&f.taxonomy, semrec_taxonomy::TopicId::TOP, 10.0);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores[0].1, 10.0);
+    }
+
+    #[test]
+    fn sibling_free_chain_splits_half_per_level() {
+        // Top → A → B with no siblings anywhere: sib+1 = 1 at every level, so
+        // every topic on the path receives the same score.
+        let mut b = semrec_taxonomy::Taxonomy::builder("Top");
+        let a = b.add_topic("A", semrec_taxonomy::TopicId::TOP).unwrap();
+        let bb = b.add_topic("B", a).unwrap();
+        let t = b.build();
+        let scores = descriptor_scores(&t, bb, 30.0);
+        for &(_, s) in &scores {
+            assert!((s - 10.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # semrec-profiles — taxonomy-driven interest profiles and similarity
+//!
+//! The second pillar of the paper (§3.3): overcoming low profile overlap by
+//! *taxonomy-based profile generation*. Rated products push interest score
+//! onto their topic descriptors and — discounted per Eq. 3 — onto every
+//! super-topic, so "one may establish high user similarity for users which
+//! have not even rated one single product in common".
+//!
+//! * [`vector`] — sparse topic score vectors;
+//! * [`generation`] — Eq. 3 profile generation (reproduces Example 1);
+//! * [`similarity`] — Pearson and cosine over profile vectors;
+//! * [`flat`] — the category-based CF baseline (ref \[14\], no propagation);
+//! * [`productvec`] — the plain product-vector CF baseline (§2's strawman);
+//! * [`stereotypes`] — §6's automated stereotype generation (spherical
+//!   k-means over profiles).
+//!
+//! ```
+//! use semrec_profiles::{generation::{generate_profile, ProfileParams}, similarity};
+//! use semrec_taxonomy::fixtures::example1;
+//!
+//! let e = example1();
+//! let ratings = vec![(e.matrix_analysis, 1.0), (e.fermats_enigma, 1.0)];
+//! let profile = generate_profile(&e.fig.taxonomy, &e.catalog, &ratings,
+//!                                &ProfileParams::default());
+//! assert!((profile.total() - 1000.0).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod generation;
+pub mod productvec;
+pub mod similarity;
+pub mod stereotypes;
+pub mod vector;
+
+pub use generation::{generate_profile, ProfileParams};
+pub use productvec::ProductVector;
+pub use vector::ProfileVector;

@@ -1,0 +1,178 @@
+//! Plain product-rating vector profiles — the classic CF baseline (§2).
+//!
+//! "Interest profiles are generally represented by vectors indicating the
+//! user's opinion for every product." The paper's *low profile overlap*
+//! research issue is exactly this representation's failure mode: in a large
+//! catalog two users have likely rated no products in common, so Pearson
+//! over co-rated items is undefined. Experiments E5/E8 quantify that against
+//! the taxonomy-based representation.
+
+use semrec_taxonomy::ProductId;
+
+/// A sparse product-rating vector, sorted by product id.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProductVector {
+    entries: Vec<(ProductId, f64)>,
+}
+
+impl ProductVector {
+    /// Builds from `(product, rating)` pairs; later duplicates overwrite.
+    pub fn from_ratings(ratings: &[(ProductId, f64)]) -> Self {
+        let mut entries: Vec<(ProductId, f64)> = ratings.to_vec();
+        entries.sort_by_key(|&(p, _)| p);
+        entries.dedup_by_key(|&mut (p, _)| p);
+        ProductVector { entries }
+    }
+
+    /// Number of rated products.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no products are rated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The rating for a product, or `None` for `⊥`.
+    pub fn get(&self, product: ProductId) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&product, |&(p, _)| p)
+            .ok()
+            .map(|pos| self.entries[pos].1)
+    }
+
+    /// Iterates `(product, rating)` pairs in product order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProductId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Products rated by both users, with both ratings.
+    pub fn co_rated(&self, other: &ProductVector) -> Vec<(ProductId, f64, f64)> {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.entries.len() && j < other.entries.len() {
+            let (pa, ra) = self.entries[i];
+            let (pb, rb) = other.entries[j];
+            if pa == pb {
+                out.push((pa, ra, rb));
+                i += 1;
+                j += 1;
+            } else if pa < pb {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Classic CF Pearson correlation over co-rated products only.
+    ///
+    /// `None` when fewer than 2 co-rated products exist or a side has zero
+    /// variance — the overlap failure the paper's §2 describes.
+    pub fn pearson(&self, other: &ProductVector) -> Option<f64> {
+        let co = self.co_rated(other);
+        let n = co.len();
+        if n < 2 {
+            return None;
+        }
+        let mean_a: f64 = co.iter().map(|&(_, a, _)| a).sum::<f64>() / n as f64;
+        let mean_b: f64 = co.iter().map(|&(_, _, b)| b).sum::<f64>() / n as f64;
+        let mut cov = 0.0;
+        let mut var_a = 0.0;
+        let mut var_b = 0.0;
+        for &(_, a, b) in &co {
+            cov += (a - mean_a) * (b - mean_b);
+            var_a += (a - mean_a) * (a - mean_a);
+            var_b += (b - mean_b) * (b - mean_b);
+        }
+        if var_a == 0.0 || var_b == 0.0 {
+            return None;
+        }
+        Some((cov / (var_a.sqrt() * var_b.sqrt())).clamp(-1.0, 1.0))
+    }
+
+    /// Cosine similarity over the full rating vectors; `None` on zero norms.
+    pub fn cosine(&self, other: &ProductVector) -> Option<f64> {
+        let na: f64 = self.entries.iter().map(|&(_, r)| r * r).sum::<f64>().sqrt();
+        let nb: f64 = other.entries.iter().map(|&(_, r)| r * r).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return None;
+        }
+        let dot: f64 = self.co_rated(other).iter().map(|&(_, a, b)| a * b).sum();
+        Some((dot / (na * nb)).clamp(-1.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProductId {
+        ProductId::from_index(i)
+    }
+
+    fn v(pairs: &[(usize, f64)]) -> ProductVector {
+        let ratings: Vec<_> = pairs.iter().map(|&(i, r)| (p(i), r)).collect();
+        ProductVector::from_ratings(&ratings)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let a = v(&[(3, 1.0), (1, -0.5)]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(p(1)), Some(-0.5));
+        assert_eq!(a.get(p(2)), None);
+    }
+
+    #[test]
+    fn co_rated_intersection() {
+        let a = v(&[(1, 1.0), (2, 0.5), (4, -1.0)]);
+        let b = v(&[(2, 1.0), (3, 0.5), (4, 1.0)]);
+        let co = a.co_rated(&b);
+        assert_eq!(co.len(), 2);
+        assert_eq!(co[0], (p(2), 0.5, 1.0));
+        assert_eq!(co[1], (p(4), -1.0, 1.0));
+    }
+
+    #[test]
+    fn pearson_requires_overlap() {
+        let a = v(&[(1, 1.0), (2, 0.5)]);
+        let b = v(&[(3, 1.0), (4, 0.5)]);
+        assert_eq!(a.pearson(&b), None); // no co-rated products: ⊥
+        let c = v(&[(1, 1.0), (3, 0.5)]);
+        assert_eq!(a.pearson(&c), None); // one co-rated product: still ⊥
+    }
+
+    #[test]
+    fn pearson_perfect_agreement() {
+        let a = v(&[(1, 1.0), (2, 0.5), (3, -1.0)]);
+        let b = v(&[(1, 0.8), (2, 0.3), (3, -1.0)]);
+        let r = a.pearson(&b).unwrap();
+        assert!(r > 0.9, "got {r}");
+        let anti = v(&[(1, -1.0), (2, -0.5), (3, 1.0)]);
+        assert!(a.pearson(&anti).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_undefined() {
+        let a = v(&[(1, 0.5), (2, 0.5)]);
+        let b = v(&[(1, 1.0), (2, 0.0)]);
+        assert_eq!(a.pearson(&b), None);
+    }
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let a = v(&[(1, 1.0), (2, 0.5)]);
+        assert!((a.cosine(&a).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(a.cosine(&ProductVector::default()), None);
+    }
+
+    #[test]
+    fn duplicate_ratings_keep_first() {
+        let ratings = vec![(p(1), 0.5), (p(1), 0.9)];
+        let a = ProductVector::from_ratings(&ratings);
+        assert_eq!(a.len(), 1);
+    }
+}

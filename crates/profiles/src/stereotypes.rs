@@ -1,0 +1,289 @@
+//! Automated stereotype generation (§6 future work): "we are currently
+//! investigating applicability of taxonomy-based profile generation for
+//! automated stereotype generation and efficient behavior modelling."
+//!
+//! Taxonomy profiles live in one shared topic space, so user populations
+//! cluster naturally: a *stereotype* is the normalized mean profile of a
+//! cluster. Clustering is spherical k-means (cosine distance) with
+//! deterministic farthest-point seeding — no RNG, same input → same model.
+//! Stereotypes compress a community's behavior (ref \[14\]'s motivation) and
+//! give cold-start users a usable surrogate profile.
+
+use crate::similarity;
+use crate::vector::ProfileVector;
+
+/// A fitted stereotype model.
+#[derive(Clone, Debug)]
+pub struct StereotypeModel {
+    /// Cluster centroids (unit-normalized mean profiles).
+    pub centroids: Vec<ProfileVector>,
+    /// Per input profile: its cluster index, or `None` for empty profiles.
+    pub assignment: Vec<Option<usize>>,
+    /// Iterations until the assignment stabilized.
+    pub iterations: usize,
+}
+
+impl StereotypeModel {
+    /// Members of one cluster (indexes into the input profile slice).
+    pub fn members(&self, cluster: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c == Some(cluster)).then_some(i))
+            .collect()
+    }
+
+    /// Number of stereotypes.
+    pub fn len(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// True if the model has no stereotypes.
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Assigns an unseen profile to its best stereotype (highest cosine);
+    /// `None` for empty profiles.
+    pub fn assign(&self, profile: &ProfileVector) -> Option<usize> {
+        best_cluster(&self.centroids, profile)
+    }
+}
+
+fn best_cluster(centroids: &[ProfileVector], profile: &ProfileVector) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, centroid) in centroids.iter().enumerate() {
+        if let Some(sim) = similarity::cosine(centroid, profile) {
+            if best.is_none_or(|(_, b)| sim > b) {
+                best = Some((i, sim));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Normalized mean of the given member profiles.
+fn centroid_of(profiles: &[ProfileVector], members: &[usize]) -> ProfileVector {
+    let mut sum = ProfileVector::new();
+    for &m in members {
+        // Normalize members so prolific raters don't dominate the centroid.
+        let norm = profiles[m].norm();
+        if norm > 0.0 {
+            sum.add_scaled(&profiles[m], 1.0 / norm);
+        }
+    }
+    let norm = sum.norm();
+    if norm > 0.0 {
+        sum.scale(1.0 / norm);
+    }
+    sum
+}
+
+/// Fits `k` stereotypes to the given profiles with spherical k-means.
+///
+/// Deterministic: the first non-empty profile seeds cluster 0 and each next
+/// seed is the profile farthest (lowest max-cosine) from existing seeds.
+pub fn cluster(profiles: &[ProfileVector], k: usize, max_iterations: usize) -> StereotypeModel {
+    let non_empty: Vec<usize> =
+        (0..profiles.len()).filter(|&i| !profiles[i].is_empty()).collect();
+    let k = k.min(non_empty.len()).max(usize::from(!non_empty.is_empty()));
+    if non_empty.is_empty() || k == 0 {
+        return StereotypeModel {
+            centroids: Vec::new(),
+            assignment: vec![None; profiles.len()],
+            iterations: 0,
+        };
+    }
+
+    // Farthest-point seeding.
+    let mut seeds = vec![non_empty[0]];
+    while seeds.len() < k {
+        let mut farthest = (non_empty[0], f64::INFINITY);
+        for &candidate in &non_empty {
+            if seeds.contains(&candidate) {
+                continue;
+            }
+            let closest = seeds
+                .iter()
+                .filter_map(|&s| similarity::cosine(&profiles[s], &profiles[candidate]))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if closest < farthest.1 {
+                farthest = (candidate, closest);
+            }
+        }
+        if seeds.contains(&farthest.0) {
+            break; // ran out of distinct profiles
+        }
+        seeds.push(farthest.0);
+    }
+    let mut centroids: Vec<ProfileVector> = seeds
+        .iter()
+        .map(|&s| {
+            let mut c = profiles[s].clone();
+            let n = c.norm();
+            if n > 0.0 {
+                c.scale(1.0 / n);
+            }
+            c
+        })
+        .collect();
+
+    let mut assignment: Vec<Option<usize>> = vec![None; profiles.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        let mut changed = false;
+        for &i in &non_empty {
+            let new = best_cluster(&centroids, &profiles[i]);
+            if new != assignment[i] {
+                assignment[i] = new;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<usize> = non_empty
+                .iter()
+                .copied()
+                .filter(|&i| assignment[i] == Some(c))
+                .collect();
+            if !members.is_empty() {
+                *centroid = centroid_of(profiles, &members);
+            }
+        }
+    }
+
+    StereotypeModel { centroids, assignment, iterations }
+}
+
+/// Mean intra-cluster vs inter-cluster cosine — the clustering quality
+/// diagnostic E13 reports. Returns `(intra, inter)`.
+pub fn separation(profiles: &[ProfileVector], model: &StereotypeModel) -> (f64, f64) {
+    let mut intra = (0.0, 0usize);
+    let mut inter = (0.0, 0usize);
+    for i in 0..profiles.len() {
+        let Some(ci) = model.assignment[i] else { continue };
+        for j in (i + 1)..profiles.len() {
+            let Some(cj) = model.assignment[j] else { continue };
+            let Some(sim) = similarity::cosine(&profiles[i], &profiles[j]) else { continue };
+            if ci == cj {
+                intra.0 += sim;
+                intra.1 += 1;
+            } else {
+                inter.0 += sim;
+                inter.1 += 1;
+            }
+        }
+    }
+    (
+        if intra.1 > 0 { intra.0 / intra.1 as f64 } else { 0.0 },
+        if inter.1 > 0 { inter.0 / inter.1 as f64 } else { 0.0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_taxonomy::TopicId;
+
+    fn t(i: usize) -> TopicId {
+        TopicId::from_index(i)
+    }
+
+    /// Two obvious groups: topics {1,2,3} vs topics {10,11,12}.
+    fn two_groups() -> Vec<ProfileVector> {
+        let mut profiles = Vec::new();
+        for offset in [0usize, 1, 2] {
+            profiles.push(ProfileVector::from_pairs([
+                (t(1), 5.0 + offset as f64),
+                (t(2), 3.0),
+                (t(3), 1.0),
+            ]));
+        }
+        for offset in [0usize, 1, 2] {
+            profiles.push(ProfileVector::from_pairs([
+                (t(10), 4.0),
+                (t(11), 2.0 + offset as f64),
+                (t(12), 1.0),
+            ]));
+        }
+        profiles
+    }
+
+    #[test]
+    fn recovers_obvious_clusters() {
+        let profiles = two_groups();
+        let model = cluster(&profiles, 2, 50);
+        assert_eq!(model.len(), 2);
+        let a = model.assignment[0].unwrap();
+        let b = model.assignment[3].unwrap();
+        assert_ne!(a, b, "the two groups must separate");
+        assert_eq!(model.assignment[1], Some(a));
+        assert_eq!(model.assignment[2], Some(a));
+        assert_eq!(model.assignment[4], Some(b));
+        assert_eq!(model.assignment[5], Some(b));
+    }
+
+    #[test]
+    fn separation_is_clean_on_disjoint_groups() {
+        let profiles = two_groups();
+        let model = cluster(&profiles, 2, 50);
+        let (intra, inter) = separation(&profiles, &model);
+        assert!(intra > 0.9, "intra {intra}");
+        assert!(inter < 0.1, "inter {inter}");
+    }
+
+    #[test]
+    fn assigns_unseen_profiles() {
+        let profiles = two_groups();
+        let model = cluster(&profiles, 2, 50);
+        let newcomer = ProfileVector::from_pairs([(t(10), 1.0), (t(12), 0.5)]);
+        assert_eq!(model.assign(&newcomer), model.assignment[3]);
+        assert_eq!(model.assign(&ProfileVector::new()), None);
+    }
+
+    #[test]
+    fn empty_profiles_stay_unassigned() {
+        let mut profiles = two_groups();
+        profiles.push(ProfileVector::new());
+        let model = cluster(&profiles, 2, 50);
+        assert_eq!(model.assignment[6], None);
+        assert_eq!(model.members(0).len() + model.members(1).len(), 6);
+    }
+
+    #[test]
+    fn k_larger_than_population_shrinks() {
+        let profiles = two_groups();
+        let model = cluster(&profiles, 100, 10);
+        assert!(model.len() <= 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let profiles = two_groups();
+        let a = cluster(&profiles, 3, 50);
+        let b = cluster(&profiles, 3, 50);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let model = cluster(&[], 4, 10);
+        assert!(model.is_empty());
+        let empties = vec![ProfileVector::new(), ProfileVector::new()];
+        let model = cluster(&empties, 2, 10);
+        assert!(model.is_empty());
+        assert_eq!(model.assignment, vec![None, None]);
+    }
+
+    #[test]
+    fn centroids_are_unit_norm() {
+        let profiles = two_groups();
+        let model = cluster(&profiles, 2, 50);
+        for c in &model.centroids {
+            assert!((c.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Sparse score vectors over taxonomy topics.
+//!
+//! Interest profiles map category score vectors from the taxonomy `C`
+//! "instead of plain product-rating vectors" (§3.3). Profiles are sparse —
+//! a user's score mass concentrates in a few branches — so they are stored
+//! as sorted `(topic, score)` pairs with merge-based vector operations.
+
+use semrec_taxonomy::TopicId;
+
+/// A sparse vector of topic scores, sorted by topic id.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileVector {
+    entries: Vec<(TopicId, f64)>,
+}
+
+impl ProfileVector {
+    /// Creates an empty (all-zero) vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vector from unsorted `(topic, score)` pairs, summing duplicates
+    /// and dropping zeros.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (TopicId, f64)>) -> Self {
+        let mut entries: Vec<(TopicId, f64)> = pairs.into_iter().collect();
+        entries.sort_by_key(|&(t, _)| t);
+        let mut merged: Vec<(TopicId, f64)> = Vec::with_capacity(entries.len());
+        for (t, s) in entries {
+            match merged.last_mut() {
+                Some((last, acc)) if *last == t => *acc += s,
+                _ => merged.push((t, s)),
+            }
+        }
+        merged.retain(|&(_, s)| s != 0.0);
+        ProfileVector { entries: merged }
+    }
+
+    /// Number of topics with non-zero score.
+    pub fn support(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if all scores are zero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The score of a topic (0 when absent).
+    pub fn get(&self, topic: TopicId) -> f64 {
+        self.entries
+            .binary_search_by_key(&topic, |&(t, _)| t)
+            .map_or(0.0, |pos| self.entries[pos].1)
+    }
+
+    /// Adds `score` to a topic.
+    pub fn add(&mut self, topic: TopicId, score: f64) {
+        if score == 0.0 {
+            return;
+        }
+        match self.entries.binary_search_by_key(&topic, |&(t, _)| t) {
+            Ok(pos) => {
+                self.entries[pos].1 += score;
+                if self.entries[pos].1 == 0.0 {
+                    self.entries.remove(pos);
+                }
+            }
+            Err(pos) => self.entries.insert(pos, (topic, score)),
+        }
+    }
+
+    /// Adds `other * factor` into `self` (merge-based, O(n + m)).
+    pub fn add_scaled(&mut self, other: &ProfileVector, factor: f64) {
+        if factor == 0.0 || other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ta, sa)), Some(&(tb, sb))) => {
+                    if ta == tb {
+                        let v = sa + sb * factor;
+                        if v != 0.0 {
+                            merged.push((ta, v));
+                        }
+                        i += 1;
+                        j += 1;
+                    } else if ta < tb {
+                        merged.push((ta, sa));
+                        i += 1;
+                    } else {
+                        merged.push((tb, sb * factor));
+                        j += 1;
+                    }
+                }
+                (Some(&(ta, sa)), None) => {
+                    merged.push((ta, sa));
+                    i += 1;
+                }
+                (None, Some(&(tb, sb))) => {
+                    merged.push((tb, sb * factor));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Multiplies every score by a factor.
+    pub fn scale(&mut self, factor: f64) {
+        if factor == 0.0 {
+            self.entries.clear();
+            return;
+        }
+        for (_, s) in &mut self.entries {
+            *s *= factor;
+        }
+    }
+
+    /// Total score mass `Σ_k score(d_k)`.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, s)| s).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, s)| s * s).sum::<f64>().sqrt()
+    }
+
+    /// Dot product (merge-based).
+    pub fn dot(&self, other: &ProfileVector) -> f64 {
+        let (mut i, mut j) = (0, 0);
+        let mut sum = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (ta, sa) = self.entries[i];
+            let (tb, sb) = other.entries[j];
+            if ta == tb {
+                sum += sa * sb;
+                i += 1;
+                j += 1;
+            } else if ta < tb {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        sum
+    }
+
+    /// Number of topics present in both vectors.
+    pub fn overlap(&self, other: &ProfileVector) -> usize {
+        let (mut i, mut j) = (0, 0);
+        let mut count = 0;
+        while i < self.entries.len() && j < other.entries.len() {
+            let ta = self.entries[i].0;
+            let tb = other.entries[j].0;
+            if ta == tb {
+                count += 1;
+                i += 1;
+                j += 1;
+            } else if ta < tb {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        count
+    }
+
+    /// Iterates `(topic, score)` pairs in topic order.
+    pub fn iter(&self) -> impl Iterator<Item = (TopicId, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The highest-scored topics, descending.
+    pub fn top_topics(&self, k: usize) -> Vec<(TopicId, f64)> {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        sorted.truncate(k);
+        sorted
+    }
+}
+
+impl FromIterator<(TopicId, f64)> for ProfileVector {
+    fn from_iter<I: IntoIterator<Item = (TopicId, f64)>>(iter: I) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> TopicId {
+        TopicId::from_index(i)
+    }
+
+    #[test]
+    fn from_pairs_merges_and_sorts() {
+        let v = ProfileVector::from_pairs([(t(3), 1.0), (t(1), 2.0), (t(3), 0.5), (t(2), 0.0)]);
+        assert_eq!(v.support(), 2);
+        assert_eq!(v.get(t(1)), 2.0);
+        assert_eq!(v.get(t(3)), 1.5);
+        assert_eq!(v.get(t(2)), 0.0);
+        let topics: Vec<_> = v.iter().map(|(t, _)| t).collect();
+        assert_eq!(topics, vec![t(1), t(3)]);
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let mut v = ProfileVector::new();
+        v.add(t(5), 2.0);
+        v.add(t(5), -2.0);
+        assert!(v.is_empty());
+        v.add(t(5), 0.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn add_scaled_merges_disjoint_and_shared() {
+        let mut a = ProfileVector::from_pairs([(t(1), 1.0), (t(3), 2.0)]);
+        let b = ProfileVector::from_pairs([(t(2), 4.0), (t(3), 1.0)]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.get(t(1)), 1.0);
+        assert_eq!(a.get(t(2)), 2.0);
+        assert_eq!(a.get(t(3)), 2.5);
+        assert_eq!(a.support(), 3);
+    }
+
+    #[test]
+    fn totals_and_norms() {
+        let v = ProfileVector::from_pairs([(t(0), 3.0), (t(1), 4.0)]);
+        assert_eq!(v.total(), 7.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(ProfileVector::new().norm(), 0.0);
+    }
+
+    #[test]
+    fn dot_and_overlap() {
+        let a = ProfileVector::from_pairs([(t(1), 1.0), (t(2), 2.0), (t(4), 3.0)]);
+        let b = ProfileVector::from_pairs([(t(2), 5.0), (t(3), 7.0), (t(4), 1.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 5.0 + 3.0 * 1.0);
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(a.dot(&ProfileVector::new()), 0.0);
+    }
+
+    #[test]
+    fn scale() {
+        let mut v = ProfileVector::from_pairs([(t(1), 2.0)]);
+        v.scale(2.5);
+        assert_eq!(v.get(t(1)), 5.0);
+        v.scale(0.0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn top_topics_sorted_desc() {
+        let v = ProfileVector::from_pairs([(t(1), 1.0), (t(2), 9.0), (t(3), 5.0)]);
+        let top = v.top_topics(2);
+        assert_eq!(top, vec![(t(2), 9.0), (t(3), 5.0)]);
+        assert_eq!(v.top_topics(10).len(), 3);
+    }
+}

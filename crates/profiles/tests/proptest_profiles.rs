@@ -1,0 +1,148 @@
+//! Property tests: Eq. 3 conservation, similarity bounds, and vector algebra
+//! over randomly grown taxonomies, catalogs and rating histories.
+
+use proptest::prelude::*;
+use semrec_profiles::generation::{descriptor_scores, generate_profile, ProfileParams};
+use semrec_profiles::{similarity, ProductVector, ProfileVector};
+use semrec_taxonomy::{Catalog, ProductId, Taxonomy, TopicId};
+
+/// Random tree taxonomy plus catalog with 1–4 descriptors per product.
+fn world(
+    parents: &[usize],
+    products: &[(usize, usize)],
+) -> (Taxonomy, Catalog) {
+    let mut b = Taxonomy::builder("Top");
+    let mut topics = vec![TopicId::TOP];
+    for (i, &p) in parents.iter().enumerate() {
+        let id = b.add_topic(format!("t{i}"), topics[p % topics.len()]).unwrap();
+        topics.push(id);
+    }
+    let t = b.build();
+    let mut c = Catalog::new();
+    for (i, &(d0, extra)) in products.iter().enumerate() {
+        let mut descriptors = vec![topics[d0 % topics.len()]];
+        for k in 0..(extra % 3) {
+            descriptors.push(topics[(d0 + k + 1) % topics.len()]);
+        }
+        c.add_product(&t, format!("urn:isbn:{i:010}"), format!("Book {i}"), descriptors)
+            .unwrap();
+    }
+    (t, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profile_mass_is_conserved(
+        parents in prop::collection::vec(0usize..50, 1..40),
+        products in prop::collection::vec((0usize..50, 0usize..5), 1..20),
+        likes in prop::collection::vec((0usize..20, 0.01f64..1.0), 1..15),
+    ) {
+        let (t, c) = world(&parents, &products);
+        let ratings: Vec<(ProductId, f64)> = likes
+            .iter()
+            .map(|&(p, r)| (ProductId::from_index(p % c.len()), r))
+            .collect();
+        for rating_weighted in [false, true] {
+            let params = ProfileParams { rating_weighted, ..Default::default() };
+            let profile = generate_profile(&t, &c, &ratings, &params);
+            prop_assert!((profile.total() - params.total_score).abs() < 1e-6,
+                "mass {} != s", profile.total());
+            for (_, s) in profile.iter() {
+                prop_assert!(s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_scores_sum_to_allotment(
+        parents in prop::collection::vec(0usize..50, 1..40),
+        topic in 0usize..40,
+        allotment in 0.1f64..500.0,
+    ) {
+        let (t, _) = world(&parents, &[(0, 0)]);
+        let id = TopicId::from_index(topic % t.len());
+        let scores = descriptor_scores(&t, id, allotment);
+        let sum: f64 = scores.iter().map(|&(_, s)| s).sum();
+        prop_assert!((sum - allotment).abs() < 1e-9);
+        // The descriptor itself always gets the largest share on a tree.
+        let own = scores.iter().find(|&&(d, _)| d == id).unwrap().1;
+        for &(_, s) in &scores {
+            prop_assert!(own >= s - 1e-12);
+        }
+    }
+
+    #[test]
+    fn ancestors_receive_less_than_descendants_on_paths(
+        parents in prop::collection::vec(0usize..50, 2..40),
+        topic in 0usize..40,
+    ) {
+        let (t, _) = world(&parents, &[(0, 0)]);
+        let id = TopicId::from_index(topic % t.len());
+        let scores = descriptor_scores(&t, id, 100.0);
+        // Along the (single) root path, scores are non-increasing upward.
+        let path = &t.paths_from_top(id)[0];
+        let by_topic = |want: TopicId| scores.iter().find(|&&(d, _)| d == want).unwrap().1;
+        for w in path.windows(2) {
+            prop_assert!(by_topic(w[1]) >= by_topic(w[0]) - 1e-12,
+                "child must out-score parent");
+        }
+    }
+
+    #[test]
+    fn similarity_bounds_hold(
+        xs in prop::collection::vec((0usize..60, -100.0f64..100.0), 1..30),
+        ys in prop::collection::vec((0usize..60, -100.0f64..100.0), 1..30),
+    ) {
+        let a = ProfileVector::from_pairs(xs.iter().map(|&(i, s)| (TopicId::from_index(i), s)));
+        let b = ProfileVector::from_pairs(ys.iter().map(|&(i, s)| (TopicId::from_index(i), s)));
+        if let Some(c) = similarity::cosine(&a, &b) {
+            prop_assert!((-1.0..=1.0).contains(&c));
+            // Symmetry.
+            prop_assert!((c - similarity::cosine(&b, &a).unwrap()).abs() < 1e-12);
+        }
+        if let Some(p) = similarity::pearson(&a, &b) {
+            prop_assert!((-1.0..=1.0).contains(&p));
+            prop_assert!((p - similarity::pearson(&b, &a).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_algebra_add_scaled_matches_pointwise(
+        xs in prop::collection::vec((0usize..40, -50.0f64..50.0), 0..20),
+        ys in prop::collection::vec((0usize..40, -50.0f64..50.0), 0..20),
+        factor in -3.0f64..3.0,
+    ) {
+        let a = ProfileVector::from_pairs(xs.iter().map(|&(i, s)| (TopicId::from_index(i), s)));
+        let b = ProfileVector::from_pairs(ys.iter().map(|&(i, s)| (TopicId::from_index(i), s)));
+        let mut sum = a.clone();
+        sum.add_scaled(&b, factor);
+        for i in 0..40 {
+            let t = TopicId::from_index(i);
+            let want = a.get(t) + factor * b.get(t);
+            prop_assert!((sum.get(t) - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn product_pearson_symmetry_and_bounds(
+        xs in prop::collection::vec((0usize..25, -1.0f64..1.0), 0..20),
+        ys in prop::collection::vec((0usize..25, -1.0f64..1.0), 0..20),
+    ) {
+        let to_v = |zs: &[(usize, f64)]| {
+            let ratings: Vec<_> = zs.iter().map(|&(i, r)| (ProductId::from_index(i), r)).collect();
+            ProductVector::from_ratings(&ratings)
+        };
+        let a = to_v(&xs);
+        let b = to_v(&ys);
+        match (a.pearson(&b), b.pearson(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert!((x - y).abs() < 1e-12);
+                prop_assert!((-1.0..=1.0).contains(&x));
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "asymmetric definedness: {other:?}"),
+        }
+    }
+}

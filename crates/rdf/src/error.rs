@@ -1,0 +1,112 @@
+//! Error types for the RDF substrate.
+
+use std::fmt;
+
+/// Result alias for RDF operations.
+pub type Result<T> = std::result::Result<T, RdfError>;
+
+/// Errors arising from RDF model construction, parsing or serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A malformed IRI, with the offending value and a short reason.
+    InvalidIri {
+        /// The rejected IRI (truncated for display when very long).
+        value: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A malformed blank node label.
+    InvalidBlankNode(String),
+    /// A malformed language tag.
+    InvalidLanguageTag(String),
+    /// A syntax error while parsing Turtle or N-Triples.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based source column.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A prefixed name referenced an undeclared prefix.
+    UnknownPrefix {
+        /// 1-based source line.
+        line: usize,
+        /// The undeclared prefix (without the colon).
+        prefix: String,
+    },
+}
+
+impl RdfError {
+    pub(crate) fn invalid_iri(value: &str, reason: &'static str) -> Self {
+        RdfError::InvalidIri { value: truncate(value), reason }
+    }
+
+    pub(crate) fn syntax(line: usize, column: usize, message: impl Into<String>) -> Self {
+        RdfError::Syntax { line, column, message: message.into() }
+    }
+
+    /// The 1-based source line for parse errors, if applicable.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            RdfError::Syntax { line, .. } | RdfError::UnknownPrefix { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+fn truncate(value: &str) -> String {
+    const MAX: usize = 80;
+    if value.len() <= MAX {
+        value.to_owned()
+    } else {
+        let mut end = MAX;
+        while !value.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &value[..end])
+    }
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::InvalidIri { value, reason } => {
+                write!(f, "invalid IRI `{value}`: {reason}")
+            }
+            RdfError::InvalidBlankNode(label) => write!(f, "invalid blank node label `{label}`"),
+            RdfError::InvalidLanguageTag(tag) => write!(f, "invalid language tag `{tag}`"),
+            RdfError::Syntax { line, column, message } => {
+                write!(f, "syntax error at {line}:{column}: {message}")
+            }
+            RdfError::UnknownPrefix { line, prefix } => {
+                write!(f, "unknown prefix `{prefix}:` at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let err = RdfError::syntax(3, 7, "unexpected `;`");
+        assert_eq!(err.to_string(), "syntax error at 3:7: unexpected `;`");
+        assert_eq!(err.line(), Some(3));
+
+        let err = RdfError::invalid_iri("x y", "forbidden character");
+        assert!(err.to_string().contains("x y"));
+        assert_eq!(err.line(), None);
+    }
+
+    #[test]
+    fn long_iri_values_are_truncated() {
+        let long = "h".repeat(500);
+        let err = RdfError::invalid_iri(&long, "missing scheme");
+        assert!(err.to_string().len() < 200);
+    }
+}

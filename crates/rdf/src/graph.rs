@@ -1,0 +1,406 @@
+//! An indexed, in-memory RDF graph.
+//!
+//! Terms are interned into dense `u32` identifiers; triples are stored as
+//! integer tuples inside three B-tree indexes (SPO, POS, OSP) so that every
+//! basic graph pattern with at least one bound position is answered by a
+//! range scan, never a full scan with string comparisons.
+
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+use crate::model::{Iri, Subject, Term, Triple};
+
+/// Interned term identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct TermId(u32);
+
+/// A pattern position: bound to a term id or a wildcard.
+#[derive(Clone, Copy, Debug)]
+enum Pos {
+    Bound(TermId),
+    Any,
+}
+
+/// An in-memory RDF graph with set semantics (duplicate inserts are no-ops).
+#[derive(Default, Clone)]
+pub struct Graph {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("graph exceeds u32 terms"));
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    fn lookup(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    fn resolve(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.intern(triple.subject.into());
+        let p = self.intern(Term::Iri(triple.predicate));
+        let o = self.intern(triple.object);
+        let fresh = self.spo.insert((s, p, o));
+        if fresh {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        fresh
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.lookup(&Term::from(triple.subject.clone())),
+            self.lookup(&Term::Iri(triple.predicate.clone())),
+            self.lookup(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.lookup(&Term::from(triple.subject.clone())),
+            self.lookup(&Term::Iri(triple.predicate.clone())),
+            self.lookup(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Inserts every triple from an iterator.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    fn reconstruct(&self, s: TermId, p: TermId, o: TermId) -> Triple {
+        let subject = match self.resolve(s) {
+            Term::Iri(iri) => Subject::Iri(iri.clone()),
+            Term::Blank(b) => Subject::Blank(b.clone()),
+            Term::Literal(_) => unreachable!("literal subjects are unrepresentable"),
+        };
+        let predicate = match self.resolve(p) {
+            Term::Iri(iri) => iri.clone(),
+            _ => unreachable!("non-IRI predicates are unrepresentable"),
+        };
+        Triple { subject, predicate, object: self.resolve(o).clone() }
+    }
+
+    /// Iterates all triples matching a basic graph pattern; `None` = wildcard.
+    ///
+    /// The best index for the bound positions is chosen automatically.
+    pub fn triples_matching<'a>(
+        &'a self,
+        subject: Option<&Subject>,
+        predicate: Option<&Iri>,
+        object: Option<&Term>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        let s = match subject {
+            Some(s) => match self.lookup(&Term::from(s.clone())) {
+                Some(id) => Pos::Bound(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => Pos::Any,
+        };
+        let p = match predicate {
+            Some(p) => match self.lookup(&Term::Iri(p.clone())) {
+                Some(id) => Pos::Bound(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => Pos::Any,
+        };
+        let o = match object {
+            Some(o) => match self.lookup(o) {
+                Some(id) => Pos::Bound(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => Pos::Any,
+        };
+
+        match (s, p, o) {
+            // Subject bound: SPO index.
+            (Pos::Bound(s), p, o) => Box::new(
+                range3(&self.spo, s, p)
+                    .filter(move |&(_, tp, to)| matches(p, tp) && matches(o, to))
+                    .map(|(a, b, c)| self.reconstruct(a, b, c)),
+            ),
+            // Predicate bound (subject free): POS index.
+            (Pos::Any, Pos::Bound(p), o) => Box::new(
+                range3(&self.pos, p, o)
+                    .filter(move |&(_, to, _)| matches(o, to))
+                    .map(|(b, c, a)| self.reconstruct(a, b, c)),
+            ),
+            // Only object bound: OSP index.
+            (Pos::Any, Pos::Any, Pos::Bound(o)) => Box::new(
+                range3(&self.osp, o, Pos::Any).map(|(c, a, b)| self.reconstruct(a, b, c)),
+            ),
+            // Full scan.
+            (Pos::Any, Pos::Any, Pos::Any) => {
+                Box::new(self.spo.iter().map(|&(a, b, c)| self.reconstruct(a, b, c)))
+            }
+        }
+    }
+
+    /// Iterates all triples.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(a, b, c)| self.reconstruct(a, b, c))
+    }
+
+    /// All distinct subjects, in insertion-interned order.
+    pub fn subjects(&self) -> Vec<Subject> {
+        let mut seen = BTreeSet::new();
+        for &(s, _, _) in &self.spo {
+            seen.insert(s);
+        }
+        seen.iter()
+            .map(|&s| match self.resolve(s) {
+                Term::Iri(iri) => Subject::Iri(iri.clone()),
+                Term::Blank(b) => Subject::Blank(b.clone()),
+                Term::Literal(_) => unreachable!(),
+            })
+            .collect()
+    }
+
+    /// First object of `(subject, predicate, ?)`, if any.
+    pub fn object_for(&self, subject: &Subject, predicate: &Iri) -> Option<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .next()
+            .map(|t| t.object)
+    }
+
+    /// All objects of `(subject, predicate, ?)`.
+    pub fn objects_for(&self, subject: &Subject, predicate: &Iri) -> Vec<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// Merges another graph into this one.
+    pub fn merge(&mut self, other: &Graph) {
+        for t in other.iter() {
+            self.insert(t);
+        }
+    }
+}
+
+fn matches(pos: Pos, id: TermId) -> bool {
+    match pos {
+        Pos::Bound(want) => want == id,
+        Pos::Any => true,
+    }
+}
+
+/// Range-scan a (first, second, third) index with the first key bound and the
+/// second key either bound or free.
+fn range3<'a>(
+    index: &'a BTreeSet<(TermId, TermId, TermId)>,
+    first: TermId,
+    second: Pos,
+) -> impl Iterator<Item = (TermId, TermId, TermId)> + 'a {
+    let (lo, hi) = match second {
+        Pos::Bound(second) => (
+            Bound::Included((first, second, TermId(0))),
+            Bound::Included((first, second, TermId(u32::MAX))),
+        ),
+        Pos::Any => (
+            Bound::Included((first, TermId(0), TermId(0))),
+            Bound::Included((first, TermId(u32::MAX), TermId(u32::MAX))),
+        ),
+    };
+    index.range((lo, hi)).copied()
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} triples, {} terms)", self.len(), self.terms.len())
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.iter().all(|t| other.contains(&t))
+    }
+}
+
+impl Eq for Graph {}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Literal;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let alice = iri("http://ex.org/alice");
+        let bob = iri("http://ex.org/bob");
+        let carol = iri("http://ex.org/carol");
+        let knows = iri("http://ex.org/knows");
+        let name = iri("http://ex.org/name");
+        g.insert(Triple::new(alice.clone(), knows.clone(), bob.clone()));
+        g.insert(Triple::new(alice.clone(), knows.clone(), carol.clone()));
+        g.insert(Triple::new(bob.clone(), knows.clone(), carol.clone()));
+        g.insert(Triple::new(alice, name, Literal::simple("Alice")));
+        g
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut g = sample();
+        assert_eq!(g.len(), 4);
+        let t = Triple::new(
+            iri("http://ex.org/alice"),
+            iri("http://ex.org/knows"),
+            iri("http://ex.org/bob"),
+        );
+        assert!(!g.insert(t.clone()));
+        assert_eq!(g.len(), 4);
+        assert!(g.contains(&t));
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut g = sample();
+        let t = Triple::new(
+            iri("http://ex.org/alice"),
+            iri("http://ex.org/knows"),
+            iri("http://ex.org/bob"),
+        );
+        assert!(g.remove(&t));
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 3);
+        assert!(!g.contains(&t));
+        assert_eq!(
+            g.triples_matching(None, Some(&iri("http://ex.org/knows")), None).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn pattern_queries_use_every_index_shape() {
+        let g = sample();
+        let alice: Subject = iri("http://ex.org/alice").into();
+        let knows = iri("http://ex.org/knows");
+        let carol: Term = iri("http://ex.org/carol").into();
+
+        // s p o
+        assert_eq!(g.triples_matching(Some(&alice), Some(&knows), Some(&carol)).count(), 1);
+        // s p ?
+        assert_eq!(g.triples_matching(Some(&alice), Some(&knows), None).count(), 2);
+        // s ? ?
+        assert_eq!(g.triples_matching(Some(&alice), None, None).count(), 3);
+        // ? p ?
+        assert_eq!(g.triples_matching(None, Some(&knows), None).count(), 3);
+        // ? p o
+        assert_eq!(g.triples_matching(None, Some(&knows), Some(&carol)).count(), 2);
+        // ? ? o
+        assert_eq!(g.triples_matching(None, None, Some(&carol)).count(), 2);
+        // ? ? ?
+        assert_eq!(g.triples_matching(None, None, None).count(), 4);
+        // s ? o
+        assert_eq!(g.triples_matching(Some(&alice), None, Some(&carol)).count(), 1);
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty_iterators() {
+        let g = sample();
+        let ghost: Subject = iri("http://ex.org/ghost").into();
+        assert_eq!(g.triples_matching(Some(&ghost), None, None).count(), 0);
+        assert_eq!(g.triples_matching(None, Some(&iri("http://ex.org/ghost")), None).count(), 0);
+    }
+
+    #[test]
+    fn object_accessors() {
+        let g = sample();
+        let alice: Subject = iri("http://ex.org/alice").into();
+        let name = iri("http://ex.org/name");
+        let knows = iri("http://ex.org/knows");
+        assert_eq!(
+            g.object_for(&alice, &name),
+            Some(Term::Literal(Literal::simple("Alice")))
+        );
+        assert_eq!(g.objects_for(&alice, &knows).len(), 2);
+        assert_eq!(g.object_for(&alice, &iri("http://ex.org/none")), None);
+    }
+
+    #[test]
+    fn merge_and_equality() {
+        let g = sample();
+        let mut h = Graph::new();
+        h.merge(&g);
+        assert_eq!(g, h);
+        h.insert(Triple::new(
+            iri("http://ex.org/dave"),
+            iri("http://ex.org/knows"),
+            iri("http://ex.org/alice"),
+        ));
+        assert_ne!(g, h);
+    }
+
+    #[test]
+    fn subjects_are_distinct() {
+        let g = sample();
+        assert_eq!(g.subjects().len(), 2); // alice, bob
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let g: Graph = sample().iter().collect();
+        assert_eq!(g.len(), 4);
+    }
+}

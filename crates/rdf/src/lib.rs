@@ -1,0 +1,46 @@
+//! # semrec-rdf — the Semantic Web substrate
+//!
+//! A minimal, dependency-free RDF stack: the data model ([`model`]), an
+//! indexed in-memory graph ([`graph`]), Turtle, N-Triples and RDF/XML
+//! parsing and serialization ([`turtle`], [`ntriples`], [`writer`],
+//! [`rdfxml`] — the last being the syntax FOAF actually shipped in 2004),
+//! and the
+//! vocabularies ([`vocab`]) the decentralized recommender publishes —
+//! FOAF acquaintance networks plus trust and product-rating extensions —
+//! and a basic-graph-pattern query engine ([`query`]).
+//!
+//! The paper's information model (§3.1) "allows facile mapping into RDF";
+//! this crate is that mapping's carrier. Agents publish machine-readable
+//! homepages as Turtle documents, crawlers parse them back, and everything
+//! above this layer works on the extracted model.
+//!
+//! ```
+//! use semrec_rdf::{model::{Iri, Triple}, graph::Graph, turtle, vocab};
+//!
+//! let mut g = Graph::new();
+//! g.insert(Triple::new(
+//!     Iri::new("http://example.org/alice").unwrap(),
+//!     vocab::foaf::knows(),
+//!     Iri::new("http://example.org/bob").unwrap(),
+//! ));
+//! let doc = semrec_rdf::writer::to_turtle(&g);
+//! assert_eq!(turtle::parse(&doc).unwrap(), g);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod graph;
+pub mod model;
+pub mod ntriples;
+pub mod query;
+pub mod rdfxml;
+pub mod turtle;
+pub mod vocab;
+pub mod writer;
+pub mod xml;
+
+pub use error::{RdfError, Result};
+pub use graph::Graph;
+pub use model::{BlankNode, Iri, Literal, Subject, Term, Triple};

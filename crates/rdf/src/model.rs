@@ -1,0 +1,425 @@
+//! The RDF data model: IRIs, blank nodes, literals, terms and triples.
+//!
+//! This is a deliberately small, allocation-conscious model. Terms own their
+//! lexical data as `String`s; the [`crate::graph::Graph`] interns them into
+//! dense integer identifiers so that indexing and pattern matching never
+//! compare strings on the hot path.
+
+use std::borrow::Cow;
+use std::fmt;
+
+use crate::error::{RdfError, Result};
+
+/// An absolute IRI (Internationalized Resource Identifier).
+///
+/// Validation is intentionally light: we require a scheme (`[a-zA-Z][a-zA-Z0-9+.-]*:`)
+/// and reject characters that Turtle/N-Triples forbid inside `<...>` delimiters
+/// (whitespace, `<`, `>`, `"`, `{`, `}`, `|`, `^`, backtick, backslash).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(String);
+
+impl Iri {
+    /// Creates a validated IRI.
+    pub fn new(value: impl Into<String>) -> Result<Self> {
+        let value = value.into();
+        Self::validate(&value)?;
+        Ok(Iri(value))
+    }
+
+    /// Creates an IRI without validation.
+    ///
+    /// Intended for static vocabulary constants whose validity is ensured by
+    /// construction; invalid input surfaces later as serializer errors.
+    pub fn new_unchecked(value: impl Into<String>) -> Self {
+        Iri(value.into())
+    }
+
+    fn validate(value: &str) -> Result<()> {
+        let mut chars = value.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() => {}
+            _ => return Err(RdfError::invalid_iri(value, "missing scheme")),
+        }
+        let mut saw_colon = false;
+        for c in value.chars() {
+            if c == ':' {
+                saw_colon = true;
+            }
+            if c.is_whitespace() || matches!(c, '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\')
+            {
+                return Err(RdfError::invalid_iri(value, "forbidden character"));
+            }
+        }
+        if !saw_colon {
+            return Err(RdfError::invalid_iri(value, "missing scheme"));
+        }
+        Ok(())
+    }
+
+    /// The IRI as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Consumes the IRI, returning its string.
+    pub fn into_string(self) -> String {
+        self.0
+    }
+
+    /// Splits the IRI at the last `#`, `/` or `:` into `(namespace, local)`.
+    ///
+    /// Used by the Turtle writer to emit prefixed names when possible.
+    pub fn split_namespace(&self) -> (&str, &str) {
+        match self.0.rfind(['#', '/', ':']) {
+            Some(idx) => self.0.split_at(idx + 1),
+            None => ("", &self.0),
+        }
+    }
+}
+
+impl fmt::Debug for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A blank (anonymous) node, identified by a document-scoped label.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(String);
+
+impl BlankNode {
+    /// Creates a blank node with the given label (without the `_:` prefix).
+    pub fn new(label: impl Into<String>) -> Result<Self> {
+        let label = label.into();
+        if label.is_empty()
+            || !label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+            || label.starts_with('.')
+            || label.ends_with('.')
+        {
+            return Err(RdfError::InvalidBlankNode(label));
+        }
+        Ok(BlankNode(label))
+    }
+
+    /// The label (without the `_:` prefix).
+    pub fn label(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// An RDF literal: a lexical form plus either a language tag or a datatype IRI.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    lexical: String,
+    kind: LiteralKind,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum LiteralKind {
+    /// Plain `xsd:string` literal.
+    Simple,
+    /// Language-tagged string (`"..."@en`).
+    LangTagged(String),
+    /// Datatyped literal (`"..."^^<iri>`).
+    Typed(Iri),
+}
+
+impl Literal {
+    /// A simple (`xsd:string`) literal.
+    pub fn simple(lexical: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Simple }
+    }
+
+    /// A language-tagged string literal. Tags are normalized to lowercase.
+    pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Result<Self> {
+        let tag: String = tag.into();
+        if tag.is_empty()
+            || !tag.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+            || tag.starts_with('-')
+        {
+            return Err(RdfError::InvalidLanguageTag(tag));
+        }
+        Ok(Literal { lexical: lexical.into(), kind: LiteralKind::LangTagged(tag.to_ascii_lowercase()) })
+    }
+
+    /// A datatyped literal.
+    pub fn typed(lexical: impl Into<String>, datatype: Iri) -> Self {
+        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype) }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::xsd::integer())
+    }
+
+    /// An `xsd:decimal` literal rendered with full precision.
+    pub fn decimal(value: f64) -> Self {
+        // Turtle decimals require a '.'; format accordingly.
+        let mut s = format!("{value}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+            s.push_str(".0");
+        }
+        Literal::typed(s, crate::vocab::xsd::decimal())
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(value: bool) -> Self {
+        Literal::typed(if value { "true" } else { "false" }, crate::vocab::xsd::boolean())
+    }
+
+    /// The lexical form.
+    pub fn lexical(&self) -> &str {
+        &self.lexical
+    }
+
+    /// The language tag, if language-tagged.
+    pub fn language(&self) -> Option<&str> {
+        match &self.kind {
+            LiteralKind::LangTagged(tag) => Some(tag),
+            _ => None,
+        }
+    }
+
+    /// The datatype IRI: `rdf:langString` for tagged, `xsd:string` for simple.
+    pub fn datatype(&self) -> Cow<'_, Iri> {
+        match &self.kind {
+            LiteralKind::Simple => Cow::Owned(crate::vocab::xsd::string()),
+            LiteralKind::LangTagged(_) => Cow::Owned(crate::vocab::rdf::lang_string()),
+            LiteralKind::Typed(iri) => Cow::Borrowed(iri),
+        }
+    }
+
+    /// True if this is a plain `xsd:string` literal without a language tag.
+    pub fn is_simple(&self) -> bool {
+        matches!(self.kind, LiteralKind::Simple)
+    }
+
+    /// Parses the lexical form as an `i64` when the datatype is numeric.
+    pub fn as_integer(&self) -> Option<i64> {
+        self.lexical.parse().ok()
+    }
+
+    /// Parses the lexical form as an `f64` when the datatype is numeric.
+    pub fn as_double(&self) -> Option<f64> {
+        self.lexical.parse().ok()
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LiteralKind::Simple => write!(f, "{:?}", self.lexical),
+            LiteralKind::LangTagged(tag) => write!(f, "{:?}@{}", self.lexical, tag),
+            LiteralKind::Typed(dt) => write!(f, "{:?}^^{:?}", self.lexical, dt),
+        }
+    }
+}
+
+/// A subject position term: IRI or blank node.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Subject {
+    /// An IRI-identified resource.
+    Iri(Iri),
+    /// An anonymous resource.
+    Blank(BlankNode),
+}
+
+impl Subject {
+    /// The IRI, if this subject is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Subject::Iri(iri) => Some(iri),
+            Subject::Blank(_) => None,
+        }
+    }
+}
+
+impl From<Iri> for Subject {
+    fn from(value: Iri) -> Self {
+        Subject::Iri(value)
+    }
+}
+
+impl From<BlankNode> for Subject {
+    fn from(value: BlankNode) -> Self {
+        Subject::Blank(value)
+    }
+}
+
+/// Any term: IRI, blank node, or literal (object position).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI-identified resource.
+    Iri(Iri),
+    /// An anonymous resource.
+    Blank(BlankNode),
+    /// A literal value (object position only).
+    Literal(Literal),
+}
+
+impl Term {
+    /// The IRI, if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// The literal, if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(lit) => Some(lit),
+            _ => None,
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(value: Iri) -> Self {
+        Term::Iri(value)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(value: BlankNode) -> Self {
+        Term::Blank(value)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(value: Literal) -> Self {
+        Term::Literal(value)
+    }
+}
+
+impl From<Subject> for Term {
+    fn from(value: Subject) -> Self {
+        match value {
+            Subject::Iri(iri) => Term::Iri(iri),
+            Subject::Blank(b) => Term::Blank(b),
+        }
+    }
+}
+
+/// An RDF triple (statement).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The statement's subject.
+    pub subject: Subject,
+    /// The statement's predicate (always an IRI).
+    pub predicate: Iri,
+    /// The statement's object.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Builds a triple from anything convertible into its component types.
+    pub fn new(
+        subject: impl Into<Subject>,
+        predicate: Iri,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple { subject: subject.into(), predicate, object: object.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_requires_scheme() {
+        assert!(Iri::new("http://example.org/a").is_ok());
+        assert!(Iri::new("urn:isbn:0387954521").is_ok());
+        assert!(Iri::new("no-scheme-here").is_err());
+        assert!(Iri::new("").is_err());
+        assert!(Iri::new("1http://x").is_err());
+    }
+
+    #[test]
+    fn iri_rejects_forbidden_characters() {
+        assert!(Iri::new("http://example.org/a b").is_err());
+        assert!(Iri::new("http://example.org/<x>").is_err());
+        assert!(Iri::new("http://example.org/\"x\"").is_err());
+        assert!(Iri::new("http://example.org/x\\y").is_err());
+    }
+
+    #[test]
+    fn iri_namespace_split() {
+        let iri = Iri::new("http://xmlns.com/foaf/0.1/knows").unwrap();
+        assert_eq!(iri.split_namespace(), ("http://xmlns.com/foaf/0.1/", "knows"));
+        let hash = Iri::new("http://example.org/ns#topic").unwrap();
+        assert_eq!(hash.split_namespace(), ("http://example.org/ns#", "topic"));
+    }
+
+    #[test]
+    fn blank_node_labels() {
+        assert!(BlankNode::new("b0").is_ok());
+        assert!(BlankNode::new("user-profile_1").is_ok());
+        assert!(BlankNode::new("").is_err());
+        assert!(BlankNode::new("has space").is_err());
+        assert!(BlankNode::new(".dot").is_err());
+    }
+
+    #[test]
+    fn literal_kinds() {
+        let s = Literal::simple("hello");
+        assert!(s.is_simple());
+        assert_eq!(s.datatype().as_str(), "http://www.w3.org/2001/XMLSchema#string");
+
+        let l = Literal::lang("hallo", "DE").unwrap();
+        assert_eq!(l.language(), Some("de"));
+        assert_eq!(
+            l.datatype().as_str(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString"
+        );
+
+        let t = Literal::integer(42);
+        assert_eq!(t.as_integer(), Some(42));
+        assert_eq!(t.datatype().as_str(), "http://www.w3.org/2001/XMLSchema#integer");
+    }
+
+    #[test]
+    fn literal_decimal_always_has_point() {
+        assert_eq!(Literal::decimal(1.0).lexical(), "1.0");
+        assert_eq!(Literal::decimal(-0.25).lexical(), "-0.25");
+    }
+
+    #[test]
+    fn invalid_language_tags() {
+        assert!(Literal::lang("x", "").is_err());
+        assert!(Literal::lang("x", "-en").is_err());
+        assert!(Literal::lang("x", "en US").is_err());
+    }
+
+    #[test]
+    fn term_conversions() {
+        let iri = Iri::new("http://example.org/x").unwrap();
+        let term: Term = iri.clone().into();
+        assert_eq!(term.as_iri(), Some(&iri));
+        let subject: Subject = iri.clone().into();
+        let as_term: Term = subject.into();
+        assert_eq!(as_term, term);
+    }
+}

@@ -1,0 +1,135 @@
+//! N-Triples I/O.
+//!
+//! N-Triples is the line-oriented exchange syntax: one triple per line, no
+//! prefixes, no abbreviation. It is a syntactic subset of Turtle, so parsing
+//! delegates to [`crate::turtle`]; the writer here guarantees strict
+//! N-Triples output (absolute IRIs only, escaped literals, `\n` terminators).
+
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::model::{Literal, Subject, Term};
+
+/// Parses an N-Triples document.
+///
+/// Accepts any document in the N-Triples subset of Turtle.
+pub fn parse(input: &str) -> Result<Graph> {
+    crate::turtle::parse(input)
+}
+
+/// Serializes a graph as canonical N-Triples (sorted lines).
+pub fn to_ntriples(graph: &Graph) -> String {
+    let mut lines: Vec<String> = graph
+        .iter()
+        .map(|t| {
+            format!(
+                "{} <{}> {} .",
+                subject_str(&t.subject),
+                t.predicate.as_str(),
+                term_str(&t.object)
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+fn subject_str(subject: &Subject) -> String {
+    match subject {
+        Subject::Iri(iri) => format!("<{}>", iri.as_str()),
+        Subject::Blank(b) => format!("_:{}", b.label()),
+    }
+}
+
+fn term_str(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!("<{}>", iri.as_str()),
+        Term::Blank(b) => format!("_:{}", b.label()),
+        Term::Literal(lit) => literal_str(lit),
+    }
+}
+
+fn literal_str(lit: &Literal) -> String {
+    let mut out = String::with_capacity(lit.lexical().len() + 2);
+    out.push('"');
+    for c in lit.lexical().chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    if let Some(tag) = lit.language() {
+        out.push('@');
+        out.push_str(tag);
+    } else if !lit.is_simple() {
+        out.push_str("^^<");
+        out.push_str(lit.datatype().as_str());
+        out.push('>');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Iri, Triple};
+    use crate::vocab;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn writes_one_sorted_line_per_triple() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://z.org/s"), iri("http://z.org/p"), iri("http://z.org/o")));
+        g.insert(Triple::new(iri("http://a.org/s"), iri("http://a.org/p"), Literal::integer(1)));
+        let doc = to_ntriples(&g);
+        let lines: Vec<_> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("<http://a.org/"));
+        assert!(lines[1].starts_with("<http://z.org/"));
+        assert!(lines.iter().all(|l| l.ends_with(" .")));
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            iri("http://ex.org/a"),
+            vocab::foaf::name(),
+            Literal::lang("Grüße\n\"x\"", "de").unwrap(),
+        ));
+        g.insert(Triple::new(
+            iri("http://ex.org/a"),
+            vocab::trust::value(),
+            Literal::decimal(-0.5),
+        ));
+        let doc = to_ntriples(&g);
+        assert_eq!(parse(&doc).unwrap(), g);
+    }
+
+    #[test]
+    fn empty_graph_writes_empty_document() {
+        assert_eq!(to_ntriples(&Graph::new()), "");
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn output_is_strict_ntriples() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://ex.org/a"), vocab::rdf::type_(), vocab::foaf::person()));
+        let doc = to_ntriples(&g);
+        // No prefixed names, no `a` keyword in strict N-Triples.
+        assert!(!doc.contains("foaf:"));
+        assert!(doc.contains("<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"));
+    }
+}

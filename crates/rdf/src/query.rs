@@ -1,0 +1,359 @@
+//! Basic graph pattern matching — a SPARQL-subset query engine.
+//!
+//! Agents "understand and reason about" published metadata (§2, ontological
+//! commitment); the practical form is conjunctive triple-pattern queries
+//! with shared variables. The solver picks, at every step, the most
+//! selective remaining pattern under the current bindings (fewest wildcards
+//! first), then extends bindings via the graph's indexes — no full scans
+//! unless a pattern is genuinely unconstrained.
+//!
+//! ```
+//! use semrec_rdf::{graph::Graph, model::{Iri, Triple}, query::{select, var, TriplePattern}};
+//!
+//! let mut g = Graph::new();
+//! let knows = Iri::new("http://ex.org/knows").unwrap();
+//! g.insert(Triple::new(Iri::new("http://ex.org/a").unwrap(), knows.clone(),
+//!                      Iri::new("http://ex.org/b").unwrap()));
+//! g.insert(Triple::new(Iri::new("http://ex.org/b").unwrap(), knows.clone(),
+//!                      Iri::new("http://ex.org/c").unwrap()));
+//!
+//! // ?x knows ?y . ?y knows ?z  — friend-of-a-friend.
+//! let solutions = select(&g, &[
+//!     TriplePattern::new(var("x"), knows.clone().into(), var("y")),
+//!     TriplePattern::new(var("y"), knows.into(), var("z")),
+//! ]);
+//! assert_eq!(solutions.len(), 1);
+//! assert_eq!(solutions[0].get("z").unwrap().as_iri().unwrap().as_str(), "http://ex.org/c");
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::graph::Graph;
+use crate::model::{Iri, Subject, Term};
+
+/// A pattern position: a concrete term or a named variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryTerm {
+    /// A concrete term that must match exactly.
+    Term(Term),
+    /// A variable, bound on first match and joined thereafter.
+    Var(String),
+}
+
+impl From<Term> for QueryTerm {
+    fn from(value: Term) -> Self {
+        QueryTerm::Term(value)
+    }
+}
+
+impl From<Iri> for QueryTerm {
+    fn from(value: Iri) -> Self {
+        QueryTerm::Term(Term::Iri(value))
+    }
+}
+
+impl From<crate::model::Literal> for QueryTerm {
+    fn from(value: crate::model::Literal) -> Self {
+        QueryTerm::Term(Term::Literal(value))
+    }
+}
+
+/// Shorthand for a variable query term.
+pub fn var(name: impl Into<String>) -> QueryTerm {
+    QueryTerm::Var(name.into())
+}
+
+/// One triple pattern of a basic graph pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: QueryTerm,
+    /// Predicate position (must resolve to an IRI).
+    pub predicate: QueryTerm,
+    /// Object position.
+    pub object: QueryTerm,
+}
+
+impl TriplePattern {
+    /// Builds a pattern.
+    pub fn new(subject: QueryTerm, predicate: QueryTerm, object: QueryTerm) -> Self {
+        TriplePattern { subject, predicate, object }
+    }
+}
+
+/// One solution: variable name → bound term.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bindings(BTreeMap<String, Term>);
+
+impl Bindings {
+    /// The term bound to a variable, if any.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.0.get(name)
+    }
+
+    /// Iterates `(variable, term)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Resolves a query term under bindings to a concrete term, if possible.
+fn resolve(term: &QueryTerm, bindings: &Bindings) -> Option<Term> {
+    match term {
+        QueryTerm::Term(t) => Some(t.clone()),
+        QueryTerm::Var(name) => bindings.0.get(name).cloned(),
+    }
+}
+
+/// Number of positions unresolved under the bindings (lower = more selective).
+fn wildcards(pattern: &TriplePattern, bindings: &Bindings) -> usize {
+    [&pattern.subject, &pattern.predicate, &pattern.object]
+        .into_iter()
+        .filter(|qt| resolve(qt, bindings).is_none())
+        .count()
+}
+
+/// Solves a basic graph pattern, returning all solutions.
+///
+/// Join order is greedy most-selective-first, re-evaluated after every
+/// binding extension. Patterns whose predicate resolves to a non-IRI yield
+/// no solutions (predicates are IRIs in RDF).
+pub fn select(graph: &Graph, patterns: &[TriplePattern]) -> Vec<Bindings> {
+    let mut solutions = Vec::new();
+    let remaining: Vec<&TriplePattern> = patterns.iter().collect();
+    solve(graph, &remaining, Bindings::default(), &mut solutions);
+    solutions
+}
+
+fn solve(
+    graph: &Graph,
+    remaining: &[&TriplePattern],
+    bindings: Bindings,
+    solutions: &mut Vec<Bindings>,
+) {
+    if remaining.is_empty() {
+        solutions.push(bindings);
+        return;
+    }
+    // Pick the most selective pattern under the current bindings.
+    let (pick, _) = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| wildcards(p, &bindings))
+        .expect("non-empty");
+    let pattern = remaining[pick];
+    let rest: Vec<&TriplePattern> =
+        remaining.iter().enumerate().filter(|&(i, _)| i != pick).map(|(_, p)| *p).collect();
+
+    let s_term = resolve(&pattern.subject, &bindings);
+    let p_term = resolve(&pattern.predicate, &bindings);
+    let o_term = resolve(&pattern.object, &bindings);
+
+    // Subjects must be IRI/blank; predicates IRIs. Mismatched resolved terms
+    // simply produce no solutions.
+    let subject: Option<Subject> = match &s_term {
+        Some(Term::Iri(iri)) => Some(Subject::Iri(iri.clone())),
+        Some(Term::Blank(b)) => Some(Subject::Blank(b.clone())),
+        Some(Term::Literal(_)) => return,
+        None => None,
+    };
+    let predicate: Option<Iri> = match &p_term {
+        Some(Term::Iri(iri)) => Some(iri.clone()),
+        Some(_) => return,
+        None => None,
+    };
+
+    for triple in graph.triples_matching(subject.as_ref(), predicate.as_ref(), o_term.as_ref()) {
+        let mut extended = bindings.clone();
+        if extend(&mut extended, &pattern.subject, Term::from(triple.subject.clone()))
+            && extend(&mut extended, &pattern.predicate, Term::Iri(triple.predicate.clone()))
+            && extend(&mut extended, &pattern.object, triple.object.clone())
+        {
+            solve(graph, &rest, extended, solutions);
+        }
+    }
+}
+
+/// Binds a variable (or checks consistency); `true` if the row still joins.
+fn extend(bindings: &mut Bindings, position: &QueryTerm, value: Term) -> bool {
+    match position {
+        QueryTerm::Term(t) => *t == value,
+        QueryTerm::Var(name) => match bindings.0.get(name) {
+            Some(existing) => *existing == value,
+            None => {
+                bindings.0.insert(name.clone(), value);
+                true
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Literal, Triple};
+    use crate::vocab;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    /// alice knows bob,carol; bob knows carol; names for alice and bob.
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let knows = iri("http://ex.org/knows");
+        let name = iri("http://ex.org/name");
+        for (a, b) in [("alice", "bob"), ("alice", "carol"), ("bob", "carol")] {
+            g.insert(Triple::new(
+                iri(&format!("http://ex.org/{a}")),
+                knows.clone(),
+                iri(&format!("http://ex.org/{b}")),
+            ));
+        }
+        g.insert(Triple::new(iri("http://ex.org/alice"), name.clone(), Literal::simple("Alice")));
+        g.insert(Triple::new(iri("http://ex.org/bob"), name, Literal::simple("Bob")));
+        g
+    }
+
+    #[test]
+    fn single_pattern_all_variables() {
+        let g = sample();
+        let solutions = select(&g, &[TriplePattern::new(var("s"), var("p"), var("o"))]);
+        assert_eq!(solutions.len(), g.len());
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let g = sample();
+        let knows = iri("http://ex.org/knows");
+        // ?x knows ?y . ?y knows ?z  → only alice→bob→carol chains.
+        let solutions = select(
+            &g,
+            &[
+                TriplePattern::new(var("x"), knows.clone().into(), var("y")),
+                TriplePattern::new(var("y"), knows.into(), var("z")),
+            ],
+        );
+        assert_eq!(solutions.len(), 1);
+        let s = &solutions[0];
+        assert_eq!(s.get("x").unwrap().as_iri().unwrap().as_str(), "http://ex.org/alice");
+        assert_eq!(s.get("y").unwrap().as_iri().unwrap().as_str(), "http://ex.org/bob");
+        assert_eq!(s.get("z").unwrap().as_iri().unwrap().as_str(), "http://ex.org/carol");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn join_with_literal_constraint() {
+        let g = sample();
+        let knows = iri("http://ex.org/knows");
+        let name = iri("http://ex.org/name");
+        // Who does the person named "Alice" know?
+        let solutions = select(
+            &g,
+            &[
+                TriplePattern::new(var("who"), name.into(), Literal::simple("Alice").into()),
+                TriplePattern::new(var("who"), knows.into(), var("peer")),
+            ],
+        );
+        assert_eq!(solutions.len(), 2);
+    }
+
+    #[test]
+    fn no_solutions_when_join_fails() {
+        let g = sample();
+        let knows = iri("http://ex.org/knows");
+        // carol knows nobody.
+        let solutions = select(
+            &g,
+            &[TriplePattern::new(
+                QueryTerm::Term(Term::Iri(iri("http://ex.org/carol"))),
+                knows.into(),
+                var("x"),
+            )],
+        );
+        assert!(solutions.is_empty());
+    }
+
+    #[test]
+    fn same_variable_in_two_positions() {
+        let mut g = sample();
+        let likes = iri("http://ex.org/endorses");
+        // dave endorses himself.
+        g.insert(Triple::new(iri("http://ex.org/dave"), likes.clone(), iri("http://ex.org/dave")));
+        g.insert(Triple::new(iri("http://ex.org/dave"), likes.clone(), iri("http://ex.org/alice")));
+        let solutions =
+            select(&g, &[TriplePattern::new(var("x"), likes.into(), var("x"))]);
+        assert_eq!(solutions.len(), 1);
+        assert_eq!(solutions[0].get("x").unwrap().as_iri().unwrap().as_str(), "http://ex.org/dave");
+    }
+
+    #[test]
+    fn empty_pattern_list_yields_one_empty_solution() {
+        let g = sample();
+        let solutions = select(&g, &[]);
+        assert_eq!(solutions.len(), 1);
+        assert!(solutions[0].is_empty());
+    }
+
+    #[test]
+    fn literal_in_predicate_position_yields_nothing() {
+        let g = sample();
+        let solutions = select(
+            &g,
+            &[TriplePattern::new(var("s"), Literal::simple("x").into(), var("o"))],
+        );
+        assert!(solutions.is_empty());
+    }
+
+    #[test]
+    fn reified_trust_statement_query() {
+        // The exact query the recommender needs: all (trustee, value) pairs
+        // asserted by one agent, through the reified trust vocabulary.
+        let mut g = Graph::new();
+        let me = iri("http://ex.org/alice#me");
+        for (i, (peer, value)) in [("bob", 0.75), ("carol", -0.25)].iter().enumerate() {
+            let stmt = crate::model::BlankNode::new(format!("t{i}")).unwrap();
+            g.insert(Triple::new(stmt.clone(), vocab::rdf::type_(), vocab::trust::statement()));
+            g.insert(Triple::new(stmt.clone(), vocab::trust::truster(), me.clone()));
+            g.insert(Triple::new(
+                stmt.clone(),
+                vocab::trust::trustee(),
+                iri(&format!("http://ex.org/{peer}#me")),
+            ));
+            g.insert(Triple::new(stmt, vocab::trust::value(), Literal::decimal(*value)));
+        }
+        let solutions = select(
+            &g,
+            &[
+                TriplePattern::new(var("stmt"), vocab::trust::truster().into(), me.into()),
+                TriplePattern::new(var("stmt"), vocab::trust::trustee().into(), var("peer")),
+                TriplePattern::new(var("stmt"), vocab::trust::value().into(), var("value")),
+            ],
+        );
+        assert_eq!(solutions.len(), 2);
+        for s in &solutions {
+            assert!(s.get("peer").is_some());
+            assert!(s.get("value").unwrap().as_literal().unwrap().as_double().is_some());
+        }
+    }
+
+    #[test]
+    fn bindings_iteration_is_ordered() {
+        let g = sample();
+        let knows = iri("http://ex.org/knows");
+        let solutions =
+            select(&g, &[TriplePattern::new(var("b"), knows.into(), var("a"))]);
+        let names: Vec<&str> = solutions[0].iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,444 @@
+//! RDF/XML reading and writing — the exchange syntax of the paper's era.
+//!
+//! In 2004, FOAF homepages were published as RDF/XML ("machine-readable
+//! homepages based upon RDF", §4); Turtle was still a draft. This module
+//! covers the striped-syntax subset those documents used:
+//!
+//! * `rdf:RDF` roots with `rdf:Description` or typed node elements,
+//! * `rdf:about` / `rdf:nodeID` subjects (fresh blank nodes when absent),
+//! * property elements with `rdf:resource`, `rdf:nodeID`, nested node
+//!   elements, `rdf:parseType="Resource"`, literal text with
+//!   `rdf:datatype` or `xml:lang`,
+//! * property attributes on node elements (string literal shorthand).
+//!
+//! Unsupported RDF/XML exotica (`rdf:ID`, `rdf:li`/containers, reification
+//! attributes, `parseType="Collection"`/`"Literal"`) are rejected with
+//! parse errors rather than mis-read.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::{RdfError, Result};
+use crate::graph::Graph;
+use crate::model::{BlankNode, Iri, Literal, Subject, Term, Triple};
+use crate::vocab;
+use crate::xml::{self, Element};
+
+const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+const XML_NS: &str = "http://www.w3.org/XML/1998/namespace";
+
+/// Parses an RDF/XML document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph> {
+    let root = xml::parse(input)?;
+    let mut state = ParseState { graph: Graph::new(), anon: 0 };
+    if root.namespace == RDF_NS && root.local == "RDF" {
+        for node in root.elements() {
+            state.node_element(node)?;
+        }
+    } else {
+        // A single node element as document root is legal RDF/XML.
+        state.node_element(&root)?;
+    }
+    Ok(state.graph)
+}
+
+struct ParseState {
+    graph: Graph,
+    anon: usize,
+}
+
+impl ParseState {
+    fn fresh_blank(&mut self) -> BlankNode {
+        self.anon += 1;
+        BlankNode::new(format!("rx{}", self.anon)).expect("generated labels are valid")
+    }
+
+    fn syntax(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Syntax { line: 0, column: 0, message: message.into() }
+    }
+
+    /// Parses a node element, returning its subject.
+    fn node_element(&mut self, node: &Element) -> Result<Subject> {
+        let subject: Subject = if let Some(about) = node.attribute(RDF_NS, "about") {
+            Subject::Iri(Iri::new(about)?)
+        } else if let Some(id) = node.attribute(RDF_NS, "nodeID") {
+            Subject::Blank(BlankNode::new(id)?)
+        } else if node.attribute(RDF_NS, "ID").is_some() {
+            return Err(self.syntax("rdf:ID requires base resolution and is not supported"));
+        } else {
+            Subject::Blank(self.fresh_blank())
+        };
+
+        // Typed node element: the element name is the type.
+        if !(node.namespace == RDF_NS && node.local == "Description") {
+            let type_iri = Iri::new(format!("{}{}", node.namespace, node.local))?;
+            self.graph.insert(Triple::new(subject.clone(), vocab::rdf::type_(), type_iri));
+        }
+
+        // Property attributes (string literal shorthand).
+        for ((ns, local), value) in &node.attributes {
+            if ns == RDF_NS || ns == XML_NS || ns.is_empty() {
+                continue;
+            }
+            let predicate = Iri::new(format!("{ns}{local}"))?;
+            self.graph.insert(Triple::new(
+                subject.clone(),
+                predicate,
+                Literal::simple(value.clone()),
+            ));
+        }
+
+        let lang = node.attribute(XML_NS, "lang").map(str::to_owned);
+        for property in node.elements() {
+            self.property_element(&subject, property, lang.as_deref())?;
+        }
+        Ok(subject)
+    }
+
+    fn property_element(
+        &mut self,
+        subject: &Subject,
+        property: &Element,
+        inherited_lang: Option<&str>,
+    ) -> Result<()> {
+        if property.namespace == RDF_NS && matches!(property.local.as_str(), "li" | "Bag" | "Seq" | "Alt") {
+            return Err(self.syntax("rdf containers are not supported"));
+        }
+        let predicate = Iri::new(format!("{}{}", property.namespace, property.local))?;
+
+        if let Some(parse_type) = property.attribute(RDF_NS, "parseType") {
+            match parse_type {
+                "Resource" => {
+                    // Implicit blank node with nested property elements.
+                    let inner = Subject::Blank(self.fresh_blank());
+                    self.graph.insert(Triple::new(
+                        subject.clone(),
+                        predicate,
+                        Term::from(inner.clone()),
+                    ));
+                    let lang = property.attribute(XML_NS, "lang").or(inherited_lang);
+                    for nested in property.elements() {
+                        self.property_element(&inner, nested, lang)?;
+                    }
+                    return Ok(());
+                }
+                other => {
+                    return Err(self.syntax(format!("parseType=\"{other}\" is not supported")))
+                }
+            }
+        }
+
+        if let Some(resource) = property.attribute(RDF_NS, "resource") {
+            self.graph.insert(Triple::new(subject.clone(), predicate, Iri::new(resource)?));
+            return Ok(());
+        }
+        if let Some(node_id) = property.attribute(RDF_NS, "nodeID") {
+            self.graph.insert(Triple::new(subject.clone(), predicate, BlankNode::new(node_id)?));
+            return Ok(());
+        }
+
+        // Nested node element?
+        let nested: Vec<&Element> = property.elements().collect();
+        if !nested.is_empty() {
+            if nested.len() > 1 {
+                return Err(self.syntax("property element with multiple nested nodes"));
+            }
+            let object = self.node_element(nested[0])?;
+            self.graph.insert(Triple::new(subject.clone(), predicate, Term::from(object)));
+            return Ok(());
+        }
+
+        // Literal (whitespace is significant in RDF literal content).
+        let text = property.raw_text();
+        let literal = if let Some(datatype) = property.attribute(RDF_NS, "datatype") {
+            let dt = Iri::new(datatype)?;
+            if dt.as_str() == vocab::xsd::string().as_str() {
+                Literal::simple(text)
+            } else {
+                Literal::typed(text, dt)
+            }
+        } else if let Some(lang) = property.attribute(XML_NS, "lang").or(inherited_lang) {
+            Literal::lang(text, lang)?
+        } else {
+            Literal::simple(text)
+        };
+        self.graph.insert(Triple::new(subject.clone(), predicate, literal));
+        Ok(())
+    }
+}
+
+/// Serializes a graph as RDF/XML.
+///
+/// Every predicate (and type IRI) must split into `namespace + XML-name
+/// local part`; others are reported as [`RdfError::InvalidIri`].
+pub fn to_rdfxml(graph: &Graph) -> Result<String> {
+    // Collect namespaces for predicates and type objects.
+    let mut namespaces: Vec<String> = Vec::new();
+    let mut prefix_of: HashMap<String, String> = HashMap::new();
+    let ensure_ns = |ns: &str, namespaces: &mut Vec<String>, prefix_of: &mut HashMap<String, String>| {
+        if !prefix_of.contains_key(ns) {
+            // Reuse well-known prefixes where possible.
+            let known = vocab::default_prefixes()
+                .into_iter()
+                .find(|(_, n)| *n == ns)
+                .map(|(p, _)| p.to_owned());
+            let prefix = known.unwrap_or_else(|| format!("ns{}", namespaces.len()));
+            prefix_of.insert(ns.to_owned(), prefix);
+            namespaces.push(ns.to_owned());
+        }
+    };
+
+    let mut by_subject: Vec<(Subject, Vec<Triple>)> = Vec::new();
+    for subject in graph.subjects() {
+        let triples: Vec<Triple> = graph.triples_matching(Some(&subject), None, None).collect();
+        for t in &triples {
+            let (ns, local) = t.predicate.split_namespace();
+            if ns.is_empty() || !is_xml_name(local) {
+                return Err(RdfError::invalid_iri(
+                    t.predicate.as_str(),
+                    "predicate cannot be split for RDF/XML",
+                ));
+            }
+            ensure_ns(ns, &mut namespaces, &mut prefix_of);
+        }
+        by_subject.push((subject, triples));
+    }
+    ensure_ns(RDF_NS, &mut namespaces, &mut prefix_of);
+
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<rdf:RDF");
+    let mut sorted_ns: Vec<&String> = namespaces.iter().collect();
+    sorted_ns.sort();
+    for ns in sorted_ns {
+        let _ = write!(out, "\n  xmlns:{}=\"{}\"", prefix_of[ns], escape_attr(ns));
+    }
+    out.push_str(">\n");
+
+    for (subject, triples) in &by_subject {
+        out.push_str("  <rdf:Description ");
+        match subject {
+            Subject::Iri(iri) => {
+                let _ = write!(out, "rdf:about=\"{}\"", escape_attr(iri.as_str()));
+            }
+            Subject::Blank(b) => {
+                let _ = write!(out, "rdf:nodeID=\"{}\"", escape_attr(b.label()));
+            }
+        }
+        out.push_str(">\n");
+        for t in triples {
+            let (ns, local) = t.predicate.split_namespace();
+            let prefix = &prefix_of[ns];
+            match &t.object {
+                Term::Iri(iri) => {
+                    let _ = writeln!(
+                        out,
+                        "    <{prefix}:{local} rdf:resource=\"{}\"/>",
+                        escape_attr(iri.as_str())
+                    );
+                }
+                Term::Blank(b) => {
+                    let _ = writeln!(
+                        out,
+                        "    <{prefix}:{local} rdf:nodeID=\"{}\"/>",
+                        escape_attr(b.label())
+                    );
+                }
+                Term::Literal(lit) => {
+                    let mut open = format!("<{prefix}:{local}");
+                    if let Some(tag) = lit.language() {
+                        let _ = write!(open, " xml:lang=\"{}\"", escape_attr(tag));
+                    } else if !lit.is_simple() {
+                        let _ = write!(
+                            open,
+                            " rdf:datatype=\"{}\"",
+                            escape_attr(lit.datatype().as_str())
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "    {open}>{}</{prefix}:{local}>",
+                        escape_text(lit.lexical())
+                    );
+                }
+            }
+        }
+        out.push_str("  </rdf:Description>\n");
+    }
+    out.push_str("</rdf:RDF>\n");
+    Ok(out)
+}
+
+fn is_xml_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_2004_style_foaf_document() {
+        let doc = r#"<?xml version="1.0"?>
+            <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                     xmlns:foaf="http://xmlns.com/foaf/0.1/"
+                     xmlns:trust="http://example.org/ns/trust#">
+              <foaf:Person rdf:about="http://ex.org/alice#me">
+                <foaf:name xml:lang="en">Alice</foaf:name>
+                <foaf:knows rdf:resource="http://ex.org/bob#me"/>
+              </foaf:Person>
+              <trust:Statement rdf:nodeID="t0">
+                <trust:truster rdf:resource="http://ex.org/alice#me"/>
+                <trust:trustee rdf:resource="http://ex.org/bob#me"/>
+                <trust:value rdf:datatype="http://www.w3.org/2001/XMLSchema#decimal">0.75</trust:value>
+              </trust:Statement>
+            </rdf:RDF>"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 7);
+        let alice: Subject = Iri::new("http://ex.org/alice#me").unwrap().into();
+        assert_eq!(
+            g.object_for(&alice, &vocab::rdf::type_()),
+            Some(Term::Iri(vocab::foaf::person()))
+        );
+        assert_eq!(
+            g.object_for(&alice, &vocab::foaf::name()),
+            Some(Term::Literal(Literal::lang("Alice", "en").unwrap()))
+        );
+        let stmt: Subject = BlankNode::new("t0").unwrap().into();
+        let value = g.object_for(&stmt, &vocab::trust::value()).unwrap();
+        assert_eq!(value.as_literal().unwrap().as_double(), Some(0.75));
+    }
+
+    #[test]
+    fn nested_node_elements() {
+        let doc = r#"
+            <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                     xmlns:foaf="http://xmlns.com/foaf/0.1/">
+              <foaf:Person rdf:about="http://ex.org/a">
+                <foaf:knows>
+                  <foaf:Person rdf:about="http://ex.org/b">
+                    <foaf:name>B</foaf:name>
+                  </foaf:Person>
+                </foaf:knows>
+              </foaf:Person>
+            </rdf:RDF>"#;
+        let g = parse(doc).unwrap();
+        let a: Subject = Iri::new("http://ex.org/a").unwrap().into();
+        assert_eq!(
+            g.object_for(&a, &vocab::foaf::knows()),
+            Some(Term::Iri(Iri::new("http://ex.org/b").unwrap()))
+        );
+        let b: Subject = Iri::new("http://ex.org/b").unwrap().into();
+        assert_eq!(g.triples_matching(Some(&b), None, None).count(), 2);
+    }
+
+    #[test]
+    fn property_attributes_and_anonymous_nodes() {
+        let doc = r#"
+            <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                     xmlns:foaf="http://xmlns.com/foaf/0.1/">
+              <foaf:Person foaf:nick="zed"/>
+            </rdf:RDF>"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 2); // type + nick on a fresh blank node
+        let nick = g
+            .triples_matching(None, Some(&vocab::foaf::nick()), None)
+            .next()
+            .unwrap();
+        assert!(matches!(nick.subject, Subject::Blank(_)));
+        assert_eq!(nick.object.as_literal().unwrap().lexical(), "zed");
+    }
+
+    #[test]
+    fn parse_type_resource() {
+        let doc = r#"
+            <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                     xmlns:ex="http://ex.org/ns#">
+              <rdf:Description rdf:about="http://ex.org/s">
+                <ex:shipping rdf:parseType="Resource">
+                  <ex:days>3</ex:days>
+                </ex:shipping>
+              </rdf:Description>
+            </rdf:RDF>"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 2);
+        let s: Subject = Iri::new("http://ex.org/s").unwrap().into();
+        let inner = g.object_for(&s, &Iri::new("http://ex.org/ns#shipping").unwrap()).unwrap();
+        assert!(matches!(inner, Term::Blank(_)));
+    }
+
+    #[test]
+    fn unsupported_constructs_are_rejected() {
+        let with = |body: &str| {
+            format!(
+                r#"<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                           xmlns:ex="http://ex.org/ns#">{body}</rdf:RDF>"#
+            )
+        };
+        assert!(parse(&with(r#"<rdf:Description rdf:ID="frag"/>"#)).is_err());
+        assert!(parse(&with(
+            r#"<rdf:Description rdf:about="http://e.org/x">
+                 <ex:p rdf:parseType="Collection"/>
+               </rdf:Description>"#
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn round_trips_through_the_writer() {
+        let mut g = Graph::new();
+        let alice = Iri::new("http://ex.org/alice#me").unwrap();
+        g.insert(Triple::new(alice.clone(), vocab::rdf::type_(), vocab::foaf::person()));
+        g.insert(Triple::new(
+            alice.clone(),
+            vocab::foaf::name(),
+            Literal::lang("Alice <& Co>", "en").unwrap(),
+        ));
+        g.insert(Triple::new(
+            alice.clone(),
+            vocab::trust::value(),
+            Literal::decimal(0.75),
+        ));
+        g.insert(Triple::new(
+            BlankNode::new("n1").unwrap(),
+            vocab::foaf::knows(),
+            alice,
+        ));
+        let doc = to_rdfxml(&g).unwrap();
+        assert!(doc.contains("xmlns:foaf"));
+        let parsed = parse(&doc).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn writer_rejects_unsplittable_predicates() {
+        let mut g = Graph::new();
+        // Local part ends with characters that no XML name allows.
+        g.insert(Triple::new(
+            Iri::new("http://ex.org/s").unwrap(),
+            Iri::new("http://ex.org/9starts-with-digit").unwrap(),
+            Literal::simple("x"),
+        ));
+        assert!(to_rdfxml(&g).is_err());
+    }
+
+    #[test]
+    fn single_node_root_without_rdf_wrapper() {
+        let doc = r#"<foaf:Person xmlns:foaf="http://xmlns.com/foaf/0.1/"
+                        xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                        rdf:about="http://ex.org/a"/>"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

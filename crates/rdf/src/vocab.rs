@@ -1,0 +1,162 @@
+//! Vocabularies used by the recommender infrastructure.
+//!
+//! Besides the W3C core namespaces this module defines the two small extension
+//! vocabularies the paper's deployment story needs (§3.1, §4):
+//!
+//! * [`trust`] — Golbeck-style trust statements layered on FOAF: a
+//!   `trust:trusts` reification carrying a continuous value in `[-1, +1]`.
+//! * [`rec`] — product rating statements (BLAM!-style machine-readable weblog
+//!   ratings): `rec:rates` reifications with a value in `[-1, +1]`, products
+//!   identified by `urn:isbn:` URIs or shop catalog IRIs.
+
+use crate::model::Iri;
+
+macro_rules! vocabulary {
+    ($(#[$meta:meta])* $name:ident, $ns:literal, { $($(#[$tmeta:meta])* $term:ident => $local:literal),+ $(,)? }) => {
+        $(#[$meta])*
+        pub mod $name {
+            use super::Iri;
+
+            /// The namespace IRI string.
+            pub const NS: &str = $ns;
+
+            $(
+                $(#[$tmeta])*
+                pub fn $term() -> Iri {
+                    Iri::new_unchecked(concat!($ns, $local))
+                }
+            )+
+        }
+    };
+}
+
+vocabulary!(
+    /// The RDF core namespace.
+    rdf, "http://www.w3.org/1999/02/22-rdf-syntax-ns#", {
+        /// `rdf:type`.
+        type_ => "type",
+        /// `rdf:langString` (datatype of language-tagged literals).
+        lang_string => "langString",
+        /// `rdf:value`.
+        value => "value",
+    }
+);
+
+vocabulary!(
+    /// The RDF Schema namespace.
+    rdfs, "http://www.w3.org/2000/01/rdf-schema#", {
+        /// `rdfs:label`.
+        label => "label",
+        /// `rdfs:subClassOf` — used to publish taxonomy edges.
+        sub_class_of => "subClassOf",
+        /// `rdfs:seeAlso` — used to link homepages for crawling.
+        see_also => "seeAlso",
+    }
+);
+
+vocabulary!(
+    /// XML Schema datatypes.
+    xsd, "http://www.w3.org/2001/XMLSchema#", {
+        /// `xsd:string`.
+        string => "string",
+        /// `xsd:integer`.
+        integer => "integer",
+        /// `xsd:decimal`.
+        decimal => "decimal",
+        /// `xsd:double`.
+        double => "double",
+        /// `xsd:boolean`.
+        boolean => "boolean",
+    }
+);
+
+vocabulary!(
+    /// Friend-of-a-Friend: machine-readable homepages and acquaintance links (§4).
+    foaf, "http://xmlns.com/foaf/0.1/", {
+        /// `foaf:Person`.
+        person => "Person",
+        /// `foaf:Agent`.
+        agent => "Agent",
+        /// `foaf:knows` — plain acquaintance edge.
+        knows => "knows",
+        /// `foaf:name`.
+        name => "name",
+        /// `foaf:nick`.
+        nick => "nick",
+        /// `foaf:homepage`.
+        homepage => "homepage",
+        /// `foaf:weblog`.
+        weblog => "weblog",
+        /// `foaf:topic_interest`.
+        topic_interest => "topic_interest",
+    }
+);
+
+vocabulary!(
+    /// Trust extension to FOAF (Golbeck et al., ref \[4\]): weighted, signed trust.
+    trust, "http://example.org/ns/trust#", {
+        /// `trust:Statement` — reified trust assertion.
+        statement => "Statement",
+        /// `trust:truster` — the agent issuing the statement.
+        truster => "truster",
+        /// `trust:trustee` — the agent being rated.
+        trustee => "trustee",
+        /// `trust:value` — continuous trust weight in [-1, +1].
+        value => "value",
+    }
+);
+
+vocabulary!(
+    /// Product rating vocabulary (BLAM!-style weblog ratings, §4).
+    rec, "http://example.org/ns/rec#", {
+        /// `rec:Rating` — reified product rating.
+        rating => "Rating",
+        /// `rec:rater` — the agent issuing the rating.
+        rater => "rater",
+        /// `rec:product` — the rated product (e.g. a `urn:isbn:` IRI).
+        product => "product",
+        /// `rec:score` — continuous rating in [-1, +1].
+        score => "score",
+        /// `rec:Product` — a catalogued product.
+        product_class => "Product",
+        /// `rec:topic` — descriptor assignment f: product → taxonomy topic.
+        topic => "topic",
+        /// `rec:Topic` — a taxonomy topic (category).
+        topic_class => "Topic",
+    }
+);
+
+/// Default prefix table used by the Turtle writer.
+pub fn default_prefixes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rdf", rdf::NS),
+        ("rdfs", rdfs::NS),
+        ("xsd", xsd::NS),
+        ("foaf", foaf::NS),
+        ("trust", trust::NS),
+        ("rec", rec::NS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_resolve_in_their_namespace() {
+        assert_eq!(foaf::knows().as_str(), "http://xmlns.com/foaf/0.1/knows");
+        assert_eq!(rdf::type_().as_str(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        assert_eq!(trust::value().as_str(), "http://example.org/ns/trust#value");
+        assert_eq!(rec::score().as_str(), "http://example.org/ns/rec#score");
+    }
+
+    #[test]
+    fn default_prefix_table_is_consistent() {
+        let prefixes = default_prefixes();
+        assert_eq!(prefixes.len(), 6);
+        for (p, ns) in prefixes {
+            assert!(!p.is_empty());
+            assert!(ns.ends_with('#') || ns.ends_with('/'));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Turtle serialization.
+//!
+//! The writer groups triples by subject, abbreviates predicates/objects with
+//! the supplied prefix table when the local part is a safe `PN_LOCAL`, and
+//! always emits documents the parser in [`crate::turtle`] round-trips.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+use crate::model::{Iri, Literal, Subject, Term};
+use crate::vocab;
+
+/// Options controlling Turtle output.
+#[derive(Clone, Debug)]
+pub struct TurtleWriterOptions {
+    /// `(prefix, namespace)` pairs used for abbreviation.
+    pub prefixes: Vec<(String, String)>,
+    /// Emit `a` instead of `rdf:type` in the predicate position.
+    pub use_a_keyword: bool,
+}
+
+impl Default for TurtleWriterOptions {
+    fn default() -> Self {
+        TurtleWriterOptions {
+            prefixes: vocab::default_prefixes()
+                .into_iter()
+                .map(|(p, ns)| (p.to_owned(), ns.to_owned()))
+                .collect(),
+            use_a_keyword: true,
+        }
+    }
+}
+
+/// Serializes a graph to a Turtle document with default options.
+pub fn to_turtle(graph: &Graph) -> String {
+    to_turtle_with(graph, &TurtleWriterOptions::default())
+}
+
+/// Serializes a graph to a Turtle document.
+pub fn to_turtle_with(graph: &Graph, options: &TurtleWriterOptions) -> String {
+    let mut out = String::new();
+    let used: Vec<&(String, String)> = options
+        .prefixes
+        .iter()
+        .filter(|(_, ns)| {
+            graph.iter().any(|t| {
+                t.predicate.as_str().starts_with(ns.as_str())
+                    || t.subject
+                        .as_iri()
+                        .is_some_and(|iri| iri.as_str().starts_with(ns.as_str()))
+                    || t.object
+                        .as_iri()
+                        .is_some_and(|iri| iri.as_str().starts_with(ns.as_str()))
+                    || t.object.as_literal().is_some_and(|lit| {
+                        !lit.is_simple()
+                            && lit.language().is_none()
+                            && lit.datatype().as_str().starts_with(ns.as_str())
+                    })
+            })
+        })
+        .collect();
+    for (prefix, ns) in &used {
+        let _ = writeln!(out, "@prefix {prefix}: <{ns}> .");
+    }
+    if !used.is_empty() {
+        out.push('\n');
+    }
+
+    for subject in graph.subjects() {
+        let triples: Vec<_> =
+            graph.triples_matching(Some(&subject), None, None).collect();
+        if triples.is_empty() {
+            continue;
+        }
+        out.push_str(&subject_str(&subject, options));
+        // Group consecutive triples sharing a predicate into object lists.
+        let mut by_pred: Vec<(Iri, Vec<Term>)> = Vec::new();
+        for t in triples {
+            match by_pred.iter_mut().find(|(p, _)| *p == t.predicate) {
+                Some((_, objs)) => objs.push(t.object),
+                None => by_pred.push((t.predicate, vec![t.object])),
+            }
+        }
+        for (i, (pred, objects)) in by_pred.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" ;\n   ");
+            }
+            out.push(' ');
+            out.push_str(&predicate_str(pred, options));
+            for (j, object) in objects.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(" ,");
+                }
+                out.push(' ');
+                out.push_str(&term_str(object, options));
+            }
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+fn subject_str(subject: &Subject, options: &TurtleWriterOptions) -> String {
+    match subject {
+        Subject::Iri(iri) => iri_str(iri, options),
+        Subject::Blank(b) => format!("_:{}", b.label()),
+    }
+}
+
+fn predicate_str(pred: &Iri, options: &TurtleWriterOptions) -> String {
+    if options.use_a_keyword && pred.as_str() == vocab::rdf::type_().as_str() {
+        return "a".to_owned();
+    }
+    iri_str(pred, options)
+}
+
+fn term_str(term: &Term, options: &TurtleWriterOptions) -> String {
+    match term {
+        Term::Iri(iri) => iri_str(iri, options),
+        Term::Blank(b) => format!("_:{}", b.label()),
+        Term::Literal(lit) => literal_str(lit, options),
+    }
+}
+
+fn iri_str(iri: &Iri, options: &TurtleWriterOptions) -> String {
+    for (prefix, ns) in &options.prefixes {
+        if let Some(local) = iri.as_str().strip_prefix(ns.as_str()) {
+            if is_safe_local(local) {
+                return format!("{prefix}:{local}");
+            }
+        }
+    }
+    format!("<{}>", escape_iri(iri.as_str()))
+}
+
+/// Conservative PN_LOCAL check: what we emit must parse back identically.
+fn is_safe_local(local: &str) -> bool {
+    !local.is_empty()
+        && !local.starts_with('.')
+        && !local.ends_with('.')
+        && local
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+fn escape_iri(iri: &str) -> String {
+    // Validation already rejects characters needing escapes; pass through.
+    iri.to_owned()
+}
+
+fn literal_str(lit: &Literal, options: &TurtleWriterOptions) -> String {
+    let mut out = String::with_capacity(lit.lexical().len() + 2);
+    out.push('"');
+    for c in lit.lexical().chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    if let Some(tag) = lit.language() {
+        let _ = write!(out, "@{tag}");
+    } else if !lit.is_simple() {
+        let dt = lit.datatype().into_owned();
+        let _ = write!(out, "^^{}", iri_str(&dt, options));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Triple;
+    use crate::turtle;
+
+    fn iri(s: &str) -> Iri {
+        Iri::new(s).unwrap()
+    }
+
+    #[test]
+    fn round_trips_a_mixed_graph() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            iri("http://ex.org/alice"),
+            vocab::foaf::knows(),
+            iri("http://ex.org/bob"),
+        ));
+        g.insert(Triple::new(
+            iri("http://ex.org/alice"),
+            vocab::foaf::name(),
+            Literal::lang("Alice", "en").unwrap(),
+        ));
+        g.insert(Triple::new(
+            iri("http://ex.org/alice"),
+            vocab::rdf::type_(),
+            vocab::foaf::person(),
+        ));
+        g.insert(Triple::new(
+            iri("http://ex.org/alice"),
+            vocab::trust::value(),
+            Literal::decimal(0.75),
+        ));
+        let doc = to_turtle(&g);
+        let parsed = turtle::parse(&doc).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn abbreviates_known_namespaces() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            iri("http://ex.org/a"),
+            vocab::foaf::knows(),
+            iri("http://ex.org/b"),
+        ));
+        let doc = to_turtle(&g);
+        assert!(doc.contains("foaf:knows"));
+        assert!(doc.contains("@prefix foaf:"));
+        // Unused prefixes are not declared.
+        assert!(!doc.contains("@prefix trust:"));
+    }
+
+    #[test]
+    fn escapes_special_characters_in_literals() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            iri("http://ex.org/a"),
+            iri("http://ex.org/p"),
+            Literal::simple("line\nwith \"quotes\" and \\slash\\ and\ttab"),
+        ));
+        let doc = to_turtle(&g);
+        let parsed = turtle::parse(&doc).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn uses_a_keyword_for_rdf_type() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(
+            iri("http://ex.org/a"),
+            vocab::rdf::type_(),
+            vocab::foaf::person(),
+        ));
+        assert!(to_turtle(&g).contains(" a foaf:Person"));
+
+        let opts = TurtleWriterOptions { use_a_keyword: false, ..Default::default() };
+        assert!(to_turtle_with(&g, &opts).contains("rdf:type"));
+    }
+
+    #[test]
+    fn unsafe_locals_fall_back_to_full_iris() {
+        let mut g = Graph::new();
+        // Local part with a '/' cannot be written as a prefixed name.
+        g.insert(Triple::new(
+            iri("http://xmlns.com/foaf/0.1/strange/deep"),
+            iri("http://ex.org/p"),
+            iri("http://ex.org/o"),
+        ));
+        let doc = to_turtle(&g);
+        assert!(doc.contains("<http://xmlns.com/foaf/0.1/strange/deep>"));
+        assert_eq!(turtle::parse(&doc).unwrap(), g);
+    }
+
+    #[test]
+    fn blank_nodes_round_trip() {
+        let mut g = Graph::new();
+        let b = crate::model::BlankNode::new("n1").unwrap();
+        g.insert(Triple::new(b.clone(), iri("http://ex.org/p"), Literal::integer(3)));
+        g.insert(Triple::new(iri("http://ex.org/s"), iri("http://ex.org/q"), b));
+        let doc = to_turtle(&g);
+        assert_eq!(turtle::parse(&doc).unwrap(), g);
+    }
+
+    #[test]
+    fn object_lists_are_grouped() {
+        let mut g = Graph::new();
+        g.insert(Triple::new(iri("http://ex.org/a"), vocab::foaf::knows(), iri("http://ex.org/b")));
+        g.insert(Triple::new(iri("http://ex.org/a"), vocab::foaf::knows(), iri("http://ex.org/c")));
+        let doc = to_turtle(&g);
+        // One subject block, a comma-separated object list.
+        assert_eq!(doc.matches("foaf:knows").count(), 1);
+        assert!(doc.contains(" ,"));
+    }
+}

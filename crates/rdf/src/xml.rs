@@ -1,0 +1,486 @@
+//! A minimal, namespace-aware XML reader — just enough for RDF/XML.
+//!
+//! Supports: prolog, comments, CDATA, elements with attributes,
+//! self-closing tags, character data with the five predefined entities and
+//! numeric character references, and `xmlns`/`xmlns:px` namespace scoping.
+//! DTDs and processing instructions beyond the prolog are rejected. This is
+//! not a general XML library — it exists so [`crate::rdfxml`] can read the
+//! FOAF documents of the paper's era.
+
+use std::collections::HashMap;
+
+use crate::error::{RdfError, Result};
+
+/// A parsed element tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Element {
+    /// Resolved namespace IRI of the element (empty if none).
+    pub namespace: String,
+    /// Local name.
+    pub local: String,
+    /// Attributes with resolved namespaces: `((namespace, local), value)`.
+    /// `xmlns` declarations are consumed and not listed.
+    pub attributes: Vec<((String, String), String)>,
+    /// Child content in document order.
+    pub children: Vec<Content>,
+}
+
+/// Element content: child elements or character data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// A nested element.
+    Element(Element),
+    /// Character data (entity references already resolved).
+    Text(String),
+}
+
+impl Element {
+    /// The concatenated immediate text content, trimmed.
+    pub fn text(&self) -> String {
+        self.raw_text().trim().to_owned()
+    }
+
+    /// The concatenated immediate text content, whitespace preserved —
+    /// required for RDF literal content, where whitespace is significant.
+    pub fn raw_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let Content::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Child elements only.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            Content::Element(e) => Some(e),
+            Content::Text(_) => None,
+        })
+    }
+
+    /// Attribute value by resolved `(namespace, local)` pair.
+    pub fn attribute(&self, namespace: &str, local: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|((ns, l), _)| ns == namespace && l == local)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True if the element has no child elements (text-only or empty).
+    pub fn is_leaf(&self) -> bool {
+        self.elements().next().is_none()
+    }
+}
+
+/// Parses a complete XML document into its root element.
+pub fn parse(input: &str) -> Result<Element> {
+    let mut parser = Parser { input: input.as_bytes(), pos: 0, line: 1 };
+    parser.skip_misc()?;
+    // The `xml` prefix is predefined by the XML namespaces spec.
+    let scope = HashMap::from([(
+        "xml".to_owned(),
+        "http://www.w3.org/XML/1998/namespace".to_owned(),
+    )]);
+    let root = parser.element(&scope)?;
+    parser.skip_misc()?;
+    if !parser.at_end() {
+        return Err(parser.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> u8 {
+        self.input[self.pos]
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.input[self.pos];
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Syntax { line: self.line, column: 0, message: message.into() }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            if !self.at_end() {
+                self.bump();
+            }
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while !self.at_end() && self.peek().is_ascii_whitespace() {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, the XML prolog, and comments between markup.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                while !self.at_end() && !self.starts_with("?>") {
+                    self.bump();
+                }
+                if self.at_end() {
+                    return Err(self.err("unterminated processing instruction"));
+                }
+                self.skip(2);
+            } else if self.starts_with("<!--") {
+                self.skip(4);
+                while !self.at_end() && !self.starts_with("-->") {
+                    self.bump();
+                }
+                if self.at_end() {
+                    return Err(self.err("unterminated comment"));
+                }
+                self.skip(3);
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(self.err("DTDs are not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while !self.at_end() {
+            let c = self.peek();
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self, scope: &HashMap<String, String>) -> Result<Element> {
+        if self.at_end() || self.peek() != b'<' {
+            return Err(self.err("expected `<`"));
+        }
+        self.bump();
+        let qname = self.name()?;
+
+        // Raw attributes first: xmlns declarations extend the scope.
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.at_end() {
+                return Err(self.err("unterminated start tag"));
+            }
+            if self.peek() == b'>' || self.starts_with("/>") {
+                break;
+            }
+            let attr_name = self.name()?;
+            self.skip_ws();
+            if self.at_end() || self.peek() != b'=' {
+                return Err(self.err("expected `=` in attribute"));
+            }
+            self.bump();
+            self.skip_ws();
+            let quote = if self.at_end() { 0 } else { self.bump() };
+            if quote != b'"' && quote != b'\'' {
+                return Err(self.err("expected quoted attribute value"));
+            }
+            let mut value = String::new();
+            loop {
+                if self.at_end() {
+                    return Err(self.err("unterminated attribute value"));
+                }
+                let c = self.bump();
+                if c == quote {
+                    break;
+                }
+                if c == b'&' {
+                    value.push(self.entity()?);
+                } else {
+                    push_byte(&mut value, c, self)?;
+                }
+            }
+            raw_attrs.push((attr_name, value));
+        }
+
+        let mut local_scope = scope.clone();
+        for (name, value) in &raw_attrs {
+            if name == "xmlns" {
+                local_scope.insert(String::new(), value.clone());
+            } else if let Some(prefix) = name.strip_prefix("xmlns:") {
+                local_scope.insert(prefix.to_owned(), value.clone());
+            }
+        }
+
+        let (namespace, local) = resolve(&qname, &local_scope, true, self)?;
+        let mut attributes = Vec::new();
+        for (name, value) in raw_attrs {
+            if name == "xmlns" || name.starts_with("xmlns:") {
+                continue;
+            }
+            let (ns, l) = resolve(&name, &local_scope, false, self)?;
+            attributes.push(((ns, l), value));
+        }
+
+        let mut element = Element { namespace, local, attributes, children: Vec::new() };
+
+        if self.starts_with("/>") {
+            self.skip(2);
+            return Ok(element);
+        }
+        self.bump(); // `>`
+
+        // Content until the matching end tag.
+        let mut text = String::new();
+        loop {
+            if self.at_end() {
+                return Err(self.err(format!("unterminated element `{qname}`")));
+            }
+            if self.starts_with("</") {
+                if !text.is_empty() {
+                    element.children.push(Content::Text(std::mem::take(&mut text)));
+                }
+                self.skip(2);
+                let end_name = self.name()?;
+                if end_name != qname {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected `</{qname}>`, found `</{end_name}>`"
+                    )));
+                }
+                self.skip_ws();
+                if self.at_end() || self.bump() != b'>' {
+                    return Err(self.err("expected `>` after end tag name"));
+                }
+                return Ok(element);
+            }
+            if self.starts_with("<!--") {
+                self.skip(4);
+                while !self.at_end() && !self.starts_with("-->") {
+                    self.bump();
+                }
+                if self.at_end() {
+                    return Err(self.err("unterminated comment"));
+                }
+                self.skip(3);
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.skip(9);
+                while !self.at_end() && !self.starts_with("]]>") {
+                    let c = self.bump();
+                    push_byte(&mut text, c, self)?;
+                }
+                if self.at_end() {
+                    return Err(self.err("unterminated CDATA section"));
+                }
+                self.skip(3);
+                continue;
+            }
+            if self.peek() == b'<' {
+                if !text.is_empty() {
+                    element.children.push(Content::Text(std::mem::take(&mut text)));
+                }
+                let child = self.element(&local_scope)?;
+                element.children.push(Content::Element(child));
+                continue;
+            }
+            let c = self.bump();
+            if c == b'&' {
+                text.push(self.entity()?);
+            } else {
+                push_byte(&mut text, c, self)?;
+            }
+        }
+    }
+
+    /// Resolves an entity reference after the consumed `&`.
+    fn entity(&mut self) -> Result<char> {
+        let start = self.pos;
+        while !self.at_end() && self.peek() != b';' {
+            self.bump();
+            if self.pos - start > 12 {
+                return Err(self.err("unterminated entity reference"));
+            }
+        }
+        if self.at_end() {
+            return Err(self.err("unterminated entity reference"));
+        }
+        let name = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+        self.bump(); // `;`
+        match name.as_str() {
+            "amp" => Ok('&'),
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ => {
+                if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| self.err("invalid character reference"))
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| self.err("invalid character reference"))
+                } else {
+                    Err(self.err(format!("unknown entity `&{name};`")))
+                }
+            }
+        }
+    }
+}
+
+/// Appends one input byte (possibly the start of a UTF-8 sequence) to `out`.
+fn push_byte(out: &mut String, first: u8, parser: &mut Parser<'_>) -> Result<()> {
+    if first < 0x80 {
+        out.push(first as char);
+        return Ok(());
+    }
+    let mut buf = vec![first];
+    while !parser.at_end() && parser.peek() & 0xC0 == 0x80 {
+        buf.push(parser.bump());
+    }
+    out.push_str(
+        std::str::from_utf8(&buf).map_err(|_| parser.err("invalid UTF-8 in document"))?,
+    );
+    Ok(())
+}
+
+/// Resolves `prefix:local` against the namespace scope.
+fn resolve(
+    qname: &str,
+    scope: &HashMap<String, String>,
+    use_default: bool,
+    parser: &Parser<'_>,
+) -> Result<(String, String)> {
+    match qname.split_once(':') {
+        Some((prefix, local)) => {
+            let ns = scope
+                .get(prefix)
+                .ok_or_else(|| parser.err(format!("undeclared namespace prefix `{prefix}`")))?;
+            Ok((ns.clone(), local.to_owned()))
+        }
+        None => {
+            // Unprefixed attributes have no namespace; unprefixed elements
+            // take the default namespace.
+            let ns = if use_default {
+                scope.get("").cloned().unwrap_or_default()
+            } else {
+                String::new()
+            };
+            Ok((ns, qname.to_owned()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_with_namespaces() {
+        let doc = r#"<?xml version="1.0"?>
+            <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+                     xmlns:foaf="http://xmlns.com/foaf/0.1/">
+              <foaf:Person rdf:about="http://ex.org/alice#me">
+                <foaf:name>Alice</foaf:name>
+              </foaf:Person>
+            </rdf:RDF>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.local, "RDF");
+        assert_eq!(root.namespace, "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+        let person = root.elements().next().unwrap();
+        assert_eq!(person.local, "Person");
+        assert_eq!(person.namespace, "http://xmlns.com/foaf/0.1/");
+        assert_eq!(
+            person.attribute("http://www.w3.org/1999/02/22-rdf-syntax-ns#", "about"),
+            Some("http://ex.org/alice#me")
+        );
+        let name = person.elements().next().unwrap();
+        assert_eq!(name.text(), "Alice");
+        assert!(name.is_leaf());
+    }
+
+    #[test]
+    fn default_namespace_and_self_closing() {
+        let doc = r#"<doc xmlns="http://d.example/"><leaf attr="x"/></doc>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.namespace, "http://d.example/");
+        let leaf = root.elements().next().unwrap();
+        assert_eq!(leaf.namespace, "http://d.example/");
+        // Unprefixed attributes carry no namespace.
+        assert_eq!(leaf.attribute("", "attr"), Some("x"));
+    }
+
+    #[test]
+    fn entities_and_character_references() {
+        let doc = "<x>a &amp; b &lt;c&gt; &#233; &#x00E9; &quot;q&quot;</x>";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.text(), "a & b <c> é é \"q\"");
+    }
+
+    #[test]
+    fn cdata_and_comments() {
+        let doc = "<x><!-- note --><![CDATA[<raw & data>]]></x>";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.text(), "<raw & data>");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("<a><b></a></b>").is_err()); // mismatched tags
+        assert!(parse("<a>").is_err()); // unterminated
+        assert!(parse("<a>&unknown;</a>").is_err());
+        assert!(parse("<p:a xmlns:q=\"http://x/\"/>").is_err()); // undeclared prefix
+        assert!(parse("<!DOCTYPE html><a/>").is_err()); // DTD rejected
+        assert!(parse("<a/><b/>").is_err()); // two roots
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn mixed_content_order_is_preserved() {
+        let doc = "<x>one<y/>two</x>";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.children.len(), 3);
+        assert!(matches!(&root.children[0], Content::Text(t) if t == "one"));
+        assert!(matches!(&root.children[1], Content::Element(e) if e.local == "y"));
+        assert!(matches!(&root.children[2], Content::Text(t) if t == "two"));
+    }
+
+    #[test]
+    fn namespace_scoping_is_lexical() {
+        let doc = r#"<a xmlns:p="http://one/"><p:b/><c xmlns:p="http://two/"><p:d/></c></a>"#;
+        let root = parse(doc).unwrap();
+        let kids: Vec<&Element> = root.elements().collect();
+        assert_eq!(kids[0].namespace, "http://one/");
+        let d = kids[1].elements().next().unwrap();
+        assert_eq!(d.namespace, "http://two/");
+    }
+}

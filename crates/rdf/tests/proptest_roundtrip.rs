@@ -1,0 +1,169 @@
+//! Property-based round-trip tests: any graph assembled from generated terms
+//! must survive Turtle and N-Triples serialization → parsing unchanged.
+
+use proptest::prelude::*;
+use semrec_rdf::{ntriples, turtle, writer, BlankNode, Graph, Iri, Literal, Subject, Term, Triple};
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    (
+        prop_oneof![
+            Just("http://example.org/"),
+            Just("http://xmlns.com/foaf/0.1/"),
+            Just("urn:isbn:"),
+        ],
+        "[A-Za-z][A-Za-z0-9_.-]{0,12}",
+    )
+        .prop_map(|(ns, local)| Iri::new(format!("{ns}{local}")).unwrap())
+}
+
+fn arb_blank() -> impl Strategy<Value = BlankNode> {
+    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(|l| BlankNode::new(l).unwrap())
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Arbitrary unicode content including characters needing escapes.
+        "[ -~äöüß\n\t\"\\\\]{0,20}".prop_map(Literal::simple),
+        ("[ -~]{0,10}", "[a-z]{2}").prop_map(|(s, t)| Literal::lang(s, t).unwrap()),
+        any::<i64>().prop_map(Literal::integer),
+        (-1000i32..1000, 1u32..100)
+            .prop_map(|(n, d)| Literal::decimal(f64::from(n) / f64::from(d))),
+        any::<bool>().prop_map(Literal::boolean),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Subject> {
+    prop_oneof![
+        arb_iri().prop_map(Subject::Iri),
+        arb_blank().prop_map(Subject::Blank),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri().prop_map(Term::Iri),
+        arb_blank().prop_map(Term::Blank),
+        arb_literal().prop_map(Term::Literal),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_subject(), arb_iri(), arb_object())
+        .prop_map(|(s, p, o)| Triple { subject: s, predicate: p, object: o })
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec(arb_triple(), 0..40).prop_map(|ts| ts.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn turtle_round_trip(g in arb_graph()) {
+        let doc = writer::to_turtle(&g);
+        let parsed = turtle::parse(&doc).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn ntriples_round_trip(g in arb_graph()) {
+        let doc = ntriples::to_ntriples(&g);
+        let parsed = ntriples::parse(&doc).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn ntriples_output_is_canonical(g in arb_graph()) {
+        // Serializing a parsed graph again yields the identical document.
+        let doc = ntriples::to_ntriples(&g);
+        let again = ntriples::to_ntriples(&ntriples::parse(&doc).unwrap());
+        prop_assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn insert_then_remove_restores_length(g in arb_graph(), t in arb_triple()) {
+        let mut h = g.clone();
+        let had = h.contains(&t);
+        h.insert(t.clone());
+        h.remove(&t);
+        if had {
+            // Removed a pre-existing triple: one fewer than original.
+            prop_assert_eq!(h.len(), g.len() - 1);
+        } else {
+            prop_assert_eq!(h.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn pattern_match_agrees_with_scan(g in arb_graph()) {
+        for t in g.iter().take(5) {
+            let by_s = g.triples_matching(Some(&t.subject), None, None).count();
+            let scan = g.iter().filter(|u| u.subject == t.subject).count();
+            prop_assert_eq!(by_s, scan);
+            let by_p = g.triples_matching(None, Some(&t.predicate), None).count();
+            let scan_p = g.iter().filter(|u| u.predicate == t.predicate).count();
+            prop_assert_eq!(by_p, scan_p);
+            let by_o = g.triples_matching(None, None, Some(&t.object)).count();
+            let scan_o = g.iter().filter(|u| u.object == t.object).count();
+            prop_assert_eq!(by_o, scan_o);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The open Web feeds crawlers arbitrary bytes: the Turtle parser must
+    /// return `Err`, never panic, on any input.
+    #[test]
+    fn turtle_parser_never_panics(input in "\\PC{0,300}") {
+        let _ = turtle::parse(&input);
+    }
+
+    /// Same with syntax-shaped noise (brackets, quotes, escapes, directives).
+    #[test]
+    fn turtle_parser_survives_syntax_shards(
+        input in r#"[@<>"'\\\[\]();,\.a-z0-9:#\u{00e9} \n\t-]{0,200}"#
+    ) {
+        let _ = turtle::parse(&input);
+    }
+
+    /// Truncations of a valid document parse or fail cleanly — never panic.
+    #[test]
+    fn truncated_documents_fail_cleanly(g in arb_graph(), cut in 0usize..2000) {
+        let doc = writer::to_turtle(&g);
+        let mut end = cut.min(doc.len());
+        while !doc.is_char_boundary(end) {
+            end -= 1;
+        }
+        let _ = turtle::parse(&doc[..end]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// RDF/XML round-trip: our generated namespaces all produce splittable
+    /// predicates, so serialization must succeed and re-parse identically.
+    #[test]
+    fn rdfxml_round_trip(g in arb_graph()) {
+        let doc = semrec_rdf::rdfxml::to_rdfxml(&g).unwrap();
+        let parsed = semrec_rdf::rdfxml::parse(&doc).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    /// The RDF/XML parser (and the XML reader under it) must never panic on
+    /// arbitrary input.
+    #[test]
+    fn rdfxml_parser_never_panics(input in "\\PC{0,300}") {
+        let _ = semrec_rdf::rdfxml::parse(&input);
+    }
+
+    #[test]
+    fn rdfxml_parser_survives_markup_shards(
+        input in r#"[<>&;/="'a-z0-9:#!\[\] \n\t?-]{0,200}"#
+    ) {
+        let _ = semrec_rdf::rdfxml::parse(&input);
+    }
+}

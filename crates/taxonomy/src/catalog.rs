@@ -1,0 +1,217 @@
+//! The product set `B` and the descriptor assignment function `f: B → 2^D`
+//! (§3.1 of the paper).
+//!
+//! Products carry globally agreed identifiers — ISBNs for books, shop catalog
+//! URIs otherwise — and one or more topic descriptors relating them to the
+//! taxonomy. The paper requires `|f(b)| ≥ 1` for every product, "for
+//! classification into one single category generally entails loss of
+//! precision".
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, TaxonomyError};
+use crate::taxonomy::Taxonomy;
+use crate::topic::TopicId;
+
+/// Dense identifier of a product `b_j ∈ B`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProductId(pub(crate) u32);
+
+impl ProductId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `ProductId` from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        ProductId(u32::try_from(index).expect("product index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A catalogued product.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Product {
+    /// Globally unique external identifier (e.g. `urn:isbn:0387954521`).
+    pub identifier: String,
+    /// Human-readable title.
+    pub title: String,
+}
+
+/// The product catalog: set `B` plus the descriptor assignment `f`.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    products: Vec<Product>,
+    descriptors: Vec<Vec<TopicId>>,
+    by_identifier: HashMap<String, ProductId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of products `m = |B|`.
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// True if no products are registered.
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// Registers a product with its topic descriptors `f(b)`.
+    ///
+    /// Descriptors must be non-empty and name topics of `taxonomy`.
+    pub fn add_product(
+        &mut self,
+        taxonomy: &Taxonomy,
+        identifier: impl Into<String>,
+        title: impl Into<String>,
+        descriptors: Vec<TopicId>,
+    ) -> Result<ProductId> {
+        let identifier = identifier.into();
+        if descriptors.is_empty() {
+            return Err(TaxonomyError::MissingDescriptors(identifier));
+        }
+        for &d in &descriptors {
+            if d.index() >= taxonomy.len() {
+                return Err(TaxonomyError::UnknownTopic(d.index()));
+            }
+        }
+        if self.by_identifier.contains_key(&identifier) {
+            return Err(TaxonomyError::DuplicateProduct(identifier));
+        }
+        let id = ProductId::from_index(self.products.len());
+        self.by_identifier.insert(identifier.clone(), id);
+        self.products.push(Product { identifier, title: title.into() });
+        let mut descriptors = descriptors;
+        descriptors.sort_unstable();
+        descriptors.dedup();
+        self.descriptors.push(descriptors);
+        Ok(id)
+    }
+
+    /// The product record.
+    pub fn product(&self, id: ProductId) -> &Product {
+        &self.products[id.index()]
+    }
+
+    /// The descriptor set `f(b)` (sorted, deduplicated; `|f(b)| ≥ 1`).
+    pub fn descriptors(&self, id: ProductId) -> &[TopicId] {
+        &self.descriptors[id.index()]
+    }
+
+    /// Looks a product up by its external identifier.
+    pub fn by_identifier(&self, identifier: &str) -> Option<ProductId> {
+        self.by_identifier.get(identifier).copied()
+    }
+
+    /// Iterates all product ids.
+    pub fn iter(&self) -> impl Iterator<Item = ProductId> {
+        (0..self.products.len()).map(ProductId::from_index)
+    }
+
+    /// All products carrying a given descriptor.
+    pub fn products_with_descriptor(&self, topic: TopicId) -> Vec<ProductId> {
+        self.iter().filter(|&p| self.descriptors(p).contains(&topic)).collect()
+    }
+
+    /// All products classified somewhere under `topic` (inclusive).
+    pub fn products_under(&self, taxonomy: &Taxonomy, topic: TopicId) -> Vec<ProductId> {
+        self.iter()
+            .filter(|&p| self.descriptors(p).iter().any(|&d| taxonomy.is_ancestor(topic, d)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Taxonomy, Catalog, Vec<TopicId>) {
+        let mut b = Taxonomy::builder("Books");
+        let science = b.add_topic("Science", TopicId::TOP).unwrap();
+        let math = b.add_topic("Mathematics", science).unwrap();
+        let fiction = b.add_topic("Fiction", TopicId::TOP).unwrap();
+        let t = b.build();
+        let mut c = Catalog::new();
+        c.add_product(&t, "urn:isbn:0387954521", "Matrix Analysis", vec![math]).unwrap();
+        c.add_product(&t, "urn:isbn:0553380958", "Snow Crash", vec![fiction]).unwrap();
+        c.add_product(&t, "urn:isbn:0802713319", "Fermat's Enigma", vec![math, science])
+            .unwrap();
+        (t, c, vec![science, math, fiction])
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let (_t, c, ids) = setup();
+        assert_eq!(c.len(), 3);
+        let p = c.by_identifier("urn:isbn:0387954521").unwrap();
+        assert_eq!(c.product(p).title, "Matrix Analysis");
+        assert_eq!(c.descriptors(p), &[ids[1]]);
+        assert!(c.by_identifier("urn:isbn:none").is_none());
+    }
+
+    #[test]
+    fn duplicate_identifiers_fail() {
+        let (t, mut c, ids) = setup();
+        assert!(matches!(
+            c.add_product(&t, "urn:isbn:0387954521", "Again", vec![ids[0]]),
+            Err(TaxonomyError::DuplicateProduct(_))
+        ));
+    }
+
+    #[test]
+    fn empty_descriptors_fail() {
+        let (t, mut c, _) = setup();
+        assert!(matches!(
+            c.add_product(&t, "urn:isbn:1111111111", "No topics", vec![]),
+            Err(TaxonomyError::MissingDescriptors(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_descriptor_topics_fail() {
+        let (t, mut c, _) = setup();
+        assert!(matches!(
+            c.add_product(&t, "urn:isbn:1111111111", "Bad", vec![TopicId::from_index(99)]),
+            Err(TaxonomyError::UnknownTopic(99))
+        ));
+    }
+
+    #[test]
+    fn descriptors_are_deduplicated() {
+        let (t, mut c, ids) = setup();
+        let p = c
+            .add_product(&t, "urn:isbn:2222222222", "Dup", vec![ids[1], ids[1], ids[0]])
+            .unwrap();
+        assert_eq!(c.descriptors(p), &[ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn queries_by_topic() {
+        let (t, c, ids) = setup();
+        let [science, math, fiction] = ids[..] else { unreachable!() };
+        assert_eq!(c.products_with_descriptor(math).len(), 2);
+        assert_eq!(c.products_with_descriptor(fiction).len(), 1);
+        // products_under Science includes everything classified under math too.
+        assert_eq!(c.products_under(&t, science).len(), 2);
+        assert_eq!(c.products_under(&t, TopicId::TOP).len(), 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for taxonomy and catalog construction.
+
+use std::fmt;
+
+/// Result alias for taxonomy operations.
+pub type Result<T> = std::result::Result<T, TaxonomyError>;
+
+/// Errors from taxonomy or catalog construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// A topic id did not designate an existing topic.
+    UnknownTopic(usize),
+    /// A topic label was already taken.
+    DuplicateLabel(String),
+    /// An edge would have made the taxonomy cyclic (or targeted ⊤).
+    CycleDetected,
+    /// A product identifier (ISBN/URI) was already registered.
+    DuplicateProduct(String),
+    /// A product id did not designate an existing product.
+    UnknownProduct(usize),
+    /// A product was registered without any topic descriptor (`|f(b)| ≥ 1`).
+    MissingDescriptors(String),
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxonomyError::UnknownTopic(idx) => write!(f, "unknown topic index {idx}"),
+            TaxonomyError::DuplicateLabel(label) => write!(f, "duplicate topic label `{label}`"),
+            TaxonomyError::CycleDetected => write!(f, "edge would create a cycle"),
+            TaxonomyError::DuplicateProduct(id) => write!(f, "duplicate product `{id}`"),
+            TaxonomyError::UnknownProduct(idx) => write!(f, "unknown product index {idx}"),
+            TaxonomyError::MissingDescriptors(id) => {
+                write!(f, "product `{id}` has no topic descriptors (|f(b)| ≥ 1 required)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TaxonomyError::UnknownTopic(3).to_string().contains('3'));
+        assert!(TaxonomyError::DuplicateLabel("X".into()).to_string().contains('X'));
+        assert!(TaxonomyError::MissingDescriptors("isbn".into()).to_string().contains("f(b)"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Fixtures reproducing Figure 1 and Example 1 of the paper.
+//!
+//! Figure 1 shows a "small fragment from the Amazon book taxonomy" containing
+//! the path **Books → Science → Mathematics → Pure → Algebra**. Example 1
+//! fixes the sibling counts along that path implicitly through its reported
+//! scores (29.087, 14.543, 4.848, 1.212, 0.303 for a leaf allotment of 50):
+//!
+//! * `Algebra` has 1 sibling under `Pure`        (50 → half to parent level),
+//! * `Pure` has 2 siblings under `Mathematics`,
+//! * `Mathematics` has 3 siblings under `Science`,
+//! * `Science` has 3 siblings under `Books`.
+//!
+//! The fixture reproduces exactly those counts and adds the branches needed
+//! to host Example 1's four books (*Matrix Analysis*, *Fermat's Enigma*,
+//! *Snow Crash*, *Neuromancer*).
+
+use crate::catalog::{Catalog, ProductId};
+use crate::taxonomy::Taxonomy;
+use crate::topic::TopicId;
+
+/// Named handles into the Figure 1 fixture taxonomy.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The taxonomy itself (root label `Books`).
+    pub taxonomy: Taxonomy,
+    /// `Science`, child of ⊤ with 3 siblings.
+    pub science: TopicId,
+    /// `Mathematics`, child of `Science` with 3 siblings.
+    pub mathematics: TopicId,
+    /// `Pure`, child of `Mathematics` with 2 siblings.
+    pub pure: TopicId,
+    /// `Algebra`, child of `Pure` with 1 sibling.
+    pub algebra: TopicId,
+    /// `Applied`, sibling of `Pure` (used by the §3.3 similarity example).
+    pub applied: TopicId,
+    /// `Science Fiction`, hosting *Snow Crash* and *Neuromancer*.
+    pub science_fiction: TopicId,
+    /// `History of Mathematics`, hosting *Fermat's Enigma*.
+    pub history_of_math: TopicId,
+    /// `Matrix Theory`, a further Matrix-Analysis descriptor.
+    pub matrix_theory: TopicId,
+    /// `Linear Algebra` under `Matrix Theory`'s branch.
+    pub linear_algebra: TopicId,
+    /// `Textbooks` under `Reference`.
+    pub textbooks: TopicId,
+    /// `Number Theory`, sibling branch used by Fermat's Enigma.
+    pub number_theory: TopicId,
+    /// `Cyberpunk` under `Science Fiction`.
+    pub cyberpunk: TopicId,
+}
+
+/// Builds the Figure 1 fragment with Example 1's sibling counts.
+pub fn figure1() -> Figure1 {
+    let mut b = Taxonomy::builder("Books");
+    let top = TopicId::TOP;
+
+    // Books: Science + 3 siblings.
+    let science = b.add_topic("Science", top).unwrap();
+    let fiction = b.add_topic("Fiction", top).unwrap();
+    let _nonfiction = b.add_topic("Nonfiction", top).unwrap();
+    let reference = b.add_topic("Reference", top).unwrap();
+
+    // Science: Mathematics + 3 siblings.
+    let mathematics = b.add_topic("Mathematics", science).unwrap();
+    let _physics = b.add_topic("Physics", science).unwrap();
+    let _astronomy = b.add_topic("Astronomy", science).unwrap();
+    let _biology = b.add_topic("Biology", science).unwrap();
+
+    // Mathematics: Pure + 2 siblings.
+    let pure = b.add_topic("Pure", mathematics).unwrap();
+    let applied = b.add_topic("Applied", mathematics).unwrap();
+    let history_of_math = b.add_topic("History of Mathematics", mathematics).unwrap();
+
+    // Pure: Algebra + 1 sibling.
+    let algebra = b.add_topic("Algebra", pure).unwrap();
+    let number_theory = b.add_topic("Number Theory", pure).unwrap();
+
+    // Branches hosting the remaining Example 1 descriptors and books.
+    let matrix_theory = b.add_topic("Matrix Theory", applied).unwrap();
+    let linear_algebra = b.add_topic("Linear Algebra", matrix_theory).unwrap();
+    let textbooks = b.add_topic("Textbooks", reference).unwrap();
+    let science_fiction = b.add_topic("Science Fiction", fiction).unwrap();
+    let cyberpunk = b.add_topic("Cyberpunk", science_fiction).unwrap();
+
+    Figure1 {
+        taxonomy: b.build(),
+        science,
+        mathematics,
+        pure,
+        algebra,
+        applied,
+        science_fiction,
+        history_of_math,
+        matrix_theory,
+        linear_algebra,
+        textbooks,
+        number_theory,
+        cyberpunk,
+    }
+}
+
+/// Example 1's four books, registered against the Figure 1 taxonomy.
+///
+/// *Matrix Analysis* carries exactly 5 descriptors ("For Matrix Analysis, 5
+/// topic descriptors are given, one of them pointing to leaf topic Algebra"),
+/// so with `s = 1000` its Algebra descriptor is allotted `1000/(4·5) = 50`.
+#[derive(Clone, Debug)]
+pub struct Example1 {
+    /// The Figure 1 taxonomy and named topics.
+    pub fig: Figure1,
+    /// The product catalog holding the four books.
+    pub catalog: Catalog,
+    /// *Matrix Analysis* (5 descriptors, incl. Algebra).
+    pub matrix_analysis: ProductId,
+    /// *Fermat's Enigma*.
+    pub fermats_enigma: ProductId,
+    /// *Snow Crash*.
+    pub snow_crash: ProductId,
+    /// *Neuromancer*.
+    pub neuromancer: ProductId,
+}
+
+/// Builds the Example 1 scenario.
+pub fn example1() -> Example1 {
+    let fig = figure1();
+    let t = &fig.taxonomy;
+    let mut catalog = Catalog::new();
+    let matrix_analysis = catalog
+        .add_product(
+            t,
+            "urn:isbn:0521386322",
+            "Matrix Analysis",
+            vec![
+                fig.algebra,
+                fig.matrix_theory,
+                fig.linear_algebra,
+                fig.textbooks,
+                fig.applied,
+            ],
+        )
+        .unwrap();
+    let fermats_enigma = catalog
+        .add_product(
+            t,
+            "urn:isbn:0385493622",
+            "Fermat's Enigma",
+            vec![fig.number_theory, fig.history_of_math],
+        )
+        .unwrap();
+    let snow_crash = catalog
+        .add_product(t, "urn:isbn:0553380958", "Snow Crash", vec![fig.cyberpunk])
+        .unwrap();
+    let neuromancer = catalog
+        .add_product(t, "urn:isbn:0441569595", "Neuromancer", vec![fig.cyberpunk])
+        .unwrap();
+    Example1 { fig, catalog, matrix_analysis, fermats_enigma, snow_crash, neuromancer }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sibling_counts_match_example_1() {
+        let f = figure1();
+        let t = &f.taxonomy;
+        assert_eq!(t.siblings_under(f.algebra, f.pure), 1);
+        assert_eq!(t.siblings_under(f.pure, f.mathematics), 2);
+        assert_eq!(t.siblings_under(f.mathematics, f.science), 3);
+        assert_eq!(t.siblings_under(f.science, TopicId::TOP), 3);
+    }
+
+    #[test]
+    fn algebra_path_matches_figure_1() {
+        let f = figure1();
+        let paths = f.taxonomy.paths_from_top(f.algebra);
+        assert_eq!(paths.len(), 1);
+        let labels: Vec<_> = paths[0].iter().map(|&p| f.taxonomy.label(p)).collect();
+        assert_eq!(labels, vec!["Books", "Science", "Mathematics", "Pure", "Algebra"]);
+    }
+
+    #[test]
+    fn example1_has_four_books_and_five_descriptors() {
+        let e = example1();
+        assert_eq!(e.catalog.len(), 4);
+        assert_eq!(e.catalog.descriptors(e.matrix_analysis).len(), 5);
+        assert!(e.catalog.descriptors(e.matrix_analysis).contains(&e.fig.algebra));
+        assert_eq!(e.catalog.product(e.snow_crash).title, "Snow Crash");
+    }
+
+    #[test]
+    fn taxonomy_is_single_rooted() {
+        let f = figure1();
+        let t = &f.taxonomy;
+        for id in t.iter() {
+            if id != TopicId::TOP {
+                assert!(!t.parents(id).is_empty());
+                assert!(t.is_ancestor(TopicId::TOP, id));
+            }
+        }
+        assert!(t.parents(TopicId::TOP).is_empty());
+    }
+}

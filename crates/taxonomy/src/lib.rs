@@ -1,0 +1,35 @@
+//! # semrec-taxonomy — taxonomy `C`, topic set `D`, products `B`, descriptors `f`
+//!
+//! The paper's information model (§3.1) globally publishes a taxonomy `C`
+//! arranging every category `d_k ∈ D` in an acyclic graph with exactly one
+//! top element `⊤`, a product set `B`, and a descriptor assignment
+//! `f: B → 2^D`. This crate implements all three, plus the Figure 1 /
+//! Example 1 fixtures and the structural statistics experiment E10 uses.
+//!
+//! ```
+//! use semrec_taxonomy::{Taxonomy, TopicId};
+//!
+//! let mut builder = Taxonomy::builder("Books");
+//! let science = builder.add_topic("Science", TopicId::TOP).unwrap();
+//! let math = builder.add_topic("Mathematics", science).unwrap();
+//! let taxonomy = builder.build();
+//! assert!(taxonomy.is_ancestor(TopicId::TOP, math));
+//! assert_eq!(taxonomy.depth(math), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod error;
+pub mod fixtures;
+pub mod stats;
+#[allow(clippy::module_inception)]
+pub mod taxonomy;
+pub mod topic;
+
+pub use catalog::{Catalog, Product, ProductId};
+pub use error::{Result, TaxonomyError};
+pub use stats::{stats, TaxonomyStats};
+pub use taxonomy::{Taxonomy, TaxonomyBuilder};
+pub use topic::{Topic, TopicId};

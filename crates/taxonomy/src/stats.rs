@@ -1,0 +1,153 @@
+//! Structural statistics over taxonomies.
+//!
+//! §6 of the paper asks how taxonomy *structure* (Amazon's book taxonomy is
+//! deep and narrow; its DVD taxonomy broader but shallower) impacts profile
+//! generation. These statistics quantify the shapes experiment E10 compares.
+
+use crate::taxonomy::Taxonomy;
+use crate::topic::TopicId;
+
+/// Aggregate shape statistics of a taxonomy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaxonomyStats {
+    /// Total number of topics including ⊤.
+    pub topics: usize,
+    /// Number of leaf topics.
+    pub leaves: usize,
+    /// Number of inner (non-leaf) topics.
+    pub inner: usize,
+    /// Maximum depth.
+    pub max_depth: u32,
+    /// Mean depth over leaf topics.
+    pub mean_leaf_depth: f64,
+    /// Mean branching factor over inner topics.
+    pub mean_branching: f64,
+    /// Maximum branching factor.
+    pub max_branching: usize,
+    /// Histogram of topic counts per depth (index = depth).
+    pub depth_histogram: Vec<usize>,
+}
+
+/// Computes shape statistics for a taxonomy.
+pub fn stats(taxonomy: &Taxonomy) -> TaxonomyStats {
+    let mut leaves = 0usize;
+    let mut leaf_depth_sum = 0u64;
+    let mut inner = 0usize;
+    let mut child_sum = 0usize;
+    let mut max_branching = 0usize;
+    let mut depth_histogram = vec![0usize; taxonomy.max_depth() as usize + 1];
+
+    for id in taxonomy.iter() {
+        depth_histogram[taxonomy.depth(id) as usize] += 1;
+        let kids = taxonomy.children(id).len();
+        if kids == 0 {
+            leaves += 1;
+            leaf_depth_sum += u64::from(taxonomy.depth(id));
+        } else {
+            inner += 1;
+            child_sum += kids;
+            max_branching = max_branching.max(kids);
+        }
+    }
+
+    TaxonomyStats {
+        topics: taxonomy.len(),
+        leaves,
+        inner,
+        max_depth: taxonomy.max_depth(),
+        mean_leaf_depth: if leaves > 0 { leaf_depth_sum as f64 / leaves as f64 } else { 0.0 },
+        mean_branching: if inner > 0 { child_sum as f64 / inner as f64 } else { 0.0 },
+        max_branching,
+        depth_histogram,
+    }
+}
+
+/// Renders a taxonomy as an indented tree, depth-first (Figure 1 style).
+///
+/// DAG nodes with several parents appear once per parent. Intended for small
+/// fragments; output is truncated after `max_lines`.
+pub fn render_tree(taxonomy: &Taxonomy, max_lines: usize) -> String {
+    let mut out = String::new();
+    let mut lines = 0usize;
+    render_node(taxonomy, TopicId::TOP, 0, &mut out, &mut lines, max_lines);
+    if lines >= max_lines {
+        out.push_str("…\n");
+    }
+    out
+}
+
+fn render_node(
+    taxonomy: &Taxonomy,
+    node: TopicId,
+    indent: usize,
+    out: &mut String,
+    lines: &mut usize,
+    max_lines: usize,
+) {
+    if *lines >= max_lines {
+        return;
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str(taxonomy.label(node));
+    out.push('\n');
+    *lines += 1;
+    for &child in taxonomy.children(node) {
+        render_node(taxonomy, child, indent + 1, out, lines, max_lines);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1;
+
+    #[test]
+    fn figure1_shape() {
+        let f = figure1();
+        let s = stats(&f.taxonomy);
+        assert_eq!(s.topics, f.taxonomy.len());
+        assert_eq!(s.leaves + s.inner, s.topics);
+        // Deepest branch: Books → Science → Mathematics → Applied →
+        // Matrix Theory → Linear Algebra.
+        assert_eq!(s.max_depth, 5);
+        assert_eq!(s.depth_histogram[0], 1); // exactly one ⊤
+        assert_eq!(s.depth_histogram.iter().sum::<usize>(), s.topics);
+        assert!(s.mean_leaf_depth > 1.0);
+        assert!(s.mean_branching > 1.0);
+        assert_eq!(s.max_branching, 4);
+    }
+
+    #[test]
+    fn render_contains_the_figure1_path() {
+        let f = figure1();
+        let rendered = render_tree(&f.taxonomy, 100);
+        for label in ["Books", "Science", "Mathematics", "Pure", "Algebra"] {
+            assert!(rendered.contains(label), "missing {label}");
+        }
+        // Indentation grows along the path.
+        let idx = |l: &str| rendered.lines().position(|ln| ln.trim() == l).unwrap();
+        assert!(idx("Books") < idx("Science"));
+        assert!(idx("Science") < idx("Mathematics"));
+    }
+
+    #[test]
+    fn render_truncates() {
+        let f = figure1();
+        let rendered = render_tree(&f.taxonomy, 3);
+        assert_eq!(rendered.lines().count(), 4); // 3 lines + ellipsis
+        assert!(rendered.ends_with("…\n"));
+    }
+
+    #[test]
+    fn trivial_taxonomy_stats() {
+        let t = Taxonomy::builder("Top").build();
+        let s = stats(&t);
+        assert_eq!(s.topics, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.inner, 0);
+        assert_eq!(s.mean_branching, 0.0);
+        assert_eq!(s.mean_leaf_depth, 0.0);
+    }
+}

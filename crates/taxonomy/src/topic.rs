@@ -1,0 +1,65 @@
+//! Topic identifiers and topic records.
+
+use std::fmt;
+
+/// Dense identifier of a taxonomy topic (category) `d_k ∈ D`.
+///
+/// Identifiers index directly into the taxonomy's internal vectors, so all
+/// hot-path operations (ancestor walks, profile propagation) are array
+/// lookups.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(pub(crate) u32);
+
+impl TopicId {
+    /// The identifier of the unique top element `⊤` in every taxonomy.
+    pub const TOP: TopicId = TopicId(0);
+
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `TopicId` from a raw index.
+    ///
+    /// The caller must ensure the index designates an existing topic of the
+    /// taxonomy it is used with; out-of-range ids cause panics downstream.
+    pub fn from_index(index: usize) -> Self {
+        TopicId(u32::try_from(index).expect("topic index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for TopicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A topic record: its human-readable label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topic {
+    /// Human-readable category label (e.g. "Algebra").
+    pub label: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_is_index_zero() {
+        assert_eq!(TopicId::TOP.index(), 0);
+        assert_eq!(TopicId::from_index(0), TopicId::TOP);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TopicId::from_index(7).to_string(), "d7");
+        assert_eq!(format!("{:?}", TopicId::from_index(7)), "d7");
+    }
+}

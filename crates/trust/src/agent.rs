@@ -1,0 +1,47 @@
+//! Agent identifiers.
+
+use std::fmt;
+
+/// Dense identifier of an agent `a_i ∈ A`.
+///
+/// The paper assigns globally unique identifiers through URIs; the URI ↔
+/// dense-id mapping lives in the framework layer (`semrec-core` /
+/// `semrec-web`). Trust metrics operate on dense ids only, so the spreading
+/// activation loop indexes straight into vectors.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub(crate) u32);
+
+impl AgentId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an `AgentId` from a raw index.
+    pub fn from_index(index: usize) -> Self {
+        AgentId(u32::try_from(index).expect("agent index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_indexes() {
+        assert_eq!(AgentId::from_index(42).index(), 42);
+        assert_eq!(AgentId::from_index(0).to_string(), "a0");
+    }
+}

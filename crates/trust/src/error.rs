@@ -1,0 +1,60 @@
+//! Error types for trust network operations.
+
+use std::fmt;
+
+/// Result alias for trust operations.
+pub type Result<T> = std::result::Result<T, TrustError>;
+
+/// Errors from trust graph construction or metric configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrustError {
+    /// An agent id did not designate an existing agent.
+    UnknownAgent(usize),
+    /// A trust weight outside `[-1, +1]` (or NaN).
+    InvalidWeight(f64),
+    /// An agent attempted to issue trust in itself.
+    SelfTrust(usize),
+    /// A metric parameter was out of its legal range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Legal range description.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for TrustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustError::UnknownAgent(idx) => write!(f, "unknown agent index {idx}"),
+            TrustError::InvalidWeight(w) => {
+                write!(f, "trust weight {w} outside [-1, +1]")
+            }
+            TrustError::SelfTrust(idx) => write!(f, "agent {idx} cannot trust itself"),
+            TrustError::InvalidParameter { name, value, expected } => {
+                write!(f, "parameter `{name}` = {value} invalid: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrustError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TrustError::UnknownAgent(9).to_string().contains('9'));
+        assert!(TrustError::InvalidWeight(2.0).to_string().contains("[-1, +1]"));
+        let p = TrustError::InvalidParameter {
+            name: "spreading_factor",
+            value: 1.5,
+            expected: "(0, 1)",
+        };
+        assert!(p.to_string().contains("spreading_factor"));
+    }
+}

@@ -1,0 +1,241 @@
+//! The trust network: the set `T = {t_1, …, t_n}` of partial trust functions
+//! `t_i: A → [-1, +1]⊥` (§3.1 of the paper).
+//!
+//! High values denote high trust, negative values explicit *distrust*, and
+//! absence (`⊥`) simply "no statement" — the paper stresses that values
+//! around zero indicate absence of trust, *not to be confused with explicit
+//! distrust* (Marsh, ref \[8\]). Functions are sparse: each agent typically
+//! rates only a handful of peers, so edges are adjacency lists.
+
+use crate::agent::AgentId;
+use crate::error::{Result, TrustError};
+
+/// A directed, weighted trust network with edge weights in `[-1, +1]`.
+#[derive(Clone, Debug, Default)]
+pub struct TrustGraph {
+    /// Outgoing edges per agent, kept sorted by target for binary search.
+    out: Vec<Vec<(AgentId, f64)>>,
+    /// Incoming edges per agent (sources only, for reverse traversal).
+    inc: Vec<Vec<AgentId>>,
+    edge_count: usize,
+}
+
+impl TrustGraph {
+    /// Creates an empty trust network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a network with `n` isolated agents.
+    pub fn with_agents(n: usize) -> Self {
+        TrustGraph { out: vec![Vec::new(); n], inc: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Adds a new agent, returning its id.
+    pub fn add_agent(&mut self) -> AgentId {
+        let id = AgentId::from_index(self.out.len());
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Number of agents `n = |A|`.
+    pub fn agent_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of trust statements (directed edges).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterates all agent ids.
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> {
+        (0..self.out.len()).map(AgentId::from_index)
+    }
+
+    fn check(&self, agent: AgentId) -> Result<()> {
+        if agent.index() >= self.out.len() {
+            return Err(TrustError::UnknownAgent(agent.index()));
+        }
+        Ok(())
+    }
+
+    /// Sets `t_i(a_j) = weight`, replacing any previous statement.
+    ///
+    /// Weights must lie in `[-1, +1]` and self-trust is rejected.
+    pub fn set_trust(&mut self, truster: AgentId, trustee: AgentId, weight: f64) -> Result<()> {
+        self.check(truster)?;
+        self.check(trustee)?;
+        if truster == trustee {
+            return Err(TrustError::SelfTrust(truster.index()));
+        }
+        if !(-1.0..=1.0).contains(&weight) || weight.is_nan() {
+            return Err(TrustError::InvalidWeight(weight));
+        }
+        let edges = &mut self.out[truster.index()];
+        match edges.binary_search_by_key(&trustee, |&(t, _)| t) {
+            Ok(pos) => edges[pos].1 = weight,
+            Err(pos) => {
+                edges.insert(pos, (trustee, weight));
+                self.inc[trustee.index()].push(truster);
+                self.edge_count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes a trust statement; returns `true` if one existed.
+    pub fn remove_trust(&mut self, truster: AgentId, trustee: AgentId) -> bool {
+        let Some(edges) = self.out.get_mut(truster.index()) else { return false };
+        match edges.binary_search_by_key(&trustee, |&(t, _)| t) {
+            Ok(pos) => {
+                edges.remove(pos);
+                self.inc[trustee.index()].retain(|&s| s != truster);
+                self.edge_count -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// `t_i(a_j)`: the trust value, or `None` for `⊥` (no statement).
+    pub fn trust(&self, truster: AgentId, trustee: AgentId) -> Option<f64> {
+        let edges = self.out.get(truster.index())?;
+        edges
+            .binary_search_by_key(&trustee, |&(t, _)| t)
+            .ok()
+            .map(|pos| edges[pos].1)
+    }
+
+    /// All outgoing statements of an agent, sorted by trustee id.
+    pub fn out_edges(&self, agent: AgentId) -> &[(AgentId, f64)] {
+        &self.out[agent.index()]
+    }
+
+    /// Agents that issued a statement about `agent`.
+    pub fn trusters_of(&self, agent: AgentId) -> &[AgentId] {
+        &self.inc[agent.index()]
+    }
+
+    /// Outgoing statements with strictly positive weight (trust proper).
+    pub fn positive_out_edges(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_ {
+        self.out[agent.index()].iter().copied().filter(|&(_, w)| w > 0.0)
+    }
+
+    /// Outgoing statements with strictly negative weight (explicit distrust).
+    pub fn negative_out_edges(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_ {
+        self.out[agent.index()].iter().copied().filter(|&(_, w)| w < 0.0)
+    }
+
+    /// Mean out-degree (trust statements per agent).
+    pub fn mean_out_degree(&self) -> f64 {
+        if self.out.is_empty() {
+            return 0.0;
+        }
+        self.edge_count as f64 / self.out.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(g: &TrustGraph) -> Vec<AgentId> {
+        g.agents().collect()
+    }
+
+    #[test]
+    fn set_and_get_trust() {
+        let mut g = TrustGraph::with_agents(3);
+        let a = ids(&g);
+        g.set_trust(a[0], a[1], 0.8).unwrap();
+        g.set_trust(a[0], a[2], -0.5).unwrap();
+        assert_eq!(g.trust(a[0], a[1]), Some(0.8));
+        assert_eq!(g.trust(a[0], a[2]), Some(-0.5));
+        assert_eq!(g.trust(a[1], a[0]), None); // ⊥ — no statement
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn set_trust_replaces() {
+        let mut g = TrustGraph::with_agents(2);
+        let a = ids(&g);
+        g.set_trust(a[0], a[1], 0.3).unwrap();
+        g.set_trust(a[0], a[1], 0.9).unwrap();
+        assert_eq!(g.trust(a[0], a[1]), Some(0.9));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let mut g = TrustGraph::with_agents(2);
+        let a = ids(&g);
+        assert!(matches!(g.set_trust(a[0], a[1], 1.5), Err(TrustError::InvalidWeight(_))));
+        assert!(matches!(g.set_trust(a[0], a[1], -1.01), Err(TrustError::InvalidWeight(_))));
+        assert!(matches!(g.set_trust(a[0], a[1], f64::NAN), Err(TrustError::InvalidWeight(_))));
+        // Boundary values are legal.
+        assert!(g.set_trust(a[0], a[1], 1.0).is_ok());
+        assert!(g.set_trust(a[0], a[1], -1.0).is_ok());
+    }
+
+    #[test]
+    fn self_trust_rejected() {
+        let mut g = TrustGraph::with_agents(1);
+        let a = ids(&g);
+        assert!(matches!(g.set_trust(a[0], a[0], 0.5), Err(TrustError::SelfTrust(0))));
+    }
+
+    #[test]
+    fn unknown_agents_rejected() {
+        let mut g = TrustGraph::with_agents(1);
+        let ghost = AgentId::from_index(7);
+        assert!(matches!(
+            g.set_trust(AgentId::from_index(0), ghost, 0.5),
+            Err(TrustError::UnknownAgent(7))
+        ));
+    }
+
+    #[test]
+    fn remove_trust() {
+        let mut g = TrustGraph::with_agents(2);
+        let a = ids(&g);
+        g.set_trust(a[0], a[1], 0.4).unwrap();
+        assert!(g.remove_trust(a[0], a[1]));
+        assert!(!g.remove_trust(a[0], a[1]));
+        assert_eq!(g.trust(a[0], a[1]), None);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.trusters_of(a[1]).is_empty());
+    }
+
+    #[test]
+    fn edge_sign_partitions() {
+        let mut g = TrustGraph::with_agents(4);
+        let a = ids(&g);
+        g.set_trust(a[0], a[1], 0.8).unwrap();
+        g.set_trust(a[0], a[2], -0.6).unwrap();
+        g.set_trust(a[0], a[3], 0.0).unwrap(); // zero: neither trust nor distrust
+        assert_eq!(g.positive_out_edges(a[0]).count(), 1);
+        assert_eq!(g.negative_out_edges(a[0]).count(), 1);
+        assert_eq!(g.out_edges(a[0]).len(), 3);
+    }
+
+    #[test]
+    fn incoming_edges_track_sources() {
+        let mut g = TrustGraph::with_agents(3);
+        let a = ids(&g);
+        g.set_trust(a[0], a[2], 0.5).unwrap();
+        g.set_trust(a[1], a[2], 0.7).unwrap();
+        assert_eq!(g.trusters_of(a[2]), &[a[0], a[1]]);
+    }
+
+    #[test]
+    fn add_agent_grows_the_network() {
+        let mut g = TrustGraph::new();
+        let a = g.add_agent();
+        let b = g.add_agent();
+        g.set_trust(a, b, 0.5).unwrap();
+        assert_eq!(g.agent_count(), 2);
+        assert!((g.mean_out_degree() - 0.5).abs() < 1e-12);
+    }
+}

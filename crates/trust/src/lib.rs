@@ -1,0 +1,41 @@
+//! # semrec-trust — trust networks and local group trust metrics
+//!
+//! Implements the first pillar of the paper (§3.2): the set `T` of partial
+//! trust functions `t_i: A → [-1, +1]⊥` ([`graph::TrustGraph`]) and the
+//! metrics that turn it into subjective *trust neighborhoods*:
+//!
+//! * [`appleseed`] — the paper's own spreading-activation local group trust
+//!   metric (ref \[12\]), assigning continuous trust ranks;
+//! * [`advogato`] — Levien's max-flow certification metric (ref \[11\]), the
+//!   boolean baseline, on top of a Dinic solver ([`maxflow`]);
+//! * [`scalar`] — pairwise baselines (multiplicative path trust, global
+//!   mean reputation) the paper argues are insufficient;
+//! * [`neighborhood`] — neighborhood formation: threshold/cap the ranking.
+//!
+//! ```
+//! use semrec_trust::{TrustGraph, appleseed::{appleseed, AppleseedParams}};
+//!
+//! let mut g = TrustGraph::with_agents(3);
+//! let ids: Vec<_> = g.agents().collect();
+//! g.set_trust(ids[0], ids[1], 0.9).unwrap();
+//! g.set_trust(ids[1], ids[2], 0.8).unwrap();
+//! let result = appleseed(&g, ids[0], &AppleseedParams::default()).unwrap();
+//! assert!(result.rank_of(ids[1]) > result.rank_of(ids[2]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advogato;
+pub mod agent;
+pub mod appleseed;
+pub mod error;
+pub mod graph;
+pub mod maxflow;
+pub mod neighborhood;
+pub mod scalar;
+
+pub use agent::AgentId;
+pub use error::{Result, TrustError};
+pub use graph::TrustGraph;
+pub use neighborhood::{form_neighborhood, NeighborhoodParams, TrustNeighborhood};

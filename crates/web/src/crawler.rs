@@ -1,0 +1,488 @@
+//! Crawling the decentralized web and assembling a local [`Community`].
+//!
+//! §4.1: "Tailored crawlers search the Web for weblogs and ensure data
+//! freshness." The crawler does a breadth-first walk from seed homepage
+//! URIs, parsing each document and following `rdfs:seeAlso` / `foaf:knows`
+//! links, bounded by a hop range (the locality that keeps the §2
+//! scalability issue at bay). Fetch+parse of each BFS level fans out over
+//! crossbeam scoped threads — documents are independent.
+
+use std::collections::{HashMap, HashSet};
+
+use semrec_core::Community;
+use semrec_taxonomy::{Catalog, Taxonomy};
+
+use crate::extract::{extract_agents, ExtractedAgent};
+use crate::publish::homepage_uri;
+use crate::store::DocumentWeb;
+
+/// Crawler configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CrawlConfig {
+    /// Maximum hops from the seeds (0 = seeds only).
+    pub max_range: u32,
+    /// Maximum documents to fetch in total.
+    pub max_documents: usize,
+    /// Worker threads per BFS level.
+    pub threads: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { max_range: 6, max_documents: 100_000, threads: 4 }
+    }
+}
+
+/// Per-document crawl record, kept so later re-crawls can skip unchanged
+/// documents ("tailored crawlers … ensure data freshness", §4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocumentSnapshot {
+    /// The document version observed.
+    pub version: u64,
+    /// Agents extracted from this document.
+    pub agents: Vec<ExtractedAgent>,
+}
+
+/// Result of a crawl.
+#[derive(Clone, Debug, Default)]
+pub struct CrawlResult {
+    /// Agents successfully extracted, sorted by URI.
+    pub agents: Vec<ExtractedAgent>,
+    /// Documents fetched.
+    pub documents_fetched: usize,
+    /// URIs that resolved to no document (dangling links).
+    pub missing: usize,
+    /// Documents that failed to parse.
+    pub parse_errors: usize,
+    /// Per-document snapshots (document URI → version + extraction).
+    pub documents: HashMap<String, DocumentSnapshot>,
+    /// Documents whose version was unchanged in a refresh (parse skipped).
+    pub reused: usize,
+}
+
+/// Crawls the web from seed homepage URIs.
+pub fn crawl(web: &DocumentWeb, seeds: &[String], config: &CrawlConfig) -> CrawlResult {
+    crawl_inner(web, seeds, config, None)
+}
+
+/// Re-crawls from seeds, reusing the extraction of any document whose
+/// version is unchanged since `previous` — the asynchronous-update loop of
+/// the data-centric environment (§2): agents republish, crawlers refresh.
+pub fn refresh(
+    web: &DocumentWeb,
+    seeds: &[String],
+    config: &CrawlConfig,
+    previous: &CrawlResult,
+) -> CrawlResult {
+    crawl_inner(web, seeds, config, Some(previous))
+}
+
+fn crawl_inner(
+    web: &DocumentWeb,
+    seeds: &[String],
+    config: &CrawlConfig,
+    previous: Option<&CrawlResult>,
+) -> CrawlResult {
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut frontier: Vec<String> = Vec::new();
+    for seed in seeds {
+        let uri = homepage_uri(seed);
+        if visited.insert(uri.clone()) {
+            frontier.push(uri);
+        }
+    }
+
+    let mut result = CrawlResult::default();
+    let mut agents: HashMap<String, ExtractedAgent> = HashMap::new();
+
+    let mut range = 0;
+    while !frontier.is_empty() && range <= config.max_range {
+        frontier.truncate(config.max_documents.saturating_sub(result.documents_fetched));
+        if frontier.is_empty() {
+            break;
+        }
+        // Fan fetch+parse out over threads, level-synchronously.
+        let threads = config.threads.max(1).min(frontier.len());
+        let chunk = frontier.len().div_ceil(threads);
+        let outcomes: Vec<(String, FetchOutcome)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move |_| {
+                        part.iter()
+                            .map(|uri| (uri.clone(), fetch_one(web, uri, previous)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("crawler worker panicked")).collect()
+        })
+        .expect("crawler scope panicked");
+
+        let mut next: Vec<String> = Vec::new();
+        for (uri, outcome) in outcomes {
+            match outcome {
+                FetchOutcome::Missing => result.missing += 1,
+                FetchOutcome::ParseError => {
+                    result.documents_fetched += 1;
+                    result.parse_errors += 1;
+                }
+                FetchOutcome::Parsed { version, extracted, reused } => {
+                    result.documents_fetched += 1;
+                    if reused {
+                        result.reused += 1;
+                    }
+                    result.documents.insert(
+                        uri,
+                        DocumentSnapshot { version, agents: extracted.clone() },
+                    );
+                    for agent in extracted {
+                        for link in agent.see_also.iter().cloned().chain(
+                            agent.knows.iter().map(|k| homepage_uri(k)),
+                        ) {
+                            if visited.insert(link.clone()) {
+                                next.push(link);
+                            }
+                        }
+                        agents.entry(agent.uri.clone()).or_insert(agent);
+                    }
+                }
+            }
+        }
+        next.sort();
+        frontier = next;
+        range += 1;
+    }
+
+    result.agents = {
+        let mut list: Vec<ExtractedAgent> = agents.into_values().collect();
+        list.sort_by(|a, b| a.uri.cmp(&b.uri));
+        list
+    };
+    result
+}
+
+enum FetchOutcome {
+    Missing,
+    ParseError,
+    Parsed { version: u64, extracted: Vec<ExtractedAgent>, reused: bool },
+}
+
+fn fetch_one(web: &DocumentWeb, uri: &str, previous: Option<&CrawlResult>) -> FetchOutcome {
+    match web.fetch(uri) {
+        None => FetchOutcome::Missing,
+        Some(doc) => {
+            if let Some(prev) = previous.and_then(|p| p.documents.get(uri)) {
+                if prev.version == doc.version {
+                    return FetchOutcome::Parsed {
+                        version: doc.version,
+                        extracted: prev.agents.clone(),
+                        reused: true,
+                    };
+                }
+            }
+            // Content negotiation: dispatch on the published media type
+            // ("documents encoded in RDF, OWL, or similar formats", §2).
+            let parsed = match doc.content_type.as_str() {
+                "application/rdf+xml" => semrec_rdf::rdfxml::parse(&doc.body),
+                _ => semrec_rdf::turtle::parse(&doc.body),
+            };
+            match parsed {
+                Ok(graph) => FetchOutcome::Parsed {
+                    version: doc.version,
+                    extracted: extract_agents(&graph),
+                    reused: false,
+                },
+                Err(_) => FetchOutcome::ParseError,
+            }
+        }
+    }
+}
+
+/// Statistics from assembling a community out of crawled agents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssembleStats {
+    /// Agents registered.
+    pub agents: usize,
+    /// Trust statements applied.
+    pub trust_edges: usize,
+    /// Ratings applied.
+    pub ratings: usize,
+    /// Ratings whose product identifier is not in the global catalog.
+    pub unknown_products: usize,
+    /// Trust statements pointing at agents the crawl never saw; the trustee
+    /// is registered as a bare agent (it exists in `A` with empty functions).
+    pub dangling_trustees: usize,
+}
+
+/// Assembles a [`Community`] from crawled agents over the globally published
+/// taxonomy and catalog (§3.1: those are centrally maintained and public).
+pub fn assemble_community(
+    agents: &[ExtractedAgent],
+    taxonomy: Taxonomy,
+    catalog: Catalog,
+) -> (Community, AssembleStats) {
+    let mut community = Community::new(taxonomy, catalog);
+    let mut stats = AssembleStats::default();
+
+    for agent in agents {
+        if community.agent_by_uri(&agent.uri).is_none() {
+            community.add_agent(agent.uri.clone()).expect("fresh URI");
+            stats.agents += 1;
+        }
+    }
+    // Register trustees seen only as targets.
+    for agent in agents {
+        for (trustee, _) in &agent.trust {
+            if community.agent_by_uri(trustee).is_none() {
+                community.add_agent(trustee.clone()).expect("fresh URI");
+                stats.agents += 1;
+                stats.dangling_trustees += 1;
+            }
+        }
+    }
+
+    for agent in agents {
+        let me = community.agent_by_uri(&agent.uri).expect("registered above");
+        for (trustee, value) in &agent.trust {
+            let peer = community.agent_by_uri(trustee).expect("registered above");
+            if me != peer && community.trust.set_trust(me, peer, *value).is_ok() {
+                stats.trust_edges += 1;
+            }
+        }
+        for (identifier, score) in &agent.ratings {
+            match community.catalog.by_identifier(identifier) {
+                Some(product) => {
+                    community.set_rating(me, product, *score).expect("validated on extract");
+                    stats.ratings += 1;
+                }
+                None => stats.unknown_products += 1,
+            }
+        }
+    }
+    (community, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::publish_community;
+    use semrec_core::Community;
+    use semrec_taxonomy::fixtures::example1;
+    use semrec_trust::AgentId;
+
+    /// A chain community alice → bob → carol → dave (trust), with ratings.
+    fn chain() -> (Community, Vec<AgentId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let names = ["alice", "bob", "carol", "dave"];
+        let agents: Vec<_> = names
+            .iter()
+            .map(|n| c.add_agent(format!("http://ex.org/{n}#me")).unwrap())
+            .collect();
+        for w in agents.windows(2) {
+            c.trust.set_trust(w[0], w[1], 0.8).unwrap();
+        }
+        for (i, &a) in agents.iter().enumerate() {
+            c.set_rating(a, products[i % 4], 1.0).unwrap();
+        }
+        (c, agents)
+    }
+
+    #[test]
+    fn crawl_discovers_the_reachable_chain() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let result = crawl(
+            &web,
+            &["http://ex.org/alice#me".to_owned()],
+            &CrawlConfig::default(),
+        );
+        assert_eq!(result.agents.len(), 4);
+        assert_eq!(result.documents_fetched, 4);
+        assert_eq!(result.parse_errors, 0);
+        assert_eq!(result.missing, 0);
+    }
+
+    #[test]
+    fn range_bounds_the_crawl() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let result = crawl(
+            &web,
+            &["http://ex.org/alice#me".to_owned()],
+            &CrawlConfig { max_range: 1, ..Default::default() },
+        );
+        // Range 1: alice (level 0) + bob (level 1); carol is 2 hops out.
+        assert_eq!(result.agents.len(), 2);
+    }
+
+    #[test]
+    fn document_cap_bounds_the_crawl() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let result = crawl(
+            &web,
+            &["http://ex.org/alice#me".to_owned()],
+            &CrawlConfig { max_documents: 2, ..Default::default() },
+        );
+        assert!(result.documents_fetched <= 2);
+    }
+
+    #[test]
+    fn dangling_links_and_parse_errors_are_counted() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        web.remove("http://ex.org/carol");
+        web.publish("http://ex.org/bob", "@prefix broken", "text/turtle");
+        let result = crawl(
+            &web,
+            &["http://ex.org/alice#me".to_owned()],
+            &CrawlConfig::default(),
+        );
+        assert_eq!(result.parse_errors, 1);
+        // bob's page broke, so carol's URI is never even discovered.
+        assert_eq!(result.agents.len(), 1);
+    }
+
+    #[test]
+    fn crawl_then_assemble_round_trips_the_community() {
+        let (c, agents) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let result = crawl(
+            &web,
+            &["http://ex.org/alice#me".to_owned()],
+            &CrawlConfig::default(),
+        );
+        let (rebuilt, stats) =
+            assemble_community(&result.agents, c.taxonomy.clone(), c.catalog.clone());
+        assert_eq!(stats.agents, 4);
+        assert_eq!(stats.trust_edges, 3);
+        assert_eq!(stats.ratings, 4);
+        assert_eq!(stats.unknown_products, 0);
+        assert_eq!(stats.dangling_trustees, 0);
+        // Identical trust values and ratings, possibly renumbered ids.
+        for &a in &agents {
+            let uri = &c.agent(a).unwrap().uri;
+            let ra = rebuilt.agent_by_uri(uri).unwrap();
+            assert_eq!(rebuilt.ratings_of(ra).len(), c.ratings_of(a).len());
+            for &(peer, w) in c.trust.out_edges(a) {
+                let peer_uri = &c.agent(peer).unwrap().uri;
+                let rp = rebuilt.agent_by_uri(peer_uri).unwrap();
+                assert_eq!(rebuilt.trust.trust(ra, rp), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_handles_unknown_products_and_dangling_trustees() {
+        let e = example1();
+        let agents = vec![ExtractedAgent {
+            uri: "http://ex.org/a#me".into(),
+            trust: vec![("http://ex.org/ghost#me".into(), 0.5)],
+            ratings: vec![
+                ("urn:isbn:0521386322".into(), 1.0), // known: Matrix Analysis
+                ("urn:isbn:9999999999".into(), 1.0), // unknown
+            ],
+            knows: vec![],
+            see_also: vec![],
+        }];
+        let (community, stats) = assemble_community(&agents, e.fig.taxonomy, e.catalog);
+        assert_eq!(stats.agents, 2);
+        assert_eq!(stats.dangling_trustees, 1);
+        assert_eq!(stats.ratings, 1);
+        assert_eq!(stats.unknown_products, 1);
+        assert_eq!(community.agent_count(), 2);
+    }
+
+    #[test]
+    fn rdfxml_homepages_crawl_identically() {
+        let (c, _) = chain();
+        let turtle_web = DocumentWeb::new();
+        publish_community(&c, &turtle_web);
+        let xml_web = DocumentWeb::new();
+        crate::publish::publish_community_as(
+            &c,
+            &xml_web,
+            crate::publish::DocumentFormat::RdfXml,
+        );
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let from_turtle = crawl(&turtle_web, &seeds, &CrawlConfig::default());
+        let from_xml = crawl(&xml_web, &seeds, &CrawlConfig::default());
+        assert_eq!(from_xml.parse_errors, 0);
+        assert_eq!(from_turtle.agents, from_xml.agents,
+            "both serializations must extract the same model");
+    }
+
+    #[test]
+    fn refresh_reuses_unchanged_documents() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let first = crawl(&web, &seeds, &CrawlConfig::default());
+        assert_eq!(first.reused, 0);
+        assert_eq!(first.documents.len(), 4);
+
+        // Nothing changed: every document is reused, extraction identical.
+        let second = refresh(&web, &seeds, &CrawlConfig::default(), &first);
+        assert_eq!(second.reused, 4);
+        assert_eq!(second.agents, first.agents);
+
+        // Bob republishes with a new rating: exactly one document re-parsed.
+        let mut c2 = c.clone();
+        let bob = c2.agent_by_uri("http://ex.org/bob#me").unwrap();
+        let product = c2.catalog.iter().nth(3).unwrap();
+        c2.set_rating(bob, product, 0.9).unwrap();
+        web.publish(
+            "http://ex.org/bob",
+            crate::publish::homepage_turtle(&c2, bob),
+            "text/turtle",
+        );
+        let third = refresh(&web, &seeds, &CrawlConfig::default(), &second);
+        assert_eq!(third.reused, 3);
+        let bob_extract = third.agents.iter().find(|a| a.uri.contains("bob")).unwrap();
+        assert_eq!(bob_extract.ratings.len(), 2);
+    }
+
+    #[test]
+    fn refresh_discovers_new_agents() {
+        let (mut c, agents) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let first = crawl(&web, &seeds, &CrawlConfig::default());
+        assert_eq!(first.agents.len(), 4);
+
+        // Dave befriends a newcomer and republishes.
+        let eve = c.add_agent("http://ex.org/eve#me").unwrap();
+        c.trust.set_trust(agents[3], eve, 0.7).unwrap();
+        web.publish(
+            "http://ex.org/dave",
+            crate::publish::homepage_turtle(&c, agents[3]),
+            "text/turtle",
+        );
+        web.publish("http://ex.org/eve", crate::publish::homepage_turtle(&c, eve), "text/turtle");
+
+        let second = refresh(&web, &seeds, &CrawlConfig::default(), &first);
+        assert_eq!(second.agents.len(), 5, "the newcomer must be discovered");
+        assert_eq!(second.reused, 3, "only unchanged documents are reused");
+    }
+
+    #[test]
+    fn parallel_crawl_is_deterministic() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let a = crawl(&web, &seeds, &CrawlConfig { threads: 1, ..Default::default() });
+        let b = crawl(&web, &seeds, &CrawlConfig { threads: 8, ..Default::default() });
+        assert_eq!(a.agents, b.agents);
+    }
+}

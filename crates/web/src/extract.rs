@@ -1,0 +1,189 @@
+//! Extracting the information model back out of published RDF documents.
+//!
+//! The inverse of [`crate::publish`]: given a parsed homepage graph, recover
+//! the agent's identity, trust statements, product ratings and crawl links.
+//! Extraction is defensive — the open Semantic Web contains malformed and
+//! adversarial documents, so out-of-range values are clamped/dropped rather
+//! than trusted (§2, security and credibility).
+
+use semrec_rdf::{vocab, Graph, Subject, Term};
+
+/// Everything extracted from one homepage document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExtractedAgent {
+    /// The agent's URI (subject typed `foaf:Person`).
+    pub uri: String,
+    /// `(trustee URI, value)` trust statements issued by this agent.
+    pub trust: Vec<(String, f64)>,
+    /// `(product identifier, score)` ratings issued by this agent.
+    pub ratings: Vec<(String, f64)>,
+    /// `foaf:knows` acquaintance links.
+    pub knows: Vec<String>,
+    /// `rdfs:seeAlso` crawl hints (homepage document URIs).
+    pub see_also: Vec<String>,
+}
+
+/// Extracts all agents described in a graph (usually exactly one per
+/// homepage). Statements whose `truster`/`rater` is a different agent are
+/// ignored: a homepage only speaks for its owner.
+pub fn extract_agents(graph: &Graph) -> Vec<ExtractedAgent> {
+    let person_type = Term::Iri(vocab::foaf::person());
+    let mut agents = Vec::new();
+    for triple in graph.triples_matching(None, Some(&vocab::rdf::type_()), Some(&person_type)) {
+        let Subject::Iri(me) = &triple.subject else { continue };
+        let me_term = Term::Iri(me.clone());
+        let me_subj = triple.subject.clone();
+
+        let mut agent = ExtractedAgent { uri: me.as_str().to_owned(), ..Default::default() };
+
+        for t in graph.triples_matching(Some(&me_subj), Some(&vocab::foaf::knows()), None) {
+            if let Term::Iri(peer) = t.object {
+                agent.knows.push(peer.into_string());
+            }
+        }
+        for t in graph.triples_matching(Some(&me_subj), Some(&vocab::rdfs::see_also()), None) {
+            if let Term::Iri(doc) = t.object {
+                agent.see_also.push(doc.into_string());
+            }
+        }
+
+        // Reified trust statements owned by this agent.
+        for stmt in graph.triples_matching(None, Some(&vocab::trust::truster()), Some(&me_term)) {
+            let subject = stmt.subject;
+            let trustee = graph.object_for(&subject, &vocab::trust::trustee());
+            let value = graph
+                .object_for(&subject, &vocab::trust::value())
+                .and_then(|o| o.as_literal().and_then(|l| l.as_double()));
+            if let (Some(Term::Iri(trustee)), Some(value)) = (trustee, value) {
+                if value.is_finite() {
+                    agent.trust.push((trustee.into_string(), value.clamp(-1.0, 1.0)));
+                }
+            }
+        }
+
+        // Reified ratings owned by this agent.
+        for stmt in graph.triples_matching(None, Some(&vocab::rec::rater()), Some(&me_term)) {
+            let subject = stmt.subject;
+            let product = graph.object_for(&subject, &vocab::rec::product());
+            let score = graph
+                .object_for(&subject, &vocab::rec::score())
+                .and_then(|o| o.as_literal().and_then(|l| l.as_double()));
+            if let (Some(Term::Iri(product)), Some(score)) = (product, score) {
+                if score.is_finite() {
+                    agent.ratings.push((product.into_string(), score.clamp(-1.0, 1.0)));
+                }
+            }
+        }
+
+        agent.trust.sort_by(|a, b| a.0.cmp(&b.0));
+        agent.ratings.sort_by(|a, b| a.0.cmp(&b.0));
+        agent.knows.sort();
+        agent.see_also.sort();
+        agents.push(agent);
+    }
+    agents.sort_by(|a, b| a.uri.cmp(&b.uri));
+    agents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publish::{homepage_graph, homepage_turtle};
+    use semrec_core::Community;
+    use semrec_rdf::turtle;
+    use semrec_taxonomy::fixtures::example1;
+
+    fn community() -> (Community, Vec<semrec_trust::AgentId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let alice = c.add_agent("http://ex.org/alice#me").unwrap();
+        let bob = c.add_agent("http://ex.org/bob#me").unwrap();
+        c.trust.set_trust(alice, bob, 0.75).unwrap();
+        c.trust.set_trust(bob, alice, -0.25).unwrap();
+        c.set_rating(alice, products[0], 1.0).unwrap();
+        (c, vec![alice, bob])
+    }
+
+    #[test]
+    fn round_trips_published_homepages() {
+        let (c, agents) = community();
+        let doc = homepage_turtle(&c, agents[0]);
+        let extracted = extract_agents(&turtle::parse(&doc).unwrap());
+        assert_eq!(extracted.len(), 1);
+        let alice = &extracted[0];
+        assert_eq!(alice.uri, "http://ex.org/alice#me");
+        assert_eq!(alice.trust, vec![("http://ex.org/bob#me".to_owned(), 0.75)]);
+        assert_eq!(alice.ratings.len(), 1);
+        assert!((alice.ratings[0].1 - 1.0).abs() < 1e-12);
+        assert!(alice.ratings[0].0.starts_with("urn:isbn:"));
+        assert_eq!(alice.knows, vec!["http://ex.org/bob#me"]);
+        assert_eq!(alice.see_also, vec!["http://ex.org/bob"]);
+    }
+
+    #[test]
+    fn negative_trust_round_trips() {
+        let (c, agents) = community();
+        let extracted = extract_agents(&homepage_graph(&c, agents[1]));
+        assert_eq!(extracted[0].trust, vec![("http://ex.org/alice#me".to_owned(), -0.25)]);
+    }
+
+    #[test]
+    fn foreign_statements_are_ignored() {
+        // A malicious homepage asserting trust *in someone else's name*.
+        let doc = r#"
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            @prefix trust: <http://example.org/ns/trust#> .
+            <http://ex.org/mallory#me> a foaf:Person .
+            _:forged a trust:Statement ;
+                trust:truster <http://ex.org/alice#me> ;
+                trust:trustee <http://ex.org/mallory#me> ;
+                trust:value 1.0 .
+        "#;
+        let extracted = extract_agents(&turtle::parse(doc).unwrap());
+        assert_eq!(extracted.len(), 1);
+        assert!(extracted[0].trust.is_empty(), "forged statement must not count for mallory");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let doc = r#"
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            @prefix trust: <http://example.org/ns/trust#> .
+            <http://ex.org/a#me> a foaf:Person .
+            _:t a trust:Statement ;
+                trust:truster <http://ex.org/a#me> ;
+                trust:trustee <http://ex.org/b#me> ;
+                trust:value 99.0 .
+        "#;
+        let extracted = extract_agents(&turtle::parse(doc).unwrap());
+        assert_eq!(extracted[0].trust[0].1, 1.0);
+    }
+
+    #[test]
+    fn malformed_statements_are_dropped() {
+        let doc = r#"
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            @prefix trust: <http://example.org/ns/trust#> .
+            @prefix rec: <http://example.org/ns/rec#> .
+            <http://ex.org/a#me> a foaf:Person .
+            _:t1 a trust:Statement ; trust:truster <http://ex.org/a#me> .
+            _:r1 a rec:Rating ; rec:rater <http://ex.org/a#me> ;
+                 rec:score "not-a-number" .
+        "#;
+        let extracted = extract_agents(&turtle::parse(doc).unwrap());
+        assert!(extracted[0].trust.is_empty());
+        assert!(extracted[0].ratings.is_empty());
+    }
+
+    #[test]
+    fn multiple_agents_in_one_graph() {
+        let (c, agents) = community();
+        let mut g = homepage_graph(&c, agents[0]);
+        g.merge(&homepage_graph(&c, agents[1]));
+        let extracted = extract_agents(&g);
+        assert_eq!(extracted.len(), 2);
+        assert_eq!(extracted[0].uri, "http://ex.org/alice#me");
+        assert_eq!(extracted[1].uri, "http://ex.org/bob#me");
+    }
+}

@@ -1,0 +1,281 @@
+//! Publishing the globally held structures as RDF (§3.1).
+//!
+//! "Taxonomy C, set B of products and descriptor assignment f must hold
+//! globally and therefore offer public accessibility." This module gives
+//! them the same treatment as agent homepages: a Turtle serialization
+//! (topics as `rec:Topic` with `rdfs:subClassOf` edges, products as
+//! `rec:Product` with `rec:topic` descriptors) and a lossless extraction
+//! back into [`Taxonomy`] / [`Catalog`] — so a fresh node can bootstrap the
+//! entire shared world from two published documents.
+
+use std::collections::HashMap;
+
+use semrec_rdf::{vocab, Graph, Iri, Literal, Subject, Term, Triple};
+use semrec_taxonomy::{Catalog, Taxonomy, TaxonomyError, TopicId};
+
+/// The topic IRI within a base namespace: `{base}t{index}`.
+pub fn topic_iri(base: &str, topic: TopicId) -> Iri {
+    Iri::new_unchecked(format!("{base}t{}", topic.index()))
+}
+
+fn topic_from_iri(base: &str, iri: &Iri) -> Option<usize> {
+    iri.as_str().strip_prefix(base)?.strip_prefix('t')?.parse().ok()
+}
+
+/// Serializes a taxonomy into an RDF graph under the given base namespace
+/// (e.g. `http://community.example.org/taxonomy#`).
+pub fn taxonomy_graph(taxonomy: &Taxonomy, base: &str) -> Graph {
+    let mut g = Graph::new();
+    for topic in taxonomy.iter() {
+        let iri = topic_iri(base, topic);
+        g.insert(Triple::new(iri.clone(), vocab::rdf::type_(), vocab::rec::topic_class()));
+        g.insert(Triple::new(
+            iri.clone(),
+            vocab::rdfs::label(),
+            Literal::simple(taxonomy.label(topic)),
+        ));
+        for &parent in taxonomy.parents(topic) {
+            g.insert(Triple::new(
+                iri.clone(),
+                vocab::rdfs::sub_class_of(),
+                topic_iri(base, parent),
+            ));
+        }
+    }
+    g
+}
+
+/// Rebuilds a taxonomy from its published graph.
+///
+/// Fails when the graph does not describe a single-rooted acyclic taxonomy
+/// (missing root, several roots, cycles, or dangling `subClassOf` targets).
+pub fn extract_taxonomy(graph: &Graph, base: &str) -> Result<Taxonomy, TaxonomyError> {
+    // Collect topics: raw index → (label, parent raw indexes).
+    let topic_type = Term::Iri(vocab::rec::topic_class());
+    let mut nodes: HashMap<usize, (String, Vec<usize>)> = HashMap::new();
+    for t in graph.triples_matching(None, Some(&vocab::rdf::type_()), Some(&topic_type)) {
+        let Subject::Iri(iri) = &t.subject else { continue };
+        let Some(index) = topic_from_iri(base, iri) else { continue };
+        let label = graph
+            .object_for(&t.subject, &vocab::rdfs::label())
+            .and_then(|o| o.as_literal().map(|l| l.lexical().to_owned()))
+            .unwrap_or_else(|| format!("t{index}"));
+        let parents: Vec<usize> = graph
+            .objects_for(&t.subject, &vocab::rdfs::sub_class_of())
+            .into_iter()
+            .filter_map(|o| o.as_iri().and_then(|iri| topic_from_iri(base, iri)))
+            .collect();
+        nodes.insert(index, (label, parents));
+    }
+
+    // The unique root: no parents.
+    let mut roots = nodes.iter().filter(|(_, (_, p))| p.is_empty());
+    let Some((&root, (root_label, _))) = roots.next() else {
+        return Err(TaxonomyError::CycleDetected); // no ⊤: malformed
+    };
+    if roots.next().is_some() {
+        return Err(TaxonomyError::DuplicateLabel("multiple roots".into()));
+    }
+
+    let mut builder = Taxonomy::builder(root_label.clone());
+    let mut id_of: HashMap<usize, TopicId> = HashMap::from([(root, TopicId::TOP)]);
+    // Insert parents-first: repeatedly sweep until no progress (the graph is
+    // small; quadratic worst case is fine and detects cycles).
+    let mut pending: Vec<usize> = nodes.keys().copied().filter(|&i| i != root).collect();
+    pending.sort_unstable();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|&index| {
+            let (label, parents) = &nodes[&index];
+            let Some(&first) = parents.first() else { return false };
+            let Some(&first_id) = id_of.get(&first) else { return true };
+            match builder.add_topic(label.clone(), first_id) {
+                Ok(id) => {
+                    id_of.insert(index, id);
+                    false
+                }
+                Err(_) => false, // duplicate label: drop (defensive)
+            }
+        });
+        if pending.len() == before {
+            return Err(TaxonomyError::CycleDetected);
+        }
+    }
+    // Extra DAG parents.
+    for (&index, (_, parents)) in &nodes {
+        let Some(&child) = id_of.get(&index) else { continue };
+        for &parent in parents.iter().skip(1) {
+            if let Some(&pid) = id_of.get(&parent) {
+                builder.add_parent(child, pid)?;
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Serializes a catalog into an RDF graph; product subjects are their own
+/// identifiers (`urn:isbn:…`), descriptors point into the taxonomy base.
+pub fn catalog_graph(catalog: &Catalog, base: &str) -> Graph {
+    let mut g = Graph::new();
+    for product in catalog.iter() {
+        let record = catalog.product(product);
+        let iri = Iri::new_unchecked(record.identifier.clone());
+        g.insert(Triple::new(iri.clone(), vocab::rdf::type_(), vocab::rec::product_class()));
+        g.insert(Triple::new(
+            iri.clone(),
+            vocab::rdfs::label(),
+            Literal::simple(record.title.clone()),
+        ));
+        for &descriptor in catalog.descriptors(product) {
+            g.insert(Triple::new(iri.clone(), vocab::rec::topic(), topic_iri(base, descriptor)));
+        }
+    }
+    g
+}
+
+/// Rebuilds a catalog from its published graph over the given taxonomy.
+///
+/// Products with no resolvable descriptors are skipped (returned count in
+/// `.1`); product order follows the identifier sort so rebuilt ids are
+/// deterministic (but may differ from the original ids — identifiers are
+/// the stable names, exactly as §3.1 intends).
+pub fn extract_catalog(
+    graph: &Graph,
+    taxonomy: &Taxonomy,
+    base: &str,
+) -> (Catalog, usize) {
+    let product_type = Term::Iri(vocab::rec::product_class());
+    let mut entries: Vec<(String, String, Vec<TopicId>)> = Vec::new();
+    let mut skipped = 0usize;
+    for t in graph.triples_matching(None, Some(&vocab::rdf::type_()), Some(&product_type)) {
+        let Subject::Iri(iri) = &t.subject else { continue };
+        let title = graph
+            .object_for(&t.subject, &vocab::rdfs::label())
+            .and_then(|o| o.as_literal().map(|l| l.lexical().to_owned()))
+            .unwrap_or_default();
+        let descriptors: Vec<TopicId> = graph
+            .objects_for(&t.subject, &vocab::rec::topic())
+            .into_iter()
+            .filter_map(|o| {
+                o.as_iri()
+                    .and_then(|iri| topic_from_iri(base, iri))
+                    .filter(|&i| i < taxonomy.len())
+                    .map(TopicId::from_index)
+            })
+            .collect();
+        if descriptors.is_empty() {
+            skipped += 1;
+            continue;
+        }
+        entries.push((iri.as_str().to_owned(), title, descriptors));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut catalog = Catalog::new();
+    for (identifier, title, descriptors) in entries {
+        if catalog.add_product(taxonomy, identifier, title, descriptors).is_err() {
+            skipped += 1;
+        }
+    }
+    (catalog, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_rdf::{turtle, writer};
+    use semrec_taxonomy::fixtures::example1;
+
+    const BASE: &str = "http://community.example.org/taxonomy#";
+
+    #[test]
+    fn taxonomy_round_trips_through_turtle() {
+        let e = example1();
+        let g = taxonomy_graph(&e.fig.taxonomy, BASE);
+        let doc = writer::to_turtle(&g);
+        let parsed = turtle::parse(&doc).unwrap();
+        let rebuilt = extract_taxonomy(&parsed, BASE).unwrap();
+        assert_eq!(rebuilt.len(), e.fig.taxonomy.len());
+        for topic in e.fig.taxonomy.iter() {
+            let label = e.fig.taxonomy.label(topic);
+            let twin = rebuilt.by_label(label).expect(label);
+            assert_eq!(rebuilt.depth(twin), e.fig.taxonomy.depth(topic), "{label}");
+            // Parent labels match.
+            let mut original: Vec<&str> = e
+                .fig
+                .taxonomy
+                .parents(topic)
+                .iter()
+                .map(|&p| e.fig.taxonomy.label(p))
+                .collect();
+            let mut got: Vec<&str> =
+                rebuilt.parents(twin).iter().map(|&p| rebuilt.label(p)).collect();
+            original.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(original, got, "{label}");
+        }
+    }
+
+    #[test]
+    fn catalog_round_trips_through_turtle() {
+        let e = example1();
+        let g = catalog_graph(&e.catalog, BASE);
+        let doc = writer::to_turtle(&g);
+        let parsed = turtle::parse(&doc).unwrap();
+        let (rebuilt, skipped) = extract_catalog(&parsed, &e.fig.taxonomy, BASE);
+        assert_eq!(skipped, 0);
+        assert_eq!(rebuilt.len(), e.catalog.len());
+        for product in e.catalog.iter() {
+            let record = e.catalog.product(product);
+            let twin = rebuilt.by_identifier(&record.identifier).expect(&record.identifier);
+            assert_eq!(rebuilt.product(twin).title, record.title);
+            assert_eq!(rebuilt.descriptors(twin), e.catalog.descriptors(product));
+        }
+    }
+
+    #[test]
+    fn malformed_taxonomy_graphs_are_rejected() {
+        // Two roots.
+        let mut g = Graph::new();
+        for i in 0..2 {
+            let iri = topic_iri(BASE, TopicId::from_index(i));
+            g.insert(Triple::new(iri.clone(), vocab::rdf::type_(), vocab::rec::topic_class()));
+            g.insert(Triple::new(iri, vocab::rdfs::label(), Literal::simple(format!("r{i}"))));
+        }
+        assert!(extract_taxonomy(&g, BASE).is_err());
+
+        // Cycle: t0 ⊑ t1 ⊑ t0 with no root at all.
+        let mut g = Graph::new();
+        for (a, b) in [(0usize, 1usize), (1, 0)] {
+            let ia = topic_iri(BASE, TopicId::from_index(a));
+            g.insert(Triple::new(ia.clone(), vocab::rdf::type_(), vocab::rec::topic_class()));
+            g.insert(Triple::new(
+                ia,
+                vocab::rdfs::sub_class_of(),
+                topic_iri(BASE, TopicId::from_index(b)),
+            ));
+        }
+        assert!(extract_taxonomy(&g, BASE).is_err());
+    }
+
+    #[test]
+    fn products_without_descriptors_are_skipped() {
+        let e = example1();
+        let mut g = catalog_graph(&e.catalog, BASE);
+        let bad = Iri::new("urn:isbn:0000000000").unwrap();
+        g.insert(Triple::new(bad.clone(), vocab::rdf::type_(), vocab::rec::product_class()));
+        g.insert(Triple::new(bad, vocab::rdfs::label(), Literal::simple("no topics")));
+        let (rebuilt, skipped) = extract_catalog(&g, &e.fig.taxonomy, BASE);
+        assert_eq!(skipped, 1);
+        assert_eq!(rebuilt.len(), e.catalog.len());
+    }
+
+    #[test]
+    fn foreign_topic_iris_are_ignored() {
+        assert_eq!(topic_from_iri(BASE, &Iri::new("http://other.org/t5").unwrap()), None);
+        assert_eq!(topic_from_iri(BASE, &Iri::new(format!("{BASE}x5")).unwrap()), None);
+        assert_eq!(
+            topic_from_iri(BASE, &Iri::new(format!("{BASE}t17")).unwrap()),
+            Some(17)
+        );
+    }
+}

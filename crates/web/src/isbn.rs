@@ -1,0 +1,186 @@
+//! ISBN handling (§4): "Unique identifiers exist for some product groups
+//! like books, which are given 'International Standard Book Numbers'".
+//!
+//! Weblogs reference products through shop hyperlinks; mapping those links
+//! onto catalog identifiers requires parsing and normalizing ISBNs. We
+//! support ISBN-10 and ISBN-13 validation, check-digit computation and
+//! 10 → 13 conversion, normalizing everything to `urn:isbn:` URIs with the
+//! ISBN-10 form (the form Amazon ASINs used in 2004).
+
+/// A validated, normalized ISBN-10.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Isbn10(String);
+
+impl Isbn10 {
+    /// Parses an ISBN-10 from a string (hyphens/spaces ignored).
+    pub fn parse(raw: &str) -> Option<Self> {
+        let compact: String = raw
+            .chars()
+            .filter(|c| !matches!(c, '-' | ' '))
+            .map(|c| c.to_ascii_uppercase())
+            .collect();
+        if compact.len() != 10 {
+            return None;
+        }
+        if !compact[..9].chars().all(|c| c.is_ascii_digit()) {
+            return None;
+        }
+        let last = compact.chars().last().unwrap();
+        if !(last.is_ascii_digit() || last == 'X') {
+            return None;
+        }
+        if checksum10(&compact) != 0 {
+            return None;
+        }
+        Some(Isbn10(compact))
+    }
+
+    /// The 10 characters, no separators.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The `urn:isbn:` URI form.
+    pub fn to_urn(&self) -> String {
+        format!("urn:isbn:{}", self.0)
+    }
+
+    /// Converts to ISBN-13 (978 prefix).
+    pub fn to_isbn13(&self) -> String {
+        let body = format!("978{}", &self.0[..9]);
+        let check = checkdigit13(&body);
+        format!("{body}{check}")
+    }
+}
+
+/// Weighted mod-11 sum of a 10-character ISBN (0 = valid).
+fn checksum10(isbn: &str) -> u32 {
+    let mut sum = 0u32;
+    for (i, c) in isbn.chars().enumerate() {
+        let v = if c == 'X' { 10 } else { c.to_digit(10).unwrap_or(99) };
+        if v == 99 {
+            return 1;
+        }
+        sum += (10 - i as u32) * v;
+    }
+    sum % 11
+}
+
+/// The EAN-13 check digit for a 12-digit body.
+fn checkdigit13(body: &str) -> u32 {
+    let sum: u32 = body
+        .chars()
+        .enumerate()
+        .map(|(i, c)| c.to_digit(10).unwrap() * if i % 2 == 0 { 1 } else { 3 })
+        .sum();
+    (10 - sum % 10) % 10
+}
+
+/// Validates an ISBN-13.
+pub fn is_valid_isbn13(raw: &str) -> bool {
+    let compact: String = raw.chars().filter(|c| !matches!(c, '-' | ' ')).collect();
+    if compact.len() != 13 || !compact.chars().all(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    checkdigit13(&compact[..12]) == compact.chars().last().unwrap().to_digit(10).unwrap()
+}
+
+/// Extracts an ISBN-10 from any of the identifier forms found in the wild:
+/// `urn:isbn:…`, Amazon product URLs (`…/ASIN/<isbn>/…`, `…/dp/<isbn>`),
+/// or a bare (possibly hyphenated) ISBN.
+pub fn extract_isbn(raw: &str) -> Option<Isbn10> {
+    if let Some(rest) = raw.strip_prefix("urn:isbn:") {
+        return Isbn10::parse(rest);
+    }
+    for marker in ["/ASIN/", "/dp/", "/obidos/ASIN/", "/gp/product/"] {
+        if let Some(pos) = raw.find(marker) {
+            let tail = &raw[pos + marker.len()..];
+            let candidate: String = tail
+                .chars()
+                .take_while(|&c| c.is_ascii_alphanumeric())
+                .collect();
+            if let Some(isbn) = Isbn10::parse(&candidate) {
+                return Some(isbn);
+            }
+        }
+    }
+    Isbn10::parse(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 0307887448 is a fully valid ISBN-10 (sum check below).
+    const VALID: &str = "0471958697"; // classic valid ISBN-10
+
+    #[test]
+    fn parses_valid_isbn10() {
+        assert!(Isbn10::parse(VALID).is_some());
+        assert!(Isbn10::parse("0-471-95869-7").is_some());
+        assert!(Isbn10::parse("0 471 95869 7").is_some());
+    }
+
+    #[test]
+    fn rejects_bad_check_digits_and_shapes() {
+        assert!(Isbn10::parse("0471958698").is_none()); // wrong check digit
+        assert!(Isbn10::parse("047195869").is_none()); // too short
+        assert!(Isbn10::parse("04719586977").is_none()); // too long
+        assert!(Isbn10::parse("04719X8697").is_none()); // X not at end
+        assert!(Isbn10::parse("").is_none());
+    }
+
+    #[test]
+    fn x_check_digit() {
+        // 155860832X is a valid ISBN-10 with X check digit.
+        assert!(Isbn10::parse("155860832X").is_some());
+        assert!(Isbn10::parse("155860832x").is_some(), "lowercase x normalizes");
+    }
+
+    #[test]
+    fn urn_round_trip() {
+        let isbn = Isbn10::parse(VALID).unwrap();
+        assert_eq!(isbn.to_urn(), format!("urn:isbn:{VALID}"));
+        assert_eq!(extract_isbn(&isbn.to_urn()), Some(isbn));
+    }
+
+    #[test]
+    fn isbn13_conversion_is_valid_ean() {
+        let isbn = Isbn10::parse(VALID).unwrap();
+        let thirteen = isbn.to_isbn13();
+        assert!(thirteen.starts_with("978"));
+        assert!(is_valid_isbn13(&thirteen));
+        assert!(!is_valid_isbn13("9780000000000"));
+        assert!(!is_valid_isbn13("978"));
+    }
+
+    #[test]
+    fn extracts_from_amazon_urls() {
+        let urls = [
+            format!("http://www.amazon.com/exec/obidos/ASIN/{VALID}/ref=something"),
+            format!("https://www.amazon.com/dp/{VALID}"),
+            format!("https://www.amazon.com/gp/product/{VALID}?tag=x"),
+        ];
+        for url in urls {
+            let isbn = extract_isbn(&url).expect(&url);
+            assert_eq!(isbn.as_str(), VALID);
+        }
+        assert!(extract_isbn("http://www.amazon.com/dp/B000FISHY1").is_none()); // ASIN, not ISBN
+        assert!(extract_isbn("http://example.org/no-product").is_none());
+    }
+
+    #[test]
+    fn synthetic_isbns_from_datagen_parse() {
+        // datagen's catalog uses the same checksum; spot-check the format.
+        for body_check in ["0000000000", "0000000019"] {
+            // Only assert that *valid* synthetic forms parse: 000000000-0 has
+            // weighted sum 0 → valid.
+            let parsed = Isbn10::parse(body_check);
+            if checksum10(body_check) == 0 {
+                assert!(parsed.is_some());
+            } else {
+                assert!(parsed.is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # semrec-web — the simulated decentralized Semantic Web
+//!
+//! §2 fixes the environment model: data-centric, asynchronous — "messages
+//! are exchanged by publishing or updating documents encoded in RDF". This
+//! crate provides that environment and the deployment machinery of §4:
+//!
+//! * [`store`] — a concurrent URI → versioned-document web;
+//! * [`publish`] — FOAF homepages with Golbeck-style trust statements and
+//!   BLAM!-style product ratings, serialized to Turtle or 2004-era RDF/XML;
+//! * [`crawler`] — bounded-range parallel BFS crawling (with version-based
+//!   incremental [`crawler::refresh`]) plus community assembly;
+//! * [`globals`] — the globally published taxonomy and catalog as RDF
+//!   documents, losslessly extractable (§3.1's public structures);
+//! * [`extract`] — defensive document → model extraction;
+//! * [`weblog`] — HTML weblogs with Amazon-style product links mined into
+//!   implicit votes;
+//! * [`isbn`] — ISBN-10/13 parsing, validation and URI normalization.
+//!
+//! ```
+//! use semrec_web::{store::DocumentWeb, publish, crawler::{crawl, CrawlConfig}};
+//! use semrec_core::Community;
+//! use semrec_taxonomy::fixtures::example1;
+//!
+//! let e = example1();
+//! let mut c = Community::new(e.fig.taxonomy, e.catalog);
+//! let alice = c.add_agent("http://example.org/alice#me").unwrap();
+//! let web = DocumentWeb::new();
+//! publish::publish_community(&c, &web);
+//! let result = crawl(&web, &["http://example.org/alice#me".into()], &CrawlConfig::default());
+//! assert_eq!(result.agents.len(), 1);
+//! # let _ = alice;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crawler;
+pub mod extract;
+pub mod globals;
+pub mod isbn;
+pub mod publish;
+pub mod simulation;
+pub mod store;
+pub mod weblog;
+
+pub use crawler::{assemble_community, crawl, refresh, AssembleStats, CrawlConfig, CrawlResult, DocumentSnapshot};
+pub use extract::ExtractedAgent;
+pub use isbn::Isbn10;
+pub use store::{Document, DocumentWeb};

@@ -1,0 +1,220 @@
+//! Asynchronous-dynamics simulation (§2, interaction facilities).
+//!
+//! "Communication becomes restricted to asynchronous message exchange":
+//! agents republish their homepages whenever their state changes, and
+//! crawlers see those changes only at the next refresh. This module runs a
+//! tick-based simulation of that loop and measures the resulting
+//! *staleness* — the fraction of published documents whose latest version
+//! the crawler's local view has not yet seen — as a function of refresh
+//! frequency, plus the parse work each policy costs. Experiment E14 sweeps
+//! the refresh interval with it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semrec_core::Community;
+use semrec_trust::AgentId;
+
+use crate::crawler::{crawl, refresh, CrawlConfig, CrawlResult};
+use crate::publish::{homepage_turtle, homepage_uri, publish_community};
+use crate::store::DocumentWeb;
+
+/// Configuration of the publish/crawl dynamics simulation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimulationConfig {
+    /// Number of ticks to simulate.
+    pub ticks: usize,
+    /// Per-agent, per-tick probability of changing a rating and republishing.
+    pub update_probability: f64,
+    /// The crawler refreshes every this-many ticks (≥ 1).
+    pub refresh_interval: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            ticks: 50,
+            update_probability: 0.05,
+            refresh_interval: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Homepage republications that happened.
+    pub republications: usize,
+    /// Crawler refreshes performed.
+    pub refreshes: usize,
+    /// Documents the crawler had to re-parse across all refreshes.
+    pub documents_reparsed: usize,
+    /// Per-tick staleness (fraction of documents newer than the local view),
+    /// sampled at the *end* of each tick (after any refresh).
+    pub staleness_series: Vec<f64>,
+    /// Mean of the staleness series.
+    pub mean_staleness: f64,
+}
+
+/// Runs the simulation: mutates `community` (ratings drift over time) and
+/// `web` (documents get republished).
+pub fn simulate(
+    community: &mut Community,
+    web: &DocumentWeb,
+    config: &SimulationConfig,
+) -> SimulationReport {
+    assert!(config.refresh_interval >= 1, "refresh interval must be ≥ 1");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    publish_community(community, web);
+    let seeds: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+    let mut view: CrawlResult = crawl(web, &seeds, &CrawlConfig::default());
+
+    let agents: Vec<AgentId> = community.agents().collect();
+    let products: Vec<_> = community.catalog.iter().collect();
+    let mut report = SimulationReport {
+        ticks: config.ticks,
+        republications: 0,
+        refreshes: 0,
+        documents_reparsed: 0,
+        staleness_series: Vec::with_capacity(config.ticks),
+        mean_staleness: 0.0,
+    };
+
+    for tick in 1..=config.ticks {
+        // Agents drift: rate a random product and republish.
+        for &agent in &agents {
+            if rng.random::<f64>() >= config.update_probability {
+                continue;
+            }
+            let product = products[rng.random_range(0..products.len())];
+            let rating = 0.5 + 0.5 * rng.random::<f64>();
+            community.set_rating(agent, product, rating).expect("valid rating");
+            let uri = homepage_uri(&community.agent(agent).unwrap().uri);
+            web.publish(uri, homepage_turtle(community, agent), "text/turtle");
+            report.republications += 1;
+        }
+
+        // Scheduled refresh.
+        if tick % config.refresh_interval == 0 {
+            let next = refresh(web, &seeds, &CrawlConfig::default(), &view);
+            report.refreshes += 1;
+            report.documents_reparsed += next.documents_fetched - next.reused;
+            view = next;
+        }
+
+        report.staleness_series.push(staleness(web, &view));
+    }
+    report.mean_staleness =
+        report.staleness_series.iter().sum::<f64>() / report.ticks.max(1) as f64;
+    report
+}
+
+/// Fraction of published documents whose current version the view misses.
+fn staleness(web: &DocumentWeb, view: &CrawlResult) -> f64 {
+    let uris = web.uris();
+    if uris.is_empty() {
+        return 0.0;
+    }
+    let stale = uris
+        .iter()
+        .filter(|uri| {
+            let current = web.fetch(uri).map(|d| d.version).unwrap_or(0);
+            let seen = view.documents.get(*uri).map(|d| d.version).unwrap_or(0);
+            current > seen
+        })
+        .count();
+    stale as f64 / uris.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_datagen::community::{generate_community, CommunityGenConfig};
+
+    fn world() -> Community {
+        let mut config = CommunityGenConfig::small(31);
+        config.agents = 60;
+        generate_community(&config).community
+    }
+
+    #[test]
+    fn no_updates_no_staleness() {
+        let mut c = world();
+        let web = DocumentWeb::new();
+        let report = simulate(
+            &mut c,
+            &web,
+            &SimulationConfig { ticks: 10, update_probability: 0.0, ..Default::default() },
+        );
+        assert_eq!(report.republications, 0);
+        assert_eq!(report.mean_staleness, 0.0);
+        assert_eq!(report.documents_reparsed, 0);
+    }
+
+    #[test]
+    fn tighter_refresh_means_less_staleness() {
+        let run = |interval: usize| {
+            let mut c = world();
+            let web = DocumentWeb::new();
+            simulate(
+                &mut c,
+                &web,
+                &SimulationConfig {
+                    ticks: 40,
+                    update_probability: 0.1,
+                    refresh_interval: interval,
+                    seed: 7,
+                },
+            )
+        };
+        let eager = run(1);
+        let lazy = run(20);
+        assert!(
+            eager.mean_staleness < lazy.mean_staleness,
+            "eager {} vs lazy {}",
+            eager.mean_staleness,
+            lazy.mean_staleness
+        );
+        assert!(eager.refreshes > lazy.refreshes);
+        // Every-tick refreshing clears staleness at each sample point.
+        assert!(eager.mean_staleness < 1e-9);
+    }
+
+    #[test]
+    fn reparse_work_tracks_updates_not_refreshes() {
+        let mut c = world();
+        let web = DocumentWeb::new();
+        let report = simulate(
+            &mut c,
+            &web,
+            &SimulationConfig {
+                ticks: 30,
+                update_probability: 0.05,
+                refresh_interval: 3,
+                seed: 11,
+            },
+        );
+        // Re-parsing is bounded by republications: unchanged docs are reused.
+        assert!(report.documents_reparsed <= report.republications);
+        assert!(report.refreshes == 10);
+        assert!(report.republications > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut c = world();
+            let web = DocumentWeb::new();
+            simulate(&mut c, &web, &SimulationConfig { seed: 3, ..Default::default() })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.staleness_series, b.staleness_series);
+        assert_eq!(a.republications, b.republications);
+    }
+}

@@ -1,0 +1,175 @@
+//! The simulated decentralized document web.
+//!
+//! §2: "The Semantic Web, being an aggregation of distributed metadata,
+//! constitutes an inherently data-centric environment model. Messages are
+//! exchanged by publishing or updating documents encoded in RDF … Hence,
+//! communication becomes restricted to asynchronous message exchange."
+//!
+//! [`DocumentWeb`] is that environment: a concurrent URI → document map
+//! where agents *publish* (create or update, bumping a version counter) and
+//! crawlers *fetch*. There is no direct agent-to-agent channel — by design.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// A published document: body, media type and monotonically increasing
+/// version (bumped on every re-publish).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    /// The document body (Turtle for homepages, HTML for weblogs).
+    pub body: String,
+    /// Media type, e.g. `text/turtle` or `text/html`.
+    pub content_type: String,
+    /// Version, starting at 1.
+    pub version: u64,
+}
+
+/// A concurrent URI-addressed document store with publish/fetch semantics.
+#[derive(Debug, Default)]
+pub struct DocumentWeb {
+    docs: RwLock<HashMap<String, Document>>,
+    fetches: AtomicU64,
+}
+
+impl DocumentWeb {
+    /// Creates an empty web.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or updates) a document; returns its new version.
+    pub fn publish(
+        &self,
+        uri: impl Into<String>,
+        body: impl Into<String>,
+        content_type: impl Into<String>,
+    ) -> u64 {
+        let mut docs = self.docs.write();
+        let entry = docs.entry(uri.into());
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                let doc = slot.get_mut();
+                doc.body = body.into();
+                doc.content_type = content_type.into();
+                doc.version += 1;
+                doc.version
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Document {
+                    body: body.into(),
+                    content_type: content_type.into(),
+                    version: 1,
+                });
+                1
+            }
+        }
+    }
+
+    /// Fetches a document (cloned, like a network response).
+    pub fn fetch(&self, uri: &str) -> Option<Document> {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.docs.read().get(uri).cloned()
+    }
+
+    /// Removes a document; returns `true` if it existed.
+    pub fn remove(&self, uri: &str) -> bool {
+        self.docs.write().remove(uri).is_some()
+    }
+
+    /// Number of published documents.
+    pub fn len(&self) -> usize {
+        self.docs.read().len()
+    }
+
+    /// True if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.docs.read().is_empty()
+    }
+
+    /// All published URIs (sorted, for deterministic iteration).
+    pub fn uris(&self) -> Vec<String> {
+        let mut uris: Vec<String> = self.docs.read().keys().cloned().collect();
+        uris.sort();
+        uris
+    }
+
+    /// Total fetches served (crawler traffic accounting).
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_fetch_roundtrip() {
+        let web = DocumentWeb::new();
+        assert!(web.is_empty());
+        let v = web.publish("http://ex.org/a", "body", "text/turtle");
+        assert_eq!(v, 1);
+        let doc = web.fetch("http://ex.org/a").unwrap();
+        assert_eq!(doc.body, "body");
+        assert_eq!(doc.content_type, "text/turtle");
+        assert_eq!(doc.version, 1);
+        assert!(web.fetch("http://ex.org/missing").is_none());
+    }
+
+    #[test]
+    fn republish_bumps_version() {
+        let web = DocumentWeb::new();
+        web.publish("http://ex.org/a", "v1", "text/turtle");
+        let v = web.publish("http://ex.org/a", "v2", "text/turtle");
+        assert_eq!(v, 2);
+        assert_eq!(web.fetch("http://ex.org/a").unwrap().body, "v2");
+        assert_eq!(web.len(), 1);
+    }
+
+    #[test]
+    fn remove() {
+        let web = DocumentWeb::new();
+        web.publish("http://ex.org/a", "x", "text/html");
+        assert!(web.remove("http://ex.org/a"));
+        assert!(!web.remove("http://ex.org/a"));
+        assert!(web.is_empty());
+    }
+
+    #[test]
+    fn uris_are_sorted() {
+        let web = DocumentWeb::new();
+        web.publish("http://ex.org/b", "x", "text/turtle");
+        web.publish("http://ex.org/a", "x", "text/turtle");
+        assert_eq!(web.uris(), vec!["http://ex.org/a", "http://ex.org/b"]);
+    }
+
+    #[test]
+    fn fetch_counting() {
+        let web = DocumentWeb::new();
+        web.publish("http://ex.org/a", "x", "text/turtle");
+        web.fetch("http://ex.org/a");
+        web.fetch("http://ex.org/missing");
+        assert_eq!(web.fetch_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_publish_and_fetch() {
+        let web = DocumentWeb::new();
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let web = &web;
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        web.publish(format!("http://ex.org/{t}/{i}"), "x", "text/turtle");
+                        web.fetch(&format!("http://ex.org/{t}/{i}"));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(web.len(), 200);
+        assert_eq!(web.fetch_count(), 200);
+    }
+}

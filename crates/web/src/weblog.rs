@@ -1,0 +1,210 @@
+//! Weblog mining (§4): implicit product votes from hyperlinks.
+//!
+//! "Some crawlers extract certain hyperlinks from weblogs and analyze their
+//! makeup and content. Hereby, those referring to product pages from large
+//! catalogs like Amazon count as implicit votes for these goods. Mappings
+//! between hyperlinks and some sort of unique identifier are required."
+//!
+//! This module renders simple HTML weblog pages with Amazon-style product
+//! links and mines them back: every hyperlink that resolves to a valid ISBN
+//! becomes an implicit positive vote.
+
+use semrec_core::Community;
+use semrec_trust::AgentId;
+
+use crate::isbn::{extract_isbn, Isbn10};
+
+/// One weblog entry: free text plus linked products.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeblogEntry {
+    /// Entry title.
+    pub title: String,
+    /// Entry body text.
+    pub body: String,
+    /// ISBNs of products linked from the entry.
+    pub linked_products: Vec<Isbn10>,
+}
+
+/// Renders a weblog page (title + entries) to minimal HTML.
+pub fn render_weblog(author: &str, entries: &[WeblogEntry]) -> String {
+    let mut html = String::new();
+    html.push_str("<!DOCTYPE html>\n<html><head><title>");
+    html.push_str(&escape(author));
+    html.push_str("'s weblog</title></head>\n<body>\n");
+    for entry in entries {
+        html.push_str("<article>\n<h2>");
+        html.push_str(&escape(&entry.title));
+        html.push_str("</h2>\n<p>");
+        html.push_str(&escape(&entry.body));
+        html.push_str("</p>\n<ul>\n");
+        for isbn in &entry.linked_products {
+            html.push_str(&format!(
+                "<li><a href=\"http://www.amazon.com/exec/obidos/ASIN/{}/ref=nosim\">a book I read</a></li>\n",
+                isbn.as_str()
+            ));
+        }
+        html.push_str("</ul>\n</article>\n");
+    }
+    html.push_str("</body></html>\n");
+    html
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// All `href` attribute values in an HTML document (naïve but sufficient
+/// scanner: `href="..."` / `href='...'`).
+pub fn extract_hrefs(html: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = html.as_bytes();
+    let needle = b"href=";
+    let mut i = 0;
+    while i + needle.len() < bytes.len() {
+        if &bytes[i..i + needle.len()] == needle {
+            let quote = bytes[i + needle.len()];
+            if quote == b'"' || quote == b'\'' {
+                let start = i + needle.len() + 1;
+                if let Some(end) = html[start..].find(quote as char) {
+                    out.push(html[start..start + end].to_owned());
+                    i = start + end;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Mines implicit product votes from a weblog page: hyperlinks that resolve
+/// to valid ISBNs, deduplicated, in first-appearance order.
+pub fn mine_weblog(html: &str) -> Vec<Isbn10> {
+    let mut seen = std::collections::HashSet::new();
+    extract_hrefs(html)
+        .iter()
+        .filter_map(|href| extract_isbn(href))
+        .filter(|isbn| seen.insert(isbn.clone()))
+        .collect()
+}
+
+/// Applies mined weblog votes as implicit positive ratings (§4: links to
+/// product pages "count as implicit votes for these goods").
+///
+/// Votes whose ISBN resolves in the catalog become ratings of 1.0 unless the
+/// agent already rated the product explicitly (explicit beats implicit).
+/// Returns `(applied, unknown_products, already_rated)`.
+pub fn apply_weblog_votes(
+    community: &mut Community,
+    author: AgentId,
+    votes: &[Isbn10],
+) -> (usize, usize, usize) {
+    let mut applied = 0;
+    let mut unknown = 0;
+    let mut already = 0;
+    for isbn in votes {
+        match community.catalog.by_identifier(&isbn.to_urn()) {
+            Some(product) => {
+                if community.rating(author, product).is_some() {
+                    already += 1;
+                } else {
+                    community
+                        .set_rating(author, product, 1.0)
+                        .expect("author and product validated");
+                    applied += 1;
+                }
+            }
+            None => unknown += 1,
+        }
+    }
+    (applied, unknown, already)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn isbn(s: &str) -> Isbn10 {
+        Isbn10::parse(s).unwrap()
+    }
+
+    #[test]
+    fn render_and_mine_round_trip() {
+        let entries = vec![
+            WeblogEntry {
+                title: "Books & <math>".into(),
+                body: "Read two great ones".into(),
+                linked_products: vec![isbn("0471958697"), isbn("155860832X")],
+            },
+            WeblogEntry {
+                title: "Re-read".into(),
+                body: "Still great".into(),
+                linked_products: vec![isbn("0471958697")], // duplicate vote
+            },
+        ];
+        let html = render_weblog("alice", &entries);
+        assert!(html.contains("&amp;"));
+        assert!(html.contains("&lt;math&gt;"));
+        let mined = mine_weblog(&html);
+        assert_eq!(mined, vec![isbn("0471958697"), isbn("155860832X")]);
+    }
+
+    #[test]
+    fn extract_hrefs_handles_both_quote_styles() {
+        let html = r#"<a href="http://a.example/x">x</a><a href='http://b.example/y'>y</a>"#;
+        assert_eq!(extract_hrefs(html), vec!["http://a.example/x", "http://b.example/y"]);
+    }
+
+    #[test]
+    fn non_product_links_are_ignored() {
+        let html = r#"
+            <a href="http://www.amazon.com/exec/obidos/ASIN/0471958697/ref=x">book</a>
+            <a href="http://example.org/blog">blog</a>
+            <a href="http://www.amazon.com/exec/obidos/ASIN/B00005A1J3/">gadget</a>
+        "#;
+        let mined = mine_weblog(html);
+        assert_eq!(mined, vec![isbn("0471958697")]);
+    }
+
+    #[test]
+    fn empty_and_malformed_html() {
+        assert!(mine_weblog("").is_empty());
+        assert!(mine_weblog("<a href=>x</a> href=\"unterminated").is_empty());
+        assert!(extract_hrefs("href=\"dangling").is_empty());
+    }
+
+    #[test]
+    fn votes_become_implicit_ratings() {
+        use semrec_taxonomy::{Catalog, Taxonomy, TopicId};
+        let mut b = Taxonomy::builder("Books");
+        let topic = b.add_topic("Fiction", TopicId::TOP).unwrap();
+        let t = b.build();
+        let mut catalog = Catalog::new();
+        let known = catalog
+            .add_product(&t, "urn:isbn:0471958697", "A known book", vec![topic])
+            .unwrap();
+        let rated = catalog
+            .add_product(&t, "urn:isbn:155860832X", "Already rated", vec![topic])
+            .unwrap();
+        let mut community = Community::new(t, catalog);
+        let author = community.add_agent("http://ex.org/blogger#me").unwrap();
+        community.set_rating(author, rated, -0.5).unwrap();
+
+        let votes = vec![
+            isbn("0471958697"),
+            isbn("155860832X"),
+            isbn("0201896834"), // valid ISBN, not in catalog
+        ];
+        let (applied, unknown, already) = apply_weblog_votes(&mut community, author, &votes);
+        assert_eq!((applied, unknown, already), (1, 1, 1));
+        assert_eq!(community.rating(author, known), Some(1.0));
+        // Explicit dislike survives the implicit vote.
+        assert_eq!(community.rating(author, rated), Some(-0.5));
+    }
+
+    #[test]
+    fn empty_weblog_renders() {
+        let html = render_weblog("bob", &[]);
+        assert!(html.contains("bob's weblog"));
+        assert!(mine_weblog(&html).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! A full All-Consuming-style book recommender (§4.1 scenario): a synthetic
+//! community at meaningful scale, evaluated offline against baselines, with
+//! topic-diversified output for one user.
+//!
+//! ```sh
+//! cargo run --release --example book_recommender
+//! ```
+
+use semrec::core::diversify::{diversify, intra_list_similarity};
+use semrec::core::{ProfileStore, Recommender, RecommenderConfig};
+use semrec::datagen::community::{generate_community, CommunityGenConfig};
+use semrec::eval::baselines::{knn_product_cf, knn_taxonomy_cf};
+use semrec::eval::{evaluate, leave_n_out, SplitConfig, Table};
+use semrec::profiles::generation::ProfileParams;
+
+fn main() {
+    // A mid-size slice of the §4.1 world (full scale lives in the bench
+    // harness; this example favors fast turnaround).
+    let generated = generate_community(&CommunityGenConfig::medium(42));
+    let community = generated.community;
+    println!(
+        "Community: {} readers, {} books, {} topics, {} ratings, {} trust statements\n",
+        community.agent_count(),
+        community.catalog.len(),
+        community.taxonomy.len(),
+        community.rating_count(),
+        community.trust.edge_count()
+    );
+
+    // --- offline evaluation: hybrid vs baselines ---------------------------
+    let split = leave_n_out(
+        &community,
+        &SplitConfig { hold_out: 3, min_remaining: 3, max_users: 150, seed: 1 },
+    );
+    println!("Evaluating {} users, 3 held-out books each, top-10 lists…\n", split.held_out.len());
+
+    let engine = Recommender::new(split.train.clone(), RecommenderConfig::default());
+    let hybrid = evaluate(&split, |_, agent| {
+        engine
+            .recommend(agent, 10)
+            .map(|recs| recs.into_iter().map(|r| r.product).collect())
+            .unwrap_or_default()
+    });
+
+    let profiles = ProfileStore::build(&split.train, &ProfileParams::default());
+    let taxonomy_cf = evaluate(&split, |train, agent| {
+        knn_taxonomy_cf(train, &profiles, agent, 20, 10)
+    });
+    let plain_cf = evaluate(&split, |train, agent| knn_product_cf(train, agent, 20, 10));
+
+    let mut table = Table::new(["method", "precision@10", "recall@10", "F1", "coverage"]);
+    for (name, m) in [
+        ("hybrid (trust + taxonomy)", hybrid),
+        ("taxonomy CF (no trust)", taxonomy_cf),
+        ("plain product CF", plain_cf),
+    ] {
+        table.row([
+            name.to_string(),
+            format!("{:.3}", m.precision),
+            format!("{:.3}", m.recall),
+            format!("{:.3}", m.f1),
+            format!("{:.3}", m.coverage),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- one user's diversified list ---------------------------------------
+    let engine = Recommender::new(community, RecommenderConfig::default());
+    let target = engine
+        .community()
+        .agents()
+        .find(|&a| !engine.recommend(a, 20).unwrap_or_default().is_empty())
+        .expect("some agent gets recommendations");
+    let candidates = engine.recommend(target, 20).unwrap();
+
+    let taxonomy = &engine.community().taxonomy;
+    let catalog = &engine.community().catalog;
+    let plain: Vec<_> = candidates.iter().take(10).map(|r| r.product).collect();
+    let diversified = diversify(taxonomy, catalog, &candidates, 10, 0.6);
+    let diversified_products: Vec<_> = diversified.iter().map(|r| r.product).collect();
+
+    println!("Topic diversification for {target} (Θ = 0.6):");
+    println!("  plain top-10 intra-list similarity      : {:.3}",
+        intra_list_similarity(taxonomy, catalog, &plain));
+    println!("  diversified top-10 intra-list similarity: {:.3}",
+        intra_list_similarity(taxonomy, catalog, &diversified_products));
+    println!("\nDiversified list:");
+    for (i, rec) in diversified.iter().enumerate() {
+        let product = catalog.product(rec.product);
+        let topics: Vec<_> = catalog
+            .descriptors(rec.product)
+            .iter()
+            .map(|&d| taxonomy.label(d))
+            .collect();
+        println!("  {:2}. {} [{}]", i + 1, product.title, topics.join(", "));
+    }
+}

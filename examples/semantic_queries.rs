@@ -1,0 +1,110 @@
+//! Querying the published Semantic Web directly (§2's "machine-readable
+//! content… agents can understand and reason about"): basic graph pattern
+//! queries over the merged homepage documents of a community.
+//!
+//! ```sh
+//! cargo run --release --example semantic_queries
+//! ```
+
+use semrec::datagen::community::{generate_community, CommunityGenConfig};
+use semrec::rdf::query::{select, var, TriplePattern};
+use semrec::rdf::{turtle, vocab, Graph, Literal};
+use semrec::web::publish::homepage_turtle;
+
+fn main() {
+    // Build a community and merge every published homepage into one graph —
+    // what a Semantic Web agent sees after crawling.
+    let generated = generate_community(&CommunityGenConfig::small(555));
+    let community = generated.community;
+    let mut graph = Graph::new();
+    for agent in community.agents() {
+        let doc = homepage_turtle(&community, agent);
+        graph.merge(&turtle::parse(&doc).expect("published documents parse"));
+    }
+    println!("Merged knowledge graph: {} triples from {} homepages\n",
+        graph.len(), community.agent_count());
+
+    // Query 1: all trust statements — ?stmt trust:truster ?a ; trust:trustee ?b ; trust:value ?v
+    let solutions = select(
+        &graph,
+        &[
+            TriplePattern::new(var("stmt"), vocab::trust::truster().into(), var("a")),
+            TriplePattern::new(var("stmt"), vocab::trust::trustee().into(), var("b")),
+            TriplePattern::new(var("stmt"), vocab::trust::value().into(), var("v")),
+        ],
+    );
+    println!("Q1: reified trust statements in the graph: {}", solutions.len());
+    assert_eq!(solutions.len(), community.trust.edge_count());
+
+    // Query 2: mutual trust — pairs that issued statements about each other.
+    let solutions = select(
+        &graph,
+        &[
+            TriplePattern::new(var("s1"), vocab::trust::truster().into(), var("a")),
+            TriplePattern::new(var("s1"), vocab::trust::trustee().into(), var("b")),
+            TriplePattern::new(var("s2"), vocab::trust::truster().into(), var("b")),
+            TriplePattern::new(var("s2"), vocab::trust::trustee().into(), var("a")),
+        ],
+    );
+    println!("Q2: mutual-trust pairs (ordered): {}", solutions.len());
+
+    // Query 3: who rated a specific product? Pick the most-rated product.
+    let most_rated = community
+        .catalog
+        .iter()
+        .max_by_key(|&p| {
+            community.agents().filter(|&a| community.rating(a, p).is_some()).count()
+        })
+        .unwrap();
+    let identifier = &community.catalog.product(most_rated).identifier;
+    let product_iri = semrec::rdf::Iri::new(identifier.clone()).unwrap();
+    let solutions = select(
+        &graph,
+        &[
+            TriplePattern::new(var("r"), vocab::rec::product().into(), product_iri.into()),
+            TriplePattern::new(var("r"), vocab::rec::rater().into(), var("who")),
+            TriplePattern::new(var("r"), vocab::rec::score().into(), var("score")),
+        ],
+    );
+    println!("Q3: raters of {identifier}: {}", solutions.len());
+    for s in solutions.iter().take(5) {
+        println!(
+            "    {} → {}",
+            s.get("who").unwrap().as_iri().unwrap(),
+            s.get("score").unwrap().as_literal().unwrap().lexical()
+        );
+    }
+
+    // Query 4: social + content join — readers of that product that some
+    // `foaf:Person` in the graph *knows* (recommendation provenance!).
+    let product_iri = semrec::rdf::Iri::new(identifier.clone()).unwrap();
+    let solutions = select(
+        &graph,
+        &[
+            TriplePattern::new(
+                var("friend"),
+                vocab::rdf::type_().into(),
+                vocab::foaf::person().into(),
+            ),
+            TriplePattern::new(var("friend"), vocab::foaf::knows().into(), var("reader")),
+            TriplePattern::new(var("rating"), vocab::rec::rater().into(), var("reader")),
+            TriplePattern::new(var("rating"), vocab::rec::product().into(), product_iri.into()),
+        ],
+    );
+    println!("Q4: (person, known reader) pairs for that product: {}", solutions.len());
+
+    // Query 5: nickname lookup via a literal constraint.
+    let solutions = select(
+        &graph,
+        &[TriplePattern::new(
+            var("who"),
+            vocab::foaf::nick().into(),
+            Literal::simple("agent-0").into(),
+        )],
+    );
+    assert_eq!(solutions.len(), 1);
+    println!(
+        "Q5: foaf:nick \"agent-0\" belongs to {}",
+        solutions[0].get("who").unwrap().as_iri().unwrap()
+    );
+}

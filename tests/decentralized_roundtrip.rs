@@ -1,0 +1,147 @@
+//! End-to-end decentralization test: model → published RDF homepages →
+//! crawl → reassembled model → identical recommendations.
+//!
+//! This is the paper's whole §2 environment claim in one test: the
+//! recommender needs no central store; everything survives the round trip
+//! through distributed machine-readable documents.
+
+use semrec::core::{Recommender, RecommenderConfig};
+use semrec::datagen::community::{generate_community, CommunityGenConfig};
+use semrec::web::crawler::{assemble_community, crawl, CrawlConfig};
+use semrec::web::publish::publish_community;
+use semrec::web::store::DocumentWeb;
+
+#[test]
+fn crawl_preserves_model_and_recommendations() {
+    let generated = generate_community(&CommunityGenConfig::small(99));
+    let original = generated.community;
+
+    let web = DocumentWeb::new();
+    assert_eq!(publish_community(&original, &web), original.agent_count());
+
+    // Crawl from every agent so the whole community is covered regardless of
+    // trust-graph connectivity.
+    let seeds: Vec<String> = original
+        .agents()
+        .map(|a| original.agent(a).unwrap().uri.clone())
+        .collect();
+    let result = crawl(&web, &seeds, &CrawlConfig::default());
+    assert_eq!(result.agents.len(), original.agent_count());
+    assert_eq!(result.parse_errors, 0);
+
+    let (rebuilt, stats) =
+        assemble_community(&result.agents, original.taxonomy.clone(), original.catalog.clone());
+    assert_eq!(stats.agents, original.agent_count());
+    assert_eq!(stats.trust_edges, original.trust.edge_count());
+    assert_eq!(stats.ratings, original.rating_count());
+    assert_eq!(stats.unknown_products, 0);
+
+    // Every statement survived bit-exactly (modulo agent renumbering).
+    for agent in original.agents() {
+        let uri = &original.agent(agent).unwrap().uri;
+        let twin = rebuilt.agent_by_uri(uri).unwrap();
+        let mut original_ratings: Vec<_> = original.ratings_of(agent).to_vec();
+        let mut twin_ratings: Vec<_> = rebuilt.ratings_of(twin).to_vec();
+        original_ratings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        twin_ratings.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(original_ratings, twin_ratings, "ratings differ for {uri}");
+        for &(peer, w) in original.trust.out_edges(agent) {
+            let peer_uri = &original.agent(peer).unwrap().uri;
+            let twin_peer = rebuilt.agent_by_uri(peer_uri).unwrap();
+            assert_eq!(rebuilt.trust.trust(twin, twin_peer), Some(w));
+        }
+    }
+
+    // Recommendations from the crawled view match the original view.
+    let original_engine = Recommender::new(original.clone(), RecommenderConfig::default());
+    let rebuilt_engine = Recommender::new(rebuilt, RecommenderConfig::default());
+    let mut compared = 0;
+    for agent in original.agents().take(25) {
+        let uri = &original.agent(agent).unwrap().uri;
+        let twin = rebuilt_engine.community().agent_by_uri(uri).unwrap();
+        let original_recs = original_engine.recommend(agent, 10).unwrap();
+        let rebuilt_recs = rebuilt_engine.recommend(twin, 10).unwrap();
+        let original_products: Vec<String> = original_recs
+            .iter()
+            .map(|r| original_engine.community().catalog.product(r.product).identifier.clone())
+            .collect();
+        let rebuilt_products: Vec<String> = rebuilt_recs
+            .iter()
+            .map(|r| rebuilt_engine.community().catalog.product(r.product).identifier.clone())
+            .collect();
+        assert_eq!(original_products, rebuilt_products, "recommendations differ for {uri}");
+        compared += 1;
+    }
+    assert_eq!(compared, 25);
+}
+
+#[test]
+fn rdfxml_and_turtle_views_are_interchangeable() {
+    // §2: "documents encoded in RDF, OWL, or similar formats" — the same
+    // community published in 2004-era RDF/XML must crawl into the identical
+    // model and identical recommendations.
+    let generated = generate_community(&CommunityGenConfig::small(123));
+    let community = generated.community;
+    let seeds: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+
+    let turtle_web = DocumentWeb::new();
+    publish_community(&community, &turtle_web);
+    let xml_web = DocumentWeb::new();
+    semrec::web::publish::publish_community_as(
+        &community,
+        &xml_web,
+        semrec::web::publish::DocumentFormat::RdfXml,
+    );
+
+    let from_turtle = crawl(&turtle_web, &seeds, &CrawlConfig::default());
+    let from_xml = crawl(&xml_web, &seeds, &CrawlConfig::default());
+    assert_eq!(from_xml.parse_errors, 0, "RDF/XML homepages must parse");
+    assert_eq!(from_turtle.agents, from_xml.agents);
+
+    let (rebuilt, _) =
+        assemble_community(&from_xml.agents, community.taxonomy.clone(), community.catalog.clone());
+    let original_engine = Recommender::new(community.clone(), RecommenderConfig::default());
+    let xml_engine = Recommender::new(rebuilt, RecommenderConfig::default());
+    for agent in community.agents().take(10) {
+        let uri = &community.agent(agent).unwrap().uri;
+        let twin = xml_engine.community().agent_by_uri(uri).unwrap();
+        assert_eq!(
+            original_engine.recommend(agent, 10).unwrap().len(),
+            xml_engine.recommend(twin, 10).unwrap().len()
+        );
+    }
+}
+
+#[test]
+fn updates_propagate_through_republication() {
+    // Asynchronous message exchange (§2): an agent updates their homepage;
+    // the next crawl sees the new state.
+    let generated = generate_community(&CommunityGenConfig::small(17));
+    let mut community = generated.community;
+    let web = DocumentWeb::new();
+    publish_community(&community, &web);
+
+    let agent = community.agents().next().unwrap();
+    let product = community
+        .catalog
+        .iter()
+        .find(|&p| community.rating(agent, p).is_none())
+        .unwrap();
+    community.set_rating(agent, product, 1.0).unwrap();
+
+    // Republishing only this agent's homepage bumps its version.
+    let uri = semrec::web::publish::homepage_uri(&community.agent(agent).unwrap().uri);
+    let before = web.fetch(&uri).unwrap().version;
+    web.publish(&uri, semrec::web::publish::homepage_turtle(&community, agent), "text/turtle");
+    assert_eq!(web.fetch(&uri).unwrap().version, before + 1);
+
+    let seeds = vec![community.agent(agent).unwrap().uri.clone()];
+    let result = crawl(&web, &seeds, &CrawlConfig { max_range: 0, ..Default::default() });
+    let me = result.agents.iter().find(|a| a.uri.ends_with("/0#me")).unwrap();
+    let identifier = &community.catalog.product(product).identifier;
+    assert!(
+        me.ratings.iter().any(|(id, score)| id == identifier && *score == 1.0),
+        "the re-crawl must see the new rating"
+    );
+}

@@ -1,0 +1,91 @@
+//! Cross-crate integration tests pinning the paper's own numbers and claims:
+//! Example 1's arithmetic, Figure 1's structure, and the §3.3 similarity
+//! story ("high user similarity for users which have not even rated one
+//! single product in common").
+
+use semrec::profiles::generation::{descriptor_scores, generate_profile, ProfileParams};
+use semrec::profiles::similarity;
+use semrec::taxonomy::fixtures::{example1, figure1};
+use semrec::taxonomy::TopicId;
+
+#[test]
+fn example_1_numbers_through_the_public_api() {
+    let e = example1();
+    // s = 1000 split over 4 books → 250 per book; Matrix Analysis has 5
+    // descriptors → 50 for the Algebra descriptor.
+    let ratings: Vec<_> = e.catalog.iter().map(|p| (p, 1.0)).collect();
+    let profile =
+        generate_profile(&e.fig.taxonomy, &e.catalog, &ratings, &ProfileParams::default());
+    assert!((profile.total() - 1000.0).abs() < 1e-6);
+
+    let scores = descriptor_scores(&e.fig.taxonomy, e.fig.algebra, 50.0);
+    let by_label: Vec<(&str, f64)> =
+        scores.iter().map(|&(t, s)| (e.fig.taxonomy.label(t), s)).collect();
+    // Paper: 29.087 / 14.543 / 4.848 / 1.212 / 0.303 (its own rounding).
+    let expected = [
+        ("Algebra", 29.087),
+        ("Pure", 14.543),
+        ("Mathematics", 4.848),
+        ("Science", 1.212),
+        ("Books", 0.303),
+    ];
+    for ((label, got), (want_label, want)) in by_label.iter().zip(expected) {
+        assert_eq!(*label, want_label);
+        assert!((got - want).abs() < 0.01, "{label}: {got} vs paper {want}");
+    }
+}
+
+#[test]
+fn figure_1_fragment_has_the_papers_path_and_a_single_top() {
+    let f = figure1();
+    let t = &f.taxonomy;
+    // Exactly one ⊤ with zero indegree.
+    assert!(t.parents(TopicId::TOP).is_empty());
+    assert_eq!(t.iter().filter(|&id| t.parents(id).is_empty()).count(), 1);
+    // The Figure 1 path exists, in order.
+    let path = &t.paths_from_top(f.algebra)[0];
+    let labels: Vec<_> = path.iter().map(|&p| t.label(p)).collect();
+    assert_eq!(labels, vec!["Books", "Science", "Mathematics", "Pure", "Algebra"]);
+}
+
+#[test]
+fn applied_vs_algebra_readers_are_similar_through_branch_overlap() {
+    // §3.3: "suppose a_i reads literature about Applied Mathematics only,
+    // and a_j about Algebra, then their computed similarity will be high,
+    // considering significant branch overlap from node Mathematics onward."
+    let f = figure1();
+    let mut catalog = semrec::taxonomy::Catalog::new();
+    let applied_book = catalog
+        .add_product(&f.taxonomy, "urn:isbn:applied01", "Applied Math Reader", vec![f.applied])
+        .unwrap();
+    let algebra_book = catalog
+        .add_product(&f.taxonomy, "urn:isbn:algebra01", "Algebra Reader", vec![f.algebra])
+        .unwrap();
+    let fiction_book = catalog
+        .add_product(&f.taxonomy, "urn:isbn:fiction01", "Cyberpunk Reader", vec![f.cyberpunk])
+        .unwrap();
+
+    let params = ProfileParams::default();
+    let a_i = generate_profile(&f.taxonomy, &catalog, &[(applied_book, 1.0)], &params);
+    let a_j = generate_profile(&f.taxonomy, &catalog, &[(algebra_book, 1.0)], &params);
+    let a_k = generate_profile(&f.taxonomy, &catalog, &[(fiction_book, 1.0)], &params);
+
+    let math_pair = similarity::cosine(&a_i, &a_j).unwrap();
+    let cross_pair = similarity::cosine(&a_i, &a_k).unwrap();
+    // Most mass stays at the leaves (Eq. 3 discounts upward), so absolute
+    // cosine values are small — but the shared Mathematics branch lifts the
+    // math pair an order of magnitude above the cross-branch pair.
+    assert!(
+        math_pair > 10.0 * cross_pair,
+        "branch overlap must dominate: {math_pair} vs {cross_pair}"
+    );
+    assert!(cross_pair > 0.0, "even disjoint branches share ⊤");
+
+    // And they share not a single rated product.
+    assert_eq!(
+        semrec::profiles::ProductVector::from_ratings(&[(applied_book, 1.0)])
+            .co_rated(&semrec::profiles::ProductVector::from_ratings(&[(algebra_book, 1.0)]))
+            .len(),
+        0
+    );
+}

@@ -1,0 +1,102 @@
+//! End-to-end pipeline properties on seeded synthetic communities:
+//! determinism, locality, attack resistance, and baseline comparability.
+
+use semrec::core::{Recommender, RecommenderConfig, SynthesisStrategy};
+use semrec::datagen::attack::{inject_profile_copy_attack, AttackConfig};
+use semrec::datagen::community::{generate_community, CommunityGenConfig};
+use semrec::eval::baselines::knn_product_cf;
+use semrec::ProductId;
+
+#[test]
+fn recommendations_are_deterministic() {
+    let generated = generate_community(&CommunityGenConfig::small(3));
+    let engine_a = Recommender::new(generated.community.clone(), RecommenderConfig::default());
+    let engine_b = Recommender::new(generated.community, RecommenderConfig::default());
+    for agent in engine_a.community().agents().take(30) {
+        assert_eq!(
+            engine_a.recommend(agent, 10).unwrap(),
+            engine_b.recommend(agent, 10).unwrap()
+        );
+    }
+}
+
+#[test]
+fn pipeline_is_local_not_global() {
+    // The engine explores only the trust neighborhood (§2 scalability):
+    // the number of nodes the trust metric touches is far below n.
+    let generated = generate_community(&CommunityGenConfig::small(4));
+    let n = generated.community.agent_count();
+    let engine = Recommender::new(generated.community, RecommenderConfig::default());
+    let mut explored_max = 0;
+    for agent in engine.community().agents().take(20) {
+        let (_, trace) = engine.recommend_traced(agent, 10).unwrap();
+        explored_max = explored_max.max(trace.nodes_explored);
+        assert!(trace.neighborhood_size <= 50, "neighborhood cap must hold");
+    }
+    assert!(explored_max > 0);
+    assert!(explored_max <= n, "never more than the whole community");
+}
+
+#[test]
+fn profile_copy_attack_defeats_plain_cf_but_not_the_hybrid() {
+    let generated = generate_community(&CommunityGenConfig::small(21));
+    let mut community = generated.community;
+    let victim = community.agents().nth(3).unwrap();
+    let pushed: ProductId = community
+        .catalog
+        .iter()
+        .find(|&p| {
+            community.rating(victim, p).is_none()
+                && community.agents().all(|a| community.rating(a, p).is_none())
+        })
+        .unwrap();
+
+    inject_profile_copy_attack(
+        &mut community,
+        &AttackConfig { sybils: 30, pushed_product: pushed, victim, build_clique: true, seed: 5 },
+    );
+
+    let plain = knn_product_cf(&community, victim, 20, 10);
+    assert_eq!(plain.first(), Some(&pushed), "plain CF must be fooled");
+
+    let engine = Recommender::new(community, RecommenderConfig::default());
+    let hybrid = engine.recommend(victim, 10).unwrap();
+    assert!(
+        hybrid.iter().all(|r| r.product != pushed),
+        "the trust-filtered hybrid must suppress the pushed product"
+    );
+}
+
+#[test]
+fn synthesis_strategies_produce_orderable_output() {
+    let generated = generate_community(&CommunityGenConfig::small(8));
+    for strategy in [
+        SynthesisStrategy::LinearBlend { xi: 0.0 },
+        SynthesisStrategy::LinearBlend { xi: 0.5 },
+        SynthesisStrategy::LinearBlend { xi: 1.0 },
+        SynthesisStrategy::BordaMerge,
+        SynthesisStrategy::TrustFilter,
+    ] {
+        let config = RecommenderConfig { synthesis: strategy, ..Default::default() };
+        let engine = Recommender::new(generated.community.clone(), config);
+        let mut produced = 0usize;
+        for agent in engine.community().agents().take(20) {
+            let recs = engine.recommend(agent, 10).unwrap();
+            assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+            produced += recs.len();
+        }
+        assert!(produced > 0, "{strategy:?} must produce recommendations");
+    }
+}
+
+#[test]
+fn batch_matches_sequential_on_generated_data() {
+    let generated = generate_community(&CommunityGenConfig::small(11));
+    let engine = Recommender::new(generated.community, RecommenderConfig::default());
+    let targets: Vec<_> = engine.community().agents().take(40).collect();
+    let sequential = semrec::core::batch::recommend_batch(&engine, &targets, 10, 1);
+    let parallel = semrec::core::batch::recommend_batch(&engine, &targets, 10, 8);
+    for (a, b) in sequential.iter().zip(parallel.iter()) {
+        assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+    }
+}

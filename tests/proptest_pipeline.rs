@@ -1,0 +1,140 @@
+//! Property tests over the full pipeline on randomly shaped communities:
+//! output invariants that must hold for *any* trust topology, rating
+//! pattern and configuration.
+
+use proptest::prelude::*;
+use semrec::core::{Community, Recommender, RecommenderConfig, SynthesisStrategy};
+use semrec::taxonomy::fixtures::example1;
+use semrec::{AgentId, ProductId};
+
+/// Builds a community over the Example 1 world from generated edge/rating
+/// lists (indexes taken modulo the population).
+fn build(
+    n_agents: usize,
+    trust: &[(usize, usize, f64)],
+    ratings: &[(usize, usize, f64)],
+) -> Community {
+    let e = example1();
+    let mut c = Community::new(e.fig.taxonomy, e.catalog);
+    let agents: Vec<AgentId> = (0..n_agents)
+        .map(|i| c.add_agent(format!("http://ex.org/u{i}")).unwrap())
+        .collect();
+    for &(a, b, w) in trust {
+        let (a, b) = (a % n_agents, b % n_agents);
+        if a != b {
+            c.trust.set_trust(agents[a], agents[b], w).unwrap();
+        }
+    }
+    let m = c.catalog.len();
+    for &(a, p, r) in ratings {
+        c.set_rating(agents[a % n_agents], ProductId::from_index(p % m), r).unwrap();
+    }
+    c
+}
+
+type World = (usize, Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>);
+
+fn arb_world() -> impl Strategy<Value = World> {
+    (3usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0..n, 0..n, -1.0f64..=1.0), 0..30),
+            prop::collection::vec((0..n, 0usize..4, -1.0f64..=1.0), 0..30),
+        )
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = SynthesisStrategy> {
+    prop_oneof![
+        (0.0f64..=1.0).prop_map(|xi| SynthesisStrategy::LinearBlend { xi }),
+        Just(SynthesisStrategy::BordaMerge),
+        Just(SynthesisStrategy::TrustFilter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn recommendations_never_include_rated_products_and_are_sorted(
+        (n, trust, ratings) in arb_world(),
+        strategy in arb_strategy(),
+    ) {
+        let community = build(n, &trust, &ratings);
+        let config = RecommenderConfig { synthesis: strategy, ..Default::default() };
+        let engine = Recommender::new(community, config);
+        for agent in engine.community().agents() {
+            let recs = engine.recommend(agent, 10).unwrap();
+            // Sorted by descending score.
+            prop_assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+            for rec in &recs {
+                prop_assert!(engine.community().rating(agent, rec.product).is_none(),
+                    "recommended an already-rated product");
+                prop_assert!(rec.voters >= 1);
+                prop_assert!(rec.score > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn recommendations_only_come_from_reachable_peers(
+        (n, trust, ratings) in arb_world(),
+    ) {
+        let community = build(n, &trust, &ratings);
+        let engine = Recommender::new(community, RecommenderConfig::default());
+        for agent in engine.community().agents() {
+            // Positive-trust reachability from the agent.
+            let c = engine.community();
+            let mut reachable = vec![false; c.agent_count()];
+            let mut stack = vec![agent];
+            reachable[agent.index()] = true;
+            while let Some(v) = stack.pop() {
+                for (s, _) in c.trust.positive_out_edges(v) {
+                    if !reachable[s.index()] {
+                        reachable[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            // Every recommended product is positively rated by some reachable
+            // peer other than the agent.
+            for rec in engine.recommend(agent, 10).unwrap() {
+                let justified = c.agents().any(|peer| {
+                    peer != agent
+                        && reachable[peer.index()]
+                        && c.rating(peer, rec.product).is_some_and(|r| r > 0.0)
+                });
+                prop_assert!(justified, "recommendation without a reachable voter");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic_for_any_world(
+        (n, trust, ratings) in arb_world(),
+    ) {
+        let a = Recommender::new(build(n, &trust, &ratings), RecommenderConfig::default());
+        let b = Recommender::new(build(n, &trust, &ratings), RecommenderConfig::default());
+        for agent in a.community().agents() {
+            prop_assert_eq!(a.recommend(agent, 5).unwrap(), b.recommend(agent, 5).unwrap());
+        }
+    }
+
+    #[test]
+    fn peer_weights_are_positive_and_exclude_self(
+        (n, trust, ratings) in arb_world(),
+        strategy in arb_strategy(),
+    ) {
+        let community = build(n, &trust, &ratings);
+        let config = RecommenderConfig { synthesis: strategy, ..Default::default() };
+        let engine = Recommender::new(community, config);
+        for agent in engine.community().agents() {
+            let (weights, trace) = engine.peer_weights(agent).unwrap();
+            prop_assert_eq!(weights.len(), trace.effective_peers);
+            for &(peer, w) in &weights {
+                prop_assert!(peer != agent);
+                prop_assert!(w > 0.0 && w.is_finite());
+            }
+        }
+    }
+}
