@@ -3,7 +3,14 @@
 //! The paper's only fully worked computation: 4 books, s = 1000, *Matrix
 //! Analysis* with 5 descriptors → Algebra descriptor allotted 50, spread
 //! along the Figure 1 path as 29.087 / 14.543 / 4.848 / 1.212 / 0.303.
+//!
+//! E1 then feeds the Example 1 catalog into the full pipeline: a four-agent
+//! community (alice trusts bob and dave; eve sits outside the neighborhood)
+//! is evaluated through [`recommend_batch`], exercising every stage —
+//! Appleseed, profile similarity, synthesis, voting — so the `--metrics`
+//! dump after E1 shows the whole pipeline's counters and stage timings.
 
+use semrec_core::{recommend_batch, Community, Recommender, RecommenderConfig};
 use semrec_eval::table::{fmt, Table};
 use semrec_profiles::generation::{descriptor_scores, generate_profile, ProfileParams};
 use semrec_taxonomy::fixtures::example1;
@@ -14,6 +21,8 @@ pub struct Outcome {
     pub rows: Vec<(String, f64, f64)>,
     /// Total profile mass of the full Example 1 profile.
     pub profile_total: f64,
+    /// Number of recommendations each of the four pipeline agents received.
+    pub recommendation_counts: Vec<usize>,
 }
 
 const PAPER: [(&str, f64); 5] = [
@@ -56,7 +65,36 @@ pub fn run() -> Outcome {
     println!("\nFull Example 1 profile: {} topics scored, total mass {:.3} (= s)",
         profile.support(), profile.total());
 
-    Outcome { rows, profile_total: profile.total() }
+    // Full-pipeline pass over the Example 1 community: every stage of the
+    // engine runs, so observability counters and spans are populated.
+    let e = example1();
+    let products: Vec<_> = e.catalog.iter().collect();
+    let mut community = Community::new(e.fig.taxonomy, e.catalog);
+    let alice = community.add_agent("http://ex.org/alice").expect("fresh URI");
+    let bob = community.add_agent("http://ex.org/bob").expect("fresh URI");
+    let dave = community.add_agent("http://ex.org/dave").expect("fresh URI");
+    let eve = community.add_agent("http://ex.org/eve").expect("fresh URI");
+    community.trust.set_trust(alice, bob, 0.9).expect("valid edge");
+    community.trust.set_trust(alice, dave, 0.8).expect("valid edge");
+    community.trust.set_trust(bob, alice, 0.7).expect("valid edge");
+    community.trust.set_trust(dave, eve, 0.6).expect("valid edge");
+    community.set_rating(alice, products[1], 1.0).expect("valid rating");
+    community.set_rating(bob, products[0], 1.0).expect("valid rating");
+    community.set_rating(dave, products[2], 1.0).expect("valid rating");
+    community.set_rating(dave, products[3], 0.9).expect("valid rating");
+    community.set_rating(eve, products[3], 1.0).expect("valid rating");
+
+    let agents = vec![alice, bob, dave, eve];
+    let recommender = Recommender::new(community, RecommenderConfig::default());
+    let batch = recommend_batch(&recommender, &agents, 3, 2);
+    let recommendation_counts: Vec<usize> =
+        batch.iter().map(|r| r.as_ref().map_or(0, |recs| recs.len())).collect();
+    println!(
+        "\nPipeline pass over the 4-agent Example 1 community: {:?} recommendations",
+        recommendation_counts
+    );
+
+    Outcome { rows, profile_total: profile.total(), recommendation_counts }
 }
 
 #[cfg(test)]
@@ -73,5 +111,18 @@ mod tests {
         let total: f64 = outcome.rows.iter().map(|&(_, g, _)| g).sum();
         assert!((total - 50.0).abs() < 1e-9);
         assert!((outcome.profile_total - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipeline_pass_populates_the_acceptance_metrics() {
+        let outcome = run();
+        // Alice's trusted, taste-aligned peers produce recommendations.
+        assert_eq!(outcome.recommendation_counts.len(), 4);
+        assert!(outcome.recommendation_counts[0] >= 1, "alice must get recommendations");
+        // The metrics the `--metrics` dump is contractually expected to show.
+        let snapshot = semrec_obs::global().snapshot();
+        assert!(snapshot.counters["appleseed.iterations"] >= 1);
+        assert!(snapshot.counters["batch.tasks"] >= 4);
+        assert!(snapshot.histograms["engine.stage.synthesis"].count >= 1);
     }
 }

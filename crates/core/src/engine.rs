@@ -34,6 +34,12 @@ pub struct RecommenderConfig {
 }
 
 /// Diagnostic detail of one pipeline run.
+///
+/// The engine's primary record of a run now lives in the global metrics
+/// registry (`engine.*` and `appleseed.*` names, see `semrec-obs`); the
+/// public fields here are kept as a compatibility shim, populated with the
+/// same values the registry receives. [`PipelineTrace::from_registry`]
+/// rebuilds the trace of the most recent run from the registry alone.
 #[derive(Clone, Debug)]
 pub struct PipelineTrace {
     /// Neighborhood size after trust filtering.
@@ -44,6 +50,37 @@ pub struct PipelineTrace {
     pub nodes_explored: usize,
     /// Peers surviving rank synthesization with positive weight.
     pub effective_peers: usize,
+}
+
+impl PipelineTrace {
+    /// Reads the most recent run's trace back out of a metrics registry
+    /// (the `engine.last.*` gauges). Under concurrent batch evaluation the
+    /// gauges hold whichever run finished last; per-run traces should come
+    /// from [`Recommender::recommend_traced`] directly.
+    pub fn from_registry(registry: &semrec_obs::MetricsRegistry) -> PipelineTrace {
+        let read = |name: &str| registry.gauge(name).get() as usize;
+        PipelineTrace {
+            neighborhood_size: read("engine.last.neighborhood_size"),
+            trust_iterations: read("engine.last.trust_iterations"),
+            nodes_explored: read("engine.last.nodes_explored"),
+            effective_peers: read("engine.last.effective_peers"),
+        }
+    }
+
+    /// Publishes this trace to a registry: cumulative counters
+    /// (`engine.trust_iterations`, `engine.nodes_explored`,
+    /// `engine.effective_peers`) plus the `engine.last.*` gauges backing
+    /// [`PipelineTrace::from_registry`].
+    fn publish(&self, registry: &semrec_obs::MetricsRegistry) {
+        registry.counter("engine.runs").inc();
+        registry.counter("engine.trust_iterations").add(self.trust_iterations as u64);
+        registry.counter("engine.nodes_explored").add(self.nodes_explored as u64);
+        registry.counter("engine.effective_peers").add(self.effective_peers as u64);
+        registry.gauge("engine.last.neighborhood_size").set(self.neighborhood_size as f64);
+        registry.gauge("engine.last.trust_iterations").set(self.trust_iterations as f64);
+        registry.gauge("engine.last.nodes_explored").set(self.nodes_explored as f64);
+        registry.gauge("engine.last.effective_peers").set(self.effective_peers as f64);
+    }
 }
 
 /// The recommender engine: a community plus materialized profiles.
@@ -79,28 +116,37 @@ impl Recommender {
     /// Computes the synthesized peer weights for a target agent —
     /// the §3.2 + §3.3 + §3.4 front half of the pipeline.
     pub fn peer_weights(&self, target: AgentId) -> Result<(Vec<(AgentId, f64)>, PipelineTrace)> {
-        let neighborhood =
-            form_neighborhood(&self.community.trust, target, &self.config.neighborhood)?;
-        let target_profile = self.profiles.profile(target);
-        let peers: Vec<PeerScores> = neighborhood
-            .normalized()
-            .into_iter()
-            .map(|(agent, trust)| PeerScores {
-                agent,
-                trust,
-                similarity: self
-                    .config
-                    .similarity
-                    .apply(target_profile, self.profiles.profile(agent)),
-            })
-            .collect();
-        let weighted = synthesize(self.config.synthesis, &peers);
+        let neighborhood = {
+            let _stage = semrec_obs::span("engine.stage.neighborhood");
+            form_neighborhood(&self.community.trust, target, &self.config.neighborhood)?
+        };
+        let peers: Vec<PeerScores> = {
+            let _stage = semrec_obs::span("engine.stage.profiles");
+            let target_profile = self.profiles.profile(target);
+            neighborhood
+                .normalized()
+                .into_iter()
+                .map(|(agent, trust)| PeerScores {
+                    agent,
+                    trust,
+                    similarity: self
+                        .config
+                        .similarity
+                        .apply(target_profile, self.profiles.profile(agent)),
+                })
+                .collect()
+        };
+        let weighted = {
+            let _stage = semrec_obs::span("engine.stage.synthesis");
+            synthesize(self.config.synthesis, &peers)
+        };
         let trace = PipelineTrace {
             neighborhood_size: neighborhood.peers.len(),
             trust_iterations: neighborhood.iterations,
             nodes_explored: neighborhood.nodes_explored,
             effective_peers: weighted.len(),
         };
+        trace.publish(semrec_obs::global());
         Ok((weighted, trace))
     }
 
@@ -116,11 +162,15 @@ impl Recommender {
         n: usize,
     ) -> Result<(Vec<Recommendation>, PipelineTrace)> {
         let (weighted, trace) = self.peer_weights(target)?;
-        let mut recs = vote(&self.community, target, &weighted, &self.config.voting);
-        if self.config.novel_categories_only {
-            recs = novel_only(&self.community, self.profiles.profile(target), recs);
-        }
-        recs.truncate(n);
+        let recs = {
+            let _stage = semrec_obs::span("engine.stage.voting");
+            let mut recs = vote(&self.community, target, &weighted, &self.config.voting);
+            if self.config.novel_categories_only {
+                recs = novel_only(&self.community, self.profiles.profile(target), recs);
+            }
+            recs.truncate(n);
+            recs
+        };
         Ok((recs, trace))
     }
 }

@@ -88,8 +88,7 @@ impl Recommender {
             let contribution =
                 if config.voting.rating_weighted_votes { weight * rating } else { weight };
             let base = peers.iter().find(|p| p.agent == agent).expect("peer was scored");
-            let trust_path =
-                strongest_path(&community.trust, target, agent, Some(8))?.map(|(p, path)| (p, path));
+            let trust_path = strongest_path(&community.trust, target, agent, Some(8))?;
             voters.push(Voter {
                 agent,
                 weight,

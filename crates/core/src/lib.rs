@@ -49,6 +49,7 @@ pub mod profiles;
 pub mod recommend;
 pub mod synthesis;
 
+pub use batch::recommend_batch;
 pub use engine::{PipelineTrace, Recommender, RecommenderConfig};
 pub use explain::{Explanation, Voter};
 pub use error::{CoreError, Result};

@@ -1,0 +1,440 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, all safe to update from many threads at once.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::observer::{Event, EventKind, Observer};
+
+/// A monotonically increasing counter.
+///
+/// Cheap to clone; clones share the same underlying cell, so a hot loop can
+/// fetch the handle once and increment without touching the registry again.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (stored as `f64`).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Default bucket upper bounds: a 1-2-5 ladder from 1µs to 10s.
+///
+/// Wide enough for both wall-time spans (seconds) and the unit-scale
+/// quantities the pipeline observes (energy residuals, weights).
+pub const DEFAULT_BUCKETS: [f64; 22] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending upper bounds; an implicit +∞ bucket follows the last.
+    bounds: Vec<f64>,
+    /// One cell per bound, plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Clones share the same cells.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram(Arc::new(HistogramInner {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let inner = &*self.0;
+        let idx = inner.bounds.partition_point(|&bound| bound < value);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for bucket in &self.0.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (implicit +∞ bucket follows).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry, ordered by name for
+/// deterministic rendering and comparison.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as aligned `name value` lines; histograms show
+    /// count / mean / sum (buckets elided — they're for programmatic use).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|name| name.len())
+            .max()
+            .unwrap_or(0);
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name:<width$}  {value:.6}");
+        }
+        for (name, histogram) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<width$}  count={} mean={:.6} sum={:.6}",
+                histogram.count,
+                histogram.mean(),
+                histogram.sum,
+            );
+        }
+        out
+    }
+}
+
+/// A thread-safe registry of named metrics.
+///
+/// Accessors get-or-create: the first `counter("x")` call registers the
+/// counter, later calls return a handle to the same cell. [`MetricsRegistry::reset`]
+/// zeroes values *in place*, so handles cached by hot code stay valid
+/// across experiment runs.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    observers: RwLock<Vec<Arc<dyn Observer>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").field("snapshot", &self.snapshot()).finish()
+    }
+}
+
+fn get_or_create<T: Clone + Default>(map: &RwLock<BTreeMap<String, T>>, name: &str) -> T {
+    if let Some(found) = map.read().unwrap().get(name) {
+        return found.clone();
+    }
+    map.write().unwrap().entry(name.to_string()).or_default().clone()
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to the counter `name`, creating it at zero if new.
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Handle to the gauge `name`, creating it at zero if new.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Handle to the histogram `name` with [`DEFAULT_BUCKETS`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, &DEFAULT_BUCKETS)
+    }
+
+    /// Handle to the histogram `name`; `bounds` apply only on first
+    /// creation (an existing histogram keeps its buckets).
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Histogram {
+        if let Some(found) = self.histograms.read().unwrap().get(name) {
+            return found.clone();
+        }
+        self.histograms
+            .write()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds))
+            .clone()
+    }
+
+    /// Registers an event sink. See [`Observer`].
+    pub fn add_observer(&self, observer: Arc<dyn Observer>) {
+        self.observers.write().unwrap().push(observer);
+    }
+
+    /// Removes all observers.
+    pub fn clear_observers(&self) {
+        self.observers.write().unwrap().clear();
+    }
+
+    /// Delivers an event to every registered observer.
+    ///
+    /// Counters and histograms do *not* emit on every update — emission is
+    /// for coarse milestones (span ends, crawl fetches, run boundaries)
+    /// where per-event overhead is acceptable.
+    pub fn emit(&self, event: Event) {
+        let observers = self.observers.read().unwrap();
+        for observer in observers.iter() {
+            observer.on_event(&event);
+        }
+    }
+
+    /// Convenience: emit a named marker event with a value.
+    pub fn emit_value(&self, name: &str, kind: EventKind) {
+        if !self.observers.read().unwrap().is_empty() {
+            self.emit(Event { name: name.to_string(), kind });
+        }
+    }
+
+    /// Zeroes every metric in place. Existing handles remain valid and
+    /// keep pointing at the (now zeroed) cells; observers are untouched.
+    pub fn reset(&self) {
+        for counter in self.counters.read().unwrap().values() {
+            counter.0.store(0, Ordering::Relaxed);
+        }
+        for gauge in self.gauges.read().unwrap().values() {
+            gauge.0.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for histogram in self.histograms.read().unwrap().values() {
+            histogram.reset();
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, counter)| (name.clone(), counter.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, gauge)| (name.clone(), gauge.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// `snapshot().render_text()`.
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count_and_share_cells() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(registry.counter("x").get(), 5);
+        assert_eq!(registry.snapshot().counters["x"], 5);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("load");
+        g.set(2.5);
+        g.set(-1.0);
+        assert_eq!(registry.gauge("load").get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let histogram = Histogram::with_bounds(&[1.0, 10.0]);
+        for v in [0.5, 0.7, 5.0, 50.0] {
+            histogram.observe(v);
+        }
+        let snap = histogram.snapshot();
+        assert_eq!(snap.buckets, vec![2, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 56.2).abs() < 1e-9);
+        assert!((snap.mean() - 14.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_value_falls_in_its_bucket() {
+        // Upper bounds are inclusive (prometheus-style `le`).
+        let histogram = Histogram::with_bounds(&[1.0]);
+        histogram.observe(1.0);
+        assert_eq!(histogram.snapshot().buckets, vec![1, 0]);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_keeping_handles() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("n");
+        let histogram = registry.histogram("h");
+        counter.add(7);
+        histogram.observe(0.25);
+        registry.reset();
+        assert_eq!(counter.get(), 0);
+        assert_eq!(histogram.count(), 0);
+        counter.inc(); // the old handle still feeds the registry
+        assert_eq!(registry.counter("n").get(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = registry.counter("c");
+                let histogram = registry.histogram("h");
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        counter.inc();
+                        histogram.observe(0.001);
+                    }
+                });
+            }
+        });
+        assert_eq!(registry.counter("c").get(), 80_000);
+        assert_eq!(registry.histogram("h").count(), 80_000);
+        assert!((registry.histogram("h").sum() - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_text_lists_all_names() {
+        let registry = MetricsRegistry::new();
+        registry.counter("alpha").add(3);
+        registry.gauge("beta").set(1.5);
+        registry.histogram("gamma").observe(0.5);
+        let text = registry.render_text();
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("beta"), "{text}");
+        assert!(text.contains("gamma"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The [`Observer`] event sink and the default ring-buffer implementation.
+//!
+//! Observers receive coarse milestone events — span completions, crawl
+//! fetches, run boundaries — not every counter increment. They are for
+//! debugging and post-hoc inspection; the registry's metrics remain the
+//! source of truth for aggregates.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// What an [`Event`] reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A counter milestone (e.g. one crawl fetch) worth `n`.
+    Count(u64),
+    /// A measured value (residual, weight, ...).
+    Value(f64),
+    /// A [`crate::span`] closed after `seconds` of wall time.
+    SpanEnd {
+        /// The span's wall time in seconds.
+        seconds: f64,
+    },
+    /// A free-form marker (experiment start, run boundary, ...).
+    Marker,
+}
+
+/// One observability event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// The metric or span name this event concerns.
+    pub name: String,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// A [`EventKind::Marker`] event.
+    pub fn marker(name: impl Into<String>) -> Self {
+        Event { name: name.into(), kind: EventKind::Marker }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Count(n) => write!(f, "{} +{n}", self.name),
+            EventKind::Value(v) => write!(f, "{} = {v:.6}", self.name),
+            EventKind::SpanEnd { seconds } => {
+                write!(f, "{} took {:.3} ms", self.name, seconds * 1e3)
+            }
+            EventKind::Marker => write!(f, "-- {} --", self.name),
+        }
+    }
+}
+
+/// An event sink. Implementations must tolerate concurrent delivery.
+pub trait Observer: Send + Sync {
+    /// Receives one event. Must not call back into the emitting registry's
+    /// `emit` (it would deadlock on the observer list lock).
+    fn on_event(&self, event: &Event);
+}
+
+/// The default observer: keeps the last `capacity` events in memory,
+/// dropping the oldest on overflow.
+#[derive(Debug)]
+pub struct RingBufferObserver {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl RingBufferObserver {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferObserver {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().unwrap().is_empty()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+    }
+
+    /// Renders the retained events, oldest first, one per line.
+    pub fn render_text(&self) -> String {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|event| format!("{event}\n"))
+            .collect()
+    }
+}
+
+impl Observer for RingBufferObserver {
+    fn on_event(&self, event: &Event) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_on_overflow() {
+        let ring = RingBufferObserver::new(3);
+        for i in 0..5u64 {
+            ring.on_event(&Event { name: format!("e{i}"), kind: EventKind::Count(i) });
+        }
+        let names: Vec<_> = ring.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["e2", "e3", "e4"]);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_still_holds_one() {
+        let ring = RingBufferObserver::new(0);
+        ring.on_event(&Event::marker("a"));
+        ring.on_event(&Event::marker("b"));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events()[0].name, "b");
+    }
+
+    #[test]
+    fn formats_each_kind() {
+        let lines = [
+            Event { name: "c".into(), kind: EventKind::Count(2) }.to_string(),
+            Event { name: "v".into(), kind: EventKind::Value(0.5) }.to_string(),
+            Event { name: "s".into(), kind: EventKind::SpanEnd { seconds: 0.001 } }.to_string(),
+            Event::marker("m").to_string(),
+        ];
+        assert_eq!(lines[0], "c +2");
+        assert_eq!(lines[1], "v = 0.500000");
+        assert_eq!(lines[2], "s took 1.000 ms");
+        assert_eq!(lines[3], "-- m --");
+    }
+
+    #[test]
+    fn clear_and_render() {
+        let ring = RingBufferObserver::new(4);
+        assert!(ring.is_empty());
+        ring.on_event(&Event::marker("x"));
+        assert!(ring.render_text().contains("-- x --"));
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+}

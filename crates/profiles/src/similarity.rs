@@ -10,6 +10,7 @@ use crate::vector::ProfileVector;
 
 /// Cosine similarity in `[-1, 1]`; `None` if either vector is zero.
 pub fn cosine(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
+    semrec_obs::counter("profiles.similarity.cosine").inc();
     let na = a.norm();
     let nb = b.norm();
     if na == 0.0 || nb == 0.0 {
@@ -26,6 +27,7 @@ pub fn cosine(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
 /// `None` when fewer than 2 union dimensions exist or either side has zero
 /// variance.
 pub fn pearson(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
+    semrec_obs::counter("profiles.similarity.pearson").inc();
     let union = union_values(a, b);
     let n = union.len();
     if n < 2 {

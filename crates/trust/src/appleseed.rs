@@ -169,6 +169,14 @@ pub fn appleseed(
         return Err(TrustError::UnknownAgent(source.index()));
     }
 
+    // Observability: runs/iterations/nodes counters plus the per-iteration
+    // energy residual (`max_delta`) as a histogram. Handles are fetched
+    // once per run; the loop itself only touches atomics.
+    let _span = semrec_obs::span("appleseed.run");
+    semrec_obs::counter("appleseed.runs").inc();
+    let iterations_counter = semrec_obs::counter("appleseed.iterations");
+    let residual_histogram = semrec_obs::histogram("appleseed.residual");
+
     let d = params.spreading_factor;
     let mut nodes: Vec<NodeState> = vec![NodeState {
         agent: source,
@@ -183,6 +191,7 @@ pub fn appleseed(
     let mut converged = false;
     while iterations < params.max_iterations {
         iterations += 1;
+        iterations_counter.inc();
         let mut max_delta: f64 = 0.0;
 
         for i in 0..nodes.len() {
@@ -290,11 +299,13 @@ pub fn appleseed(
             node.energy_next = 0.0;
         }
 
+        residual_histogram.observe(max_delta);
         if max_delta < params.convergence {
             converged = true;
             break;
         }
     }
+    semrec_obs::counter("appleseed.nodes_explored").add(nodes.len() as u64);
 
     let mut ranks: Vec<(AgentId, f64)> = nodes
         .iter()

@@ -68,6 +68,8 @@ impl FlowNetwork {
     /// read per-edge flows.
     pub fn max_flow(&mut self, source: FlowNode, sink: FlowNode) -> i64 {
         assert_ne!(source, sink, "source and sink must differ");
+        let _span = semrec_obs::span("maxflow.run");
+        let augmenting_paths = semrec_obs::counter("maxflow.augmenting_paths");
         let n = self.adj.len();
         let mut total = 0i64;
         let mut level = vec![-1i32; n];
@@ -95,6 +97,7 @@ impl FlowNetwork {
                 if pushed == 0 {
                     break;
                 }
+                augmenting_paths.inc();
                 total += pushed;
             }
         }
@@ -147,6 +150,18 @@ mod tests {
         assert_eq!(net.max_flow(s, t), 7);
         assert_eq!(net.flow(e), 7);
         assert_eq!(net.residual(e), 0);
+    }
+
+    #[test]
+    fn counts_augmenting_paths() {
+        let paths = semrec_obs::counter("maxflow.augmenting_paths");
+        let before = paths.get();
+        let mut net = FlowNetwork::new();
+        let s = net.add_node();
+        let t = net.add_node();
+        net.add_edge(s, t, 1);
+        net.max_flow(s, t);
+        assert!(paths.get() - before >= 1, "one unit path must be counted");
     }
 
     #[test]

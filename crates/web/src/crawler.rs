@@ -5,7 +5,13 @@
 //! URIs, parsing each document and following `rdfs:seeAlso` / `foaf:knows`
 //! links, bounded by a hop range (the locality that keeps the §2
 //! scalability issue at bay). Fetch+parse of each BFS level fans out over
-//! crossbeam scoped threads — documents are independent.
+//! std scoped threads — documents are independent.
+//!
+//! Instrumentation: each crawl times itself under the `crawl.run` span and
+//! counts fetch outcomes globally (`crawl.fetch.parsed` / `.missing` /
+//! `.parse_error` / `.reused`) and per BFS level
+//! (`crawl.level.<n>.fetches`), so the shape of the frontier is visible in
+//! the metrics dump.
 
 use std::collections::{HashMap, HashSet};
 
@@ -95,20 +101,28 @@ fn crawl_inner(
     let mut result = CrawlResult::default();
     let mut agents: HashMap<String, ExtractedAgent> = HashMap::new();
 
+    let _run = semrec_obs::span("crawl.run");
+    let fetched_parsed = semrec_obs::counter("crawl.fetch.parsed");
+    let fetched_missing = semrec_obs::counter("crawl.fetch.missing");
+    let fetched_error = semrec_obs::counter("crawl.fetch.parse_error");
+    let fetched_reused = semrec_obs::counter("crawl.fetch.reused");
+
     let mut range = 0;
     while !frontier.is_empty() && range <= config.max_range {
         frontier.truncate(config.max_documents.saturating_sub(result.documents_fetched));
         if frontier.is_empty() {
             break;
         }
+        semrec_obs::counter(&format!("crawl.level.{range}.fetches"))
+            .add(frontier.len() as u64);
         // Fan fetch+parse out over threads, level-synchronously.
         let threads = config.threads.max(1).min(frontier.len());
         let chunk = frontier.len().div_ceil(threads);
-        let outcomes: Vec<(String, FetchOutcome)> = crossbeam::thread::scope(|scope| {
+        let outcomes: Vec<(String, FetchOutcome)> = std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk)
                 .map(|part| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         part.iter()
                             .map(|uri| (uri.clone(), fetch_one(web, uri, previous)))
                             .collect::<Vec<_>>()
@@ -116,20 +130,25 @@ fn crawl_inner(
                 })
                 .collect();
             handles.into_iter().flat_map(|h| h.join().expect("crawler worker panicked")).collect()
-        })
-        .expect("crawler scope panicked");
+        });
 
         let mut next: Vec<String> = Vec::new();
         for (uri, outcome) in outcomes {
             match outcome {
-                FetchOutcome::Missing => result.missing += 1,
+                FetchOutcome::Missing => {
+                    fetched_missing.inc();
+                    result.missing += 1;
+                }
                 FetchOutcome::ParseError => {
+                    fetched_error.inc();
                     result.documents_fetched += 1;
                     result.parse_errors += 1;
                 }
                 FetchOutcome::Parsed { version, extracted, reused } => {
+                    fetched_parsed.inc();
                     result.documents_fetched += 1;
                     if reused {
+                        fetched_reused.inc();
                         result.reused += 1;
                     }
                     result.documents.insert(

@@ -17,6 +17,7 @@
 //! | [`web`] | `semrec-web` | simulated document web, homepages, crawler |
 //! | [`datagen`] | `semrec-datagen` | §4.1-scale synthetic communities |
 //! | [`eval`] | `semrec-eval` | splits, metrics, baselines, tables |
+//! | [`obs`] | `semrec-obs` | metrics registry, stage spans, event observers |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -26,6 +27,7 @@
 pub use semrec_core as core;
 pub use semrec_datagen as datagen;
 pub use semrec_eval as eval;
+pub use semrec_obs as obs;
 pub use semrec_profiles as profiles;
 pub use semrec_rdf as rdf;
 pub use semrec_taxonomy as taxonomy;

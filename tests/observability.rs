@@ -1,0 +1,225 @@
+//! Golden comparisons between the observability layer and the pipeline's
+//! own diagnostics: the registry must agree with `PipelineTrace`, and the
+//! batch worker counters must partition the work exactly.
+//!
+//! All tests share the process-global registry, so they serialize on a
+//! mutex and reset the registry at the start of each critical section.
+
+use std::sync::{Mutex, MutexGuard};
+
+use semrec::core::{recommend_batch, PipelineTrace, Recommender, RecommenderConfig};
+use semrec::obs;
+use semrec::taxonomy::fixtures::example1;
+use semrec::{AgentId, Community};
+
+/// Serializes tests touching the global registry (shared across this
+/// binary's test threads).
+fn lock() -> MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The engine-test community: alice trusts bob (math) and dave (sci-fi).
+fn community() -> (Recommender, Vec<AgentId>) {
+    let e = example1();
+    let products: Vec<_> = e.catalog.iter().collect();
+    let mut c = Community::new(e.fig.taxonomy, e.catalog);
+    let alice = c.add_agent("http://ex.org/alice").unwrap();
+    let bob = c.add_agent("http://ex.org/bob").unwrap();
+    let dave = c.add_agent("http://ex.org/dave").unwrap();
+    let eve = c.add_agent("http://ex.org/eve").unwrap();
+    c.trust.set_trust(alice, bob, 0.9).unwrap();
+    c.trust.set_trust(alice, dave, 0.8).unwrap();
+    c.trust.set_trust(eve, alice, 1.0).unwrap();
+    c.set_rating(alice, products[1], 1.0).unwrap();
+    c.set_rating(bob, products[0], 1.0).unwrap();
+    c.set_rating(dave, products[2], 1.0).unwrap();
+    c.set_rating(dave, products[3], 0.9).unwrap();
+    c.set_rating(eve, products[3], 1.0).unwrap();
+    let agents = vec![alice, bob, dave, eve];
+    (Recommender::new(c, RecommenderConfig::default()), agents)
+}
+
+/// A larger ring community for batch fan-out.
+fn ring(n: usize) -> (Recommender, Vec<AgentId>) {
+    let e = example1();
+    let products: Vec<_> = e.catalog.iter().collect();
+    let mut c = Community::new(e.fig.taxonomy, e.catalog);
+    let agents: Vec<AgentId> =
+        (0..n).map(|i| c.add_agent(format!("http://ex.org/u{i}")).unwrap()).collect();
+    for i in 0..n {
+        c.trust.set_trust(agents[i], agents[(i + 1) % n], 0.9).unwrap();
+        c.set_rating(agents[i], products[i % 4], 1.0).unwrap();
+    }
+    (Recommender::new(c, RecommenderConfig::default()), agents)
+}
+
+#[test]
+fn registry_counters_match_pipeline_trace_exactly() {
+    let _serial = lock();
+    let (recommender, agents) = community();
+    obs::global().reset();
+
+    let (_, trace) = recommender.recommend_traced(agents[0], 10).unwrap();
+
+    let snapshot = obs::global().snapshot();
+    // The appleseed counters incremented during this single run must agree
+    // with the values the trace carried out of the trust metric.
+    assert_eq!(snapshot.counters["appleseed.iterations"], trace.trust_iterations as u64);
+    assert_eq!(snapshot.counters["appleseed.nodes_explored"], trace.nodes_explored as u64);
+    // So must the engine-published mirrors.
+    assert_eq!(snapshot.counters["engine.trust_iterations"], trace.trust_iterations as u64);
+    assert_eq!(snapshot.counters["engine.nodes_explored"], trace.nodes_explored as u64);
+    assert_eq!(snapshot.counters["engine.effective_peers"], trace.effective_peers as u64);
+    assert_eq!(snapshot.counters["engine.runs"], 1);
+
+    // The registry view reconstructs the trace of the last (only) run.
+    let view = PipelineTrace::from_registry(obs::global());
+    assert_eq!(view.neighborhood_size, trace.neighborhood_size);
+    assert_eq!(view.trust_iterations, trace.trust_iterations);
+    assert_eq!(view.nodes_explored, trace.nodes_explored);
+    assert_eq!(view.effective_peers, trace.effective_peers);
+}
+
+#[test]
+fn batch_worker_counters_sum_to_sequential_total() {
+    let _serial = lock();
+    let (recommender, agents) = ring(23);
+
+    // Sequential reference run.
+    obs::global().reset();
+    recommend_batch(&recommender, &agents, 5, 1);
+    let sequential_total = obs::global().snapshot().counters["batch.tasks"];
+    assert_eq!(sequential_total, agents.len() as u64);
+
+    for threads in [2, 3, 8] {
+        obs::global().reset();
+        recommend_batch(&recommender, &agents, 5, threads);
+        let snapshot = obs::global().snapshot();
+        assert_eq!(
+            snapshot.counters["batch.tasks"],
+            sequential_total,
+            "total tasks must not depend on thread count"
+        );
+        let worker_sum: u64 = snapshot
+            .counters
+            .iter()
+            .filter(|(name, _)| {
+                name.starts_with("batch.worker.") && name.ends_with(".tasks")
+            })
+            .map(|(_, &count)| count)
+            .sum();
+        assert_eq!(
+            worker_sum, sequential_total,
+            "per-worker counters must partition the work at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn engine_stage_spans_cover_every_run() {
+    let _serial = lock();
+    let (recommender, agents) = community();
+    obs::global().reset();
+
+    recommender.recommend(agents[0], 5).unwrap();
+    recommender.recommend(agents[1], 5).unwrap();
+
+    let snapshot = obs::global().snapshot();
+    for stage in [
+        "engine.stage.neighborhood",
+        "engine.stage.profiles",
+        "engine.stage.synthesis",
+        "engine.stage.voting",
+    ] {
+        let histogram = &snapshot.histograms[stage];
+        assert_eq!(histogram.count, 2, "{stage} must time both runs");
+        assert!(histogram.sum >= 0.0);
+    }
+    // Similarity was computed once per (target, peer) pair: alice has two
+    // peers, bob has none (nobody bob trusts is in the graph).
+    assert_eq!(snapshot.counters["profiles.similarity.cosine"], 2);
+}
+
+#[test]
+fn trace_tree_nests_stages_under_the_run() {
+    let _serial = lock();
+    let (recommender, agents) = community();
+    let _ = obs::take_trace();
+
+    {
+        let _run = obs::span("test.run");
+        recommender.recommend(agents[0], 5).unwrap();
+    }
+    let trace = obs::take_trace();
+    assert_eq!(trace.roots.len(), 1, "one root span expected");
+    let root = &trace.roots[0];
+    assert_eq!(root.name, "test.run");
+    let stages: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        stages,
+        ["engine.stage.neighborhood", "engine.stage.profiles", "engine.stage.synthesis",
+         "engine.stage.voting"],
+        "pipeline stages must nest in execution order"
+    );
+    // The neighborhood stage itself nests the appleseed run.
+    assert_eq!(root.children[0].children[0].name, "appleseed.run");
+    let rendered = trace.render_text();
+    assert!(rendered.contains("test.run"), "{rendered}");
+    assert!(rendered.contains("  engine.stage.voting"), "{rendered}");
+}
+
+#[test]
+fn observers_see_pipeline_span_events() {
+    let _serial = lock();
+    let (recommender, agents) = community();
+    let ring = std::sync::Arc::new(obs::RingBufferObserver::new(256));
+    obs::global().add_observer(ring.clone());
+
+    recommender.recommend(agents[0], 5).unwrap();
+    obs::global().clear_observers();
+
+    let names: Vec<String> = ring.events().into_iter().map(|e| e.name).collect();
+    assert!(names.iter().any(|n| n == "engine.stage.synthesis"), "{names:?}");
+    assert!(names.iter().any(|n| n == "appleseed.run"), "{names:?}");
+    let rendered = ring.render_text();
+    assert!(rendered.contains("took"), "{rendered}");
+}
+
+#[test]
+fn crawl_and_store_counters_track_a_publish_fetch_cycle() {
+    let _serial = lock();
+    let (recommender, _) = community();
+    let community = recommender.community();
+    obs::global().reset();
+
+    let web = semrec::web::store::DocumentWeb::new();
+    semrec::web::publish::publish_community(community, &web);
+    let seeds = vec!["http://ex.org/alice".to_owned()];
+    let result = semrec::web::crawler::crawl(
+        &web,
+        &seeds,
+        &semrec::web::crawler::CrawlConfig::default(),
+    );
+
+    let snapshot = obs::global().snapshot();
+    assert_eq!(
+        snapshot.counters["crawl.fetch.parsed"],
+        (result.documents_fetched - result.parse_errors) as u64
+    );
+    assert_eq!(snapshot.counters["crawl.fetch.missing"], result.missing as u64);
+    assert_eq!(snapshot.counters["store.reads"], web.fetch_count());
+    assert!(snapshot.counters["store.writes"] >= web.len() as u64);
+    // Level counters partition the fetch attempts.
+    let level_sum: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("crawl.level."))
+        .map(|(_, &count)| count)
+        .sum();
+    assert_eq!(
+        level_sum,
+        (result.documents_fetched + result.missing) as u64,
+        "per-level fetches must partition the crawl"
+    );
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! `bench_with_input`, `iter`/`iter_batched`, throughput annotations — over
+//! a simple wall-clock harness: each benchmark is warmed once, then timed
+//! for a fixed budget and reported as mean time per iteration. No
+//! statistics, plots, or saved baselines; this exists so `cargo bench`
+//! still runs (and `cargo test --benches` still compiles) without network
+//! access to crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration timing collector handed to bench closures.
+pub struct Bencher {
+    /// Run each closure exactly once (smoke mode, `--test`).
+    smoke: bool,
+}
+
+impl Bencher {
+    fn measure(&mut self, mut one_round: impl FnMut() -> Duration) -> Option<(Duration, u64)> {
+        if self.smoke {
+            one_round();
+            return None;
+        }
+        // Warm-up round, then iterate until the time budget is spent.
+        one_round();
+        let budget = Duration::from_millis(300);
+        let mut spent = Duration::ZERO;
+        let mut iterations = 0u64;
+        while spent < budget {
+            spent += one_round();
+            iterations += 1;
+        }
+        Some((spent, iterations))
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let result = self.measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+        report(result);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let result = self.measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+        report(result);
+    }
+}
+
+fn report(result: Option<(Duration, u64)>) {
+    if let Some((spent, iterations)) = result {
+        let per_iter = spent.as_secs_f64() / iterations as f64;
+        println!("    {iterations} iterations, {:.3} ms/iter", per_iter * 1e3);
+    }
+}
+
+/// Batch sizing hint (ignored; accepted for API compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Larger inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id naming a function/parameter pair.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--test` when running
+        // `cargo test --benches`; honor it by running every routine once.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("{}", name.into());
+        BenchmarkGroup { criterion: self }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        println!("  {name}");
+        let mut bencher = Bencher { smoke: self.smoke };
+        routine(&mut bencher);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the work per iteration (printed only).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        println!("  throughput: {throughput:?}");
+        self
+    }
+
+    /// Overrides the sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.criterion.bench_function(id, routine);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.criterion.bench_function(id.id.clone(), |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmarks_run_and_ids_format() {
+        let mut c = Criterion { smoke: true };
+        let mut ran = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.throughput(Throughput::Elements(3));
+            group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            group.bench_function("plain", |b| {
+                b.iter_batched(|| 1, |x| x + 1, BatchSize::SmallInput)
+            });
+            group.finish();
+        }
+        c.bench_function("top", |b| {
+            ran += 1;
+            b.iter(|| ())
+        });
+        assert_eq!(ran, 1);
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the strategy subset the workspace's property tests use:
+//! ranges, tuples, `Just`, `any`, regex-shaped string strategies,
+//! `prop::collection::vec`, `prop_map` / `prop_flat_map`, `prop_oneof!`,
+//! and the `proptest!` macro itself.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic**: every test's generator is seeded from the test's
+//!   name, so a run is reproducible byte-for-byte — no `PROPTEST_` env
+//!   knobs, no persisted failure files.
+//! * **No shrinking**: a failing case panics with the ordinary assertion
+//!   message. Cases are small (the workspace's strategies bound their own
+//!   sizes), so unshrunk counterexamples stay readable.
+//! * **Regex strategies** support the subset the tests use: concatenations
+//!   of literals, character classes (ranges + escapes), `\PC`, and `{m,n}`
+//!   quantifiers.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import test files use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy, StrategyExt};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses uniformly between the given strategies (all must share a value
+/// type). The weighted `w => strategy` form of real proptest is not needed
+/// by this workspace and is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($item)),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,323 @@
+//! Generation of strings from a regex subset.
+//!
+//! Supports what the workspace's string strategies use: concatenations of
+//! literal characters, character classes (`[a-z0-9_.-]`, ranges, escapes,
+//! `\u{..}`), the `\PC` "printable" category shorthand, and `{n}` / `{m,n}`
+//! quantifiers. Anything else is a parse error — loudly, so a new test
+//! using an unsupported feature fails at first run rather than silently
+//! generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// A set of characters, stored as inclusive ranges.
+#[derive(Clone, Debug)]
+struct CharSet {
+    ranges: Vec<(char, char)>,
+    /// Total number of characters across `ranges`.
+    count: u64,
+}
+
+impl CharSet {
+    fn from_ranges(ranges: Vec<(char, char)>) -> Result<Self, String> {
+        let mut count = 0u64;
+        for &(lo, hi) in &ranges {
+            if lo > hi {
+                return Err(format!("inverted range {lo:?}-{hi:?}"));
+            }
+            count += u64::from(hi) - u64::from(lo) + 1;
+        }
+        if count == 0 {
+            return Err("empty character class".into());
+        }
+        Ok(CharSet { ranges, count })
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let mut pick = rng.below(self.count);
+        for &(lo, hi) in &self.ranges {
+            let size = u64::from(hi) - u64::from(lo) + 1;
+            if pick < size {
+                // Ranges never straddle the surrogate gap in our patterns,
+                // but be safe: skip unrepresentable scalars forward.
+                let mut code = u32::try_from(u64::from(lo) + pick).unwrap();
+                while char::from_u32(code).is_none() {
+                    code += 1;
+                }
+                return char::from_u32(code).unwrap();
+            }
+            pick -= size;
+        }
+        unreachable!("sample index within total count")
+    }
+}
+
+/// One quantified element of a pattern.
+#[derive(Clone, Debug)]
+struct Element {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// A parsed generator pattern.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    elements: Vec<Element>,
+}
+
+/// The `\PC` pool: printable characters across several scripts, so fuzzing
+/// parsers exercises multi-byte UTF-8 without drowning in unassigned
+/// codepoints.
+fn printable_ranges() -> Vec<(char, char)> {
+    vec![
+        (' ', '~'),           // ASCII printable
+        ('\u{a1}', '\u{ff}'), // Latin-1 supplement (printables)
+        ('\u{391}', '\u{3a9}'), // Greek capitals
+        ('\u{4e00}', '\u{4e2f}'), // a slice of CJK
+        ('\u{1f600}', '\u{1f60f}'), // emoji (4-byte UTF-8)
+    ]
+}
+
+impl Pattern {
+    /// Parses a pattern; errors describe the unsupported construct.
+    pub fn parse(pattern: &str) -> Result<Self, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut elements = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    let (c, next) = parse_escape(&chars, i + 1)?;
+                    i = next;
+                    match c {
+                        EscapeResult::Literal(c) => CharSet::from_ranges(vec![(c, c)])?,
+                        EscapeResult::Printable => CharSet::from_ranges(printable_ranges())?,
+                    }
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' | '^' | '$' => {
+                    return Err(format!("unsupported regex construct {:?}", chars[i]));
+                }
+                c => {
+                    i += 1;
+                    CharSet::from_ranges(vec![(c, c)])?
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let (min, max, next) = parse_quantifier(&chars, i + 1)?;
+                i = next;
+                (min, max)
+            } else {
+                (1, 1)
+            };
+            elements.push(Element { set, min, max });
+        }
+        Ok(Pattern { elements })
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for element in &self.elements {
+            let span = u64::from(element.max - element.min) + 1;
+            let n = element.min + rng.below(span) as u32;
+            for _ in 0..n {
+                out.push(element.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+enum EscapeResult {
+    Literal(char),
+    Printable,
+}
+
+/// Parses the escape after a `\`, returning the result and the next index.
+fn parse_escape(chars: &[char], mut i: usize) -> Result<(EscapeResult, usize), String> {
+    let Some(&c) = chars.get(i) else {
+        return Err("dangling backslash".into());
+    };
+    i += 1;
+    let result = match c {
+        'n' => EscapeResult::Literal('\n'),
+        't' => EscapeResult::Literal('\t'),
+        'r' => EscapeResult::Literal('\r'),
+        '0' => EscapeResult::Literal('\0'),
+        'P' | 'p' => {
+            // `\PC` / `\P{C}`: we approximate every category query with the
+            // printable pool — the tests only use it for fuzz input.
+            match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or("unterminated \\P{...}")?;
+                    i += close + 1;
+                }
+                Some(_) => i += 1,
+                None => return Err("dangling \\P".into()),
+            }
+            EscapeResult::Printable
+        }
+        'u' | 'x' => {
+            let (c, next) = parse_codepoint(chars, i)?;
+            i = next;
+            EscapeResult::Literal(c)
+        }
+        c if c.is_ascii_alphanumeric() => {
+            return Err(format!("unsupported escape \\{c}"));
+        }
+        c => EscapeResult::Literal(c),
+    };
+    Ok((result, i))
+}
+
+/// Parses `{hex}` after `\u` / `\x`, returning the char and next index.
+fn parse_codepoint(chars: &[char], i: usize) -> Result<(char, usize), String> {
+    if chars.get(i) != Some(&'{') {
+        return Err("expected {hex} after \\u".into());
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .ok_or("unterminated \\u{...}")?;
+    let hex: String = chars[i + 1..i + close].iter().collect();
+    let code = u32::from_str_radix(&hex, 16).map_err(|e| format!("bad hex {hex:?}: {e}"))?;
+    let c = char::from_u32(code).ok_or(format!("invalid codepoint {code:#x}"))?;
+    Ok((c, i + close + 1))
+}
+
+/// Parses a class body after `[`, returning the set and the index past `]`.
+fn parse_class(chars: &[char], mut i: usize) -> Result<(CharSet, usize), String> {
+    if chars.get(i) == Some(&'^') {
+        return Err("negated classes are not supported".into());
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    // One literal char of the class, handling escapes.
+    let atom = |i: &mut usize| -> Result<char, String> {
+        let c = chars[*i];
+        *i += 1;
+        if c != '\\' {
+            return Ok(c);
+        }
+        let (esc, next) = parse_escape(chars, *i)?;
+        *i = next;
+        match esc {
+            EscapeResult::Literal(c) => Ok(c),
+            EscapeResult::Printable => Err("\\P inside a class is not supported".into()),
+        }
+    };
+    loop {
+        let Some(&c) = chars.get(i) else {
+            return Err("unterminated character class".into());
+        };
+        if c == ']' {
+            i += 1;
+            break;
+        }
+        let lo = atom(&mut i)?;
+        // `x-y` is a range unless `-` is the final char of the class.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1; // consume '-'
+            let hi = atom(&mut i)?;
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    Ok((CharSet::from_ranges(ranges)?, i))
+}
+
+/// Parses a quantifier body after `{`, returning `(min, max, next index)`.
+fn parse_quantifier(chars: &[char], i: usize) -> Result<(u32, u32, usize), String> {
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .ok_or("unterminated quantifier")?;
+    let body: String = chars[i..i + close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((min, max)) => {
+            let min = min.trim().parse::<u32>().map_err(|e| e.to_string())?;
+            let max = max.trim().parse::<u32>().map_err(|e| e.to_string())?;
+            (min, max)
+        }
+        None => {
+            let n = body.trim().parse::<u32>().map_err(|e| e.to_string())?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return Err(format!("quantifier {{{min},{max}}} is inverted"));
+    }
+    Ok((min, max, i + close + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::seed_from_u64(seed);
+        Pattern::parse(pattern).unwrap().generate(&mut rng)
+    }
+
+    #[test]
+    fn literal_and_class_concatenation() {
+        for seed in 0..50 {
+            let s = gen("[A-Za-z][A-Za-z0-9_.-]{0,12}", seed);
+            let chars: Vec<char> = s.chars().collect();
+            assert!(!chars.is_empty() && chars.len() <= 13, "{s:?}");
+            assert!(chars[0].is_ascii_alphabetic(), "{s:?}");
+            assert!(chars[1..]
+                .iter()
+                .all(|&c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn exact_quantifier() {
+        for seed in 0..20 {
+            let s = gen("[a-z]{2}", seed);
+            assert_eq!(s.chars().count(), 2);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        for seed in 0..50 {
+            let s = gen(r#"[@<>"'\\\[\]();,\.a-z0-9:#\u{00e9} \n\t-]{0,200}"#, seed);
+            assert!(s.chars().all(|c| {
+                "@<>\"'\\[]();,.:#- \n\t\u{e9}".contains(c)
+                    || c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+            }), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_category_spans_utf8_widths() {
+        let mut lens = std::collections::HashSet::new();
+        for seed in 0..40 {
+            for c in gen("\\PC{0,300}", seed).chars() {
+                lens.insert(c.len_utf8());
+                assert!(!c.is_control(), "{c:?} is a control char");
+            }
+        }
+        assert!(lens.len() >= 3, "want multi-byte coverage, got {lens:?}");
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(Pattern::parse("(a|b)").is_err());
+        assert!(Pattern::parse("[^a]").is_err());
+        assert!(Pattern::parse("a{3,1}").is_err());
+        assert!(Pattern::parse("[a").is_err());
+    }
+}
