@@ -56,6 +56,7 @@ pub fn run(scale: Scale) -> Outcome {
                 update_probability: 0.05,
                 refresh_interval: interval,
                 seed: 14,
+                ..Default::default()
             },
         );
         table.row([

@@ -11,6 +11,7 @@ use semrec_trust::neighborhood::{form_neighborhood, NeighborhoodParams};
 use semrec_trust::AgentId;
 
 use crate::error::Result;
+use crate::health::SourceHealth;
 use crate::model::Community;
 use crate::profiles::{ProfileStore, SimilarityMeasure};
 use crate::recommend::{novel_only, vote, Recommendation, VotingParams};
@@ -89,13 +90,29 @@ pub struct Recommender {
     community: Community,
     profiles: ProfileStore,
     config: RecommenderConfig,
+    source_health: SourceHealth,
 }
 
 impl Recommender {
-    /// Builds the engine, materializing every agent's profile once.
+    /// Builds the engine, materializing every agent's profile once. The
+    /// community is assumed fully sourced; use
+    /// [`Recommender::with_source_health`] when it came from a crawl that
+    /// lost documents.
     pub fn new(community: Community, config: RecommenderConfig) -> Self {
         let profiles = ProfileStore::build(&community, &config.profile);
-        Recommender { community, profiles, config }
+        Recommender { community, profiles, config, source_health: SourceHealth::default() }
+    }
+
+    /// Attaches the [`SourceHealth`] of the crawl that assembled this
+    /// community, so degraded runs are flagged in traces and explanations.
+    pub fn with_source_health(mut self, health: SourceHealth) -> Self {
+        self.source_health = health;
+        self
+    }
+
+    /// The health of the source this community was assembled from.
+    pub fn source_health(&self) -> &SourceHealth {
+        &self.source_health
     }
 
     /// The underlying community.
@@ -161,6 +178,11 @@ impl Recommender {
         target: AgentId,
         n: usize,
     ) -> Result<(Vec<Recommendation>, PipelineTrace)> {
+        if self.source_health.is_degraded() {
+            // The run proceeds on the reachable subset; the registry keeps
+            // score so `--metrics` dumps surface it.
+            semrec_obs::counter("engine.degraded_runs").inc();
+        }
         let (weighted, trace) = self.peer_weights(target)?;
         let recs = {
             let _stage = semrec_obs::span("engine.stage.voting");

@@ -52,6 +52,10 @@ pub struct Explanation {
     /// profile overlap: `(topic, target score, product score)`, strongest
     /// product-side mass first.
     pub shared_topics: Vec<(TopicId, f64, f64)>,
+    /// Set when the community behind this explanation is a degraded view of
+    /// its source (the crawl lost documents): the recommendation stands,
+    /// but peers and votes may be missing. `None` for healthy sources.
+    pub degraded: Option<crate::health::SourceHealth>,
 }
 
 impl Recommender {
@@ -125,7 +129,9 @@ impl Recommender {
         }
         shared_topics.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
 
-        Ok(Some(Explanation { product, voters, score, shared_topics }))
+        let degraded =
+            if self.source_health().is_degraded() { Some(*self.source_health()) } else { None };
+        Ok(Some(Explanation { product, voters, score, shared_topics, degraded }))
     }
 }
 
@@ -197,6 +203,27 @@ mod tests {
             assert!(target_score > 0.0);
             assert!(product_score > 0.0);
         }
+    }
+
+    #[test]
+    fn degraded_sources_are_flagged_in_explanations() {
+        let (engine, agents, products) = setup();
+        // A healthy engine explains without the flag.
+        let healthy = engine.explain(agents[0], products[0]).unwrap().unwrap();
+        assert_eq!(healthy.degraded, None);
+
+        // The same engine told its community came from a lossy crawl
+        // carries the health record into every explanation.
+        let health = crate::health::SourceHealth {
+            attempted: 4,
+            fetched: 3,
+            unreachable: 1,
+            ..Default::default()
+        };
+        let engine = engine.with_source_health(health);
+        let flagged = engine.explain(agents[0], products[0]).unwrap().unwrap();
+        assert_eq!(flagged.degraded, Some(health));
+        assert_eq!(flagged.voters, healthy.voters, "the votes themselves are unchanged");
     }
 
     #[test]

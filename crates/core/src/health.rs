@@ -1,0 +1,110 @@
+//! Source health: how much of the decentralized web a community was
+//! actually assembled from.
+//!
+//! §2's environment is unreliable by construction — peers go down,
+//! documents truncate, crawls run out of budget. The engine still
+//! recommends from whatever subset was reachable (graceful degradation),
+//! but the run must *say so*: a [`SourceHealth`] travels from the crawl
+//! into the [`Recommender`](crate::Recommender) and out through
+//! [`Explanation`](crate::Explanation) provenance, so no consumer can
+//! mistake a partial view of the community for the whole one.
+
+/// Accounting of the crawl (or other assembly process) that produced a
+/// community: what was attempted, what arrived, and what was lost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceHealth {
+    /// Documents the assembly tried to obtain (fetched + missing + lost).
+    pub attempted: usize,
+    /// Documents fetched *and* parsed successfully.
+    pub fetched: usize,
+    /// Documents never fetched: dead peers, open circuit breakers, or
+    /// frontier abandoned at a deadline.
+    pub unreachable: usize,
+    /// Documents abandoned after exhausting their retry budget.
+    pub gave_up: usize,
+    /// Corrupted (truncated) responses observed along the way, including
+    /// ones later recovered by a retry.
+    pub corrupted: usize,
+    /// Documents fetched but unparseable.
+    pub parse_errors: usize,
+}
+
+impl SourceHealth {
+    /// A perfectly healthy source that attempted and fetched `n` documents.
+    pub fn complete(n: usize) -> Self {
+        SourceHealth { attempted: n, fetched: n, ..SourceHealth::default() }
+    }
+
+    /// Documents lost: attempted but neither fetched-and-parsed nor merely
+    /// missing (dangling links are not degradation — the web answered).
+    pub fn lost(&self) -> usize {
+        self.unreachable + self.gave_up + self.parse_errors
+    }
+
+    /// Whether the assembled community is a degraded view of its source:
+    /// anything was unreachable, given up on, or unparseable. Dangling
+    /// links (`missing`) and recovered corruption do not count.
+    pub fn is_degraded(&self) -> bool {
+        self.lost() > 0
+    }
+
+    /// Fraction of attempted documents that arrived intact, in `[0, 1]`
+    /// (1.0 for an empty attempt: nothing was lost).
+    pub fn coverage(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.fetched as f64 / self.attempted as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SourceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} fetched ({} unreachable, {} gave up, {} parse errors)",
+            self.fetched, self.attempted, self.unreachable, self.gave_up, self.parse_errors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_sources_are_healthy() {
+        let h = SourceHealth::complete(10);
+        assert!(!h.is_degraded());
+        assert_eq!(h.coverage(), 1.0);
+        assert_eq!(h.lost(), 0);
+        // The degenerate empty source is healthy too.
+        assert!(!SourceHealth::default().is_degraded());
+        assert_eq!(SourceHealth::default().coverage(), 1.0);
+    }
+
+    #[test]
+    fn losses_mark_degradation() {
+        let h = SourceHealth {
+            attempted: 10,
+            fetched: 7,
+            unreachable: 1,
+            gave_up: 1,
+            corrupted: 4,
+            parse_errors: 1,
+        };
+        assert!(h.is_degraded());
+        assert_eq!(h.lost(), 3);
+        assert!((h.coverage() - 0.7).abs() < 1e-12);
+        let text = h.to_string();
+        assert!(text.contains("7/10"));
+        assert!(text.contains("1 unreachable"));
+    }
+
+    #[test]
+    fn recovered_corruption_alone_is_not_degradation() {
+        let h = SourceHealth { attempted: 5, fetched: 5, corrupted: 3, ..Default::default() };
+        assert!(!h.is_degraded(), "retries recovered everything");
+    }
+}

@@ -44,6 +44,7 @@ pub mod diversify;
 pub mod engine;
 pub mod explain;
 pub mod error;
+pub mod health;
 pub mod model;
 pub mod profiles;
 pub mod recommend;
@@ -53,6 +54,7 @@ pub use batch::recommend_batch;
 pub use engine::{PipelineTrace, Recommender, RecommenderConfig};
 pub use explain::{Explanation, Voter};
 pub use error::{CoreError, Result};
+pub use health::SourceHealth;
 pub use model::{AgentInfo, Community};
 pub use profiles::{ProfileStore, SimilarityMeasure};
 pub use recommend::{Recommendation, VotingParams};

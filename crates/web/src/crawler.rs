@@ -7,18 +7,33 @@
 //! scalability issue at bay). Fetch+parse of each BFS level fans out over
 //! std scoped threads — documents are independent.
 //!
+//! The web being crawled is unreliable (see [`crate::fault`]): every fetch
+//! goes through a [`FetchSource`] and may fail with a typed
+//! [`FetchError`]. A [`FetchPolicy`] governs how hard the crawler tries —
+//! bounded retries with exponential backoff and deterministic jitter,
+//! per-URI attempt budgets, a per-crawl tick deadline — and a per-peer
+//! [`CircuitBreaker`] quarantines persistently failing homepages so dead
+//! peers stop consuming budget. Whatever stays unreachable is *accounted*,
+//! not fatal: the crawl returns the subset it reached plus
+//! `unreachable` / `gave_up` / `corrupted` bookkeeping and the typed
+//! [`Error`] list, and downstream recommendation runs carry
+//! the degradation flag (see `CrawlResult::health`).
+//!
 //! Instrumentation: each crawl times itself under the `crawl.run` span and
 //! counts fetch outcomes globally (`crawl.fetch.parsed` / `.missing` /
-//! `.parse_error` / `.reused`) and per BFS level
-//! (`crawl.level.<n>.fetches`), so the shape of the frontier is visible in
-//! the metrics dump.
+//! `.parse_error` / `.reused` / `.retry` / `.gave_up` / `.unreachable` /
+//! `.corrupted`) and per BFS level (`crawl.level.<n>.fetches`); breaker
+//! openings bump `crawl.breaker.open`.
 
 use std::collections::{HashMap, HashSet};
 
-use semrec_core::Community;
+use semrec_core::{Community, SourceHealth};
 use semrec_taxonomy::{Catalog, Taxonomy};
 
+use crate::error::Error;
 use crate::extract::{extract_agents, ExtractedAgent};
+use crate::fault::{FetchError, FetchSource};
+use crate::policy::{BreakerState, CircuitBreaker, FetchPolicy};
 use crate::publish::homepage_uri;
 use crate::store::DocumentWeb;
 
@@ -64,11 +79,48 @@ pub struct CrawlResult {
     pub documents: HashMap<String, DocumentSnapshot>,
     /// Documents whose version was unchanged in a refresh (parse skipped).
     pub reused: usize,
+    /// Retry attempts spent across all URIs.
+    pub retries: u64,
+    /// URIs abandoned after exhausting their retry budget.
+    pub gave_up: usize,
+    /// URIs never fetched: dead peers, open circuit breakers, or frontier
+    /// abandoned at the crawl deadline.
+    pub unreachable: usize,
+    /// Corrupted (truncated) responses observed across all attempts.
+    pub corrupted: usize,
+    /// Virtual ticks this crawl consumed (fetch latency + backoff delays,
+    /// parallel within a BFS level).
+    pub ticks: u64,
+    /// Whether the per-crawl deadline cut the crawl short.
+    pub deadline_exceeded: bool,
+    /// Circuit-breaker transitions that happened during this crawl, in
+    /// order: `(peer homepage URI, state entered)`.
+    pub breaker_transitions: Vec<(String, BreakerState)>,
+    /// Typed record of every failure the crawl survived.
+    pub errors: Vec<Error>,
 }
 
-/// Crawls the web from seed homepage URIs.
+impl CrawlResult {
+    /// Summarizes this crawl as a [`SourceHealth`] for the recommendation
+    /// engine: how much of the web the community was assembled from.
+    pub fn health(&self) -> SourceHealth {
+        SourceHealth {
+            attempted: self.documents_fetched + self.missing + self.gave_up + self.unreachable,
+            fetched: self.documents_fetched - self.parse_errors,
+            unreachable: self.unreachable,
+            gave_up: self.gave_up,
+            corrupted: self.corrupted,
+            parse_errors: self.parse_errors,
+        }
+    }
+}
+
+/// Crawls the web from seed homepage URIs (the reliable, single-attempt
+/// path: no retries, breaker never opens).
 pub fn crawl(web: &DocumentWeb, seeds: &[String], config: &CrawlConfig) -> CrawlResult {
-    crawl_inner(web, seeds, config, None)
+    let policy = FetchPolicy::no_retry();
+    let mut breaker = CircuitBreaker::for_policy(&policy);
+    crawl_with(web, seeds, config, &policy, &mut breaker, None)
 }
 
 /// Re-crawls from seeds, reusing the extraction of any document whose
@@ -80,13 +132,47 @@ pub fn refresh(
     config: &CrawlConfig,
     previous: &CrawlResult,
 ) -> CrawlResult {
-    crawl_inner(web, seeds, config, Some(previous))
+    let policy = FetchPolicy::no_retry();
+    let mut breaker = CircuitBreaker::for_policy(&policy);
+    crawl_with(web, seeds, config, &policy, &mut breaker, Some(previous))
 }
 
-fn crawl_inner(
-    web: &DocumentWeb,
+/// Crawls an unreliable [`FetchSource`] under a [`FetchPolicy`], returning
+/// the result together with the circuit-breaker state (pass it to
+/// [`refresh_resilient`] so quarantines persist across refreshes).
+pub fn crawl_resilient(
+    source: &dyn FetchSource,
     seeds: &[String],
     config: &CrawlConfig,
+    policy: &FetchPolicy,
+) -> (CrawlResult, CircuitBreaker) {
+    let mut breaker = CircuitBreaker::for_policy(policy);
+    let result = crawl_with(source, seeds, config, policy, &mut breaker, None);
+    (result, breaker)
+}
+
+/// Re-crawls an unreliable source, reusing unchanged documents from
+/// `previous` and carrying breaker state forward in `breaker`.
+pub fn refresh_resilient(
+    source: &dyn FetchSource,
+    seeds: &[String],
+    config: &CrawlConfig,
+    policy: &FetchPolicy,
+    breaker: &mut CircuitBreaker,
+    previous: &CrawlResult,
+) -> CrawlResult {
+    crawl_with(source, seeds, config, policy, breaker, Some(previous))
+}
+
+/// The general crawl: BFS over a fallible source with retries, backoff,
+/// deadline and breaker — all on the virtual clock, fully deterministic
+/// for a fixed `(source, seeds, config, policy, breaker)` state.
+pub fn crawl_with(
+    source: &dyn FetchSource,
+    seeds: &[String],
+    config: &CrawlConfig,
+    policy: &FetchPolicy,
+    breaker: &mut CircuitBreaker,
     previous: Option<&CrawlResult>,
 ) -> CrawlResult {
     let mut visited: HashSet<String> = HashSet::new();
@@ -106,6 +192,14 @@ fn crawl_inner(
     let fetched_missing = semrec_obs::counter("crawl.fetch.missing");
     let fetched_error = semrec_obs::counter("crawl.fetch.parse_error");
     let fetched_reused = semrec_obs::counter("crawl.fetch.reused");
+    let fetched_retry = semrec_obs::counter("crawl.fetch.retry");
+    let fetched_gave_up = semrec_obs::counter("crawl.fetch.gave_up");
+    let fetched_unreachable = semrec_obs::counter("crawl.fetch.unreachable");
+    let fetched_corrupted = semrec_obs::counter("crawl.fetch.corrupted");
+
+    let transitions_before = breaker.transitions().len();
+    let clock_start = breaker.now();
+    let mut clock = clock_start;
 
     let mut range = 0;
     while !frontier.is_empty() && range <= config.max_range {
@@ -113,18 +207,51 @@ fn crawl_inner(
         if frontier.is_empty() {
             break;
         }
-        semrec_obs::counter(&format!("crawl.level.{range}.fetches"))
-            .add(frontier.len() as u64);
+        // Deadline gate: a crawl out of budget abandons the remaining
+        // frontier (accounted, not fatal).
+        if policy.deadline.is_some_and(|d| clock - clock_start >= d) {
+            result.deadline_exceeded = true;
+            result.unreachable += frontier.len();
+            fetched_unreachable.add(frontier.len() as u64);
+            break;
+        }
+        // Breaker gate, in deterministic frontier order: quarantined peers
+        // are skipped without spending any attempt budget. The per-URI
+        // attempt cap keeps the retry loop from overshooting the breaker
+        // threshold.
+        let mut level: Vec<(String, u32)> = Vec::new();
+        for uri in frontier.drain(..) {
+            if breaker.allow(&uri, clock) {
+                let cap = policy.max_attempts.max(1).min(breaker.attempts_before_open(&uri));
+                level.push((uri, cap));
+            } else {
+                result.unreachable += 1;
+                fetched_unreachable.inc();
+                result.errors.push(Error::Fetch {
+                    uri,
+                    error: FetchError::Unavailable,
+                    attempts: 0,
+                });
+            }
+        }
+        if level.is_empty() {
+            range += 1;
+            continue;
+        }
+        semrec_obs::counter(&format!("crawl.level.{range}.fetches")).add(level.len() as u64);
+
         // Fan fetch+parse out over threads, level-synchronously.
-        let threads = config.threads.max(1).min(frontier.len());
-        let chunk = frontier.len().div_ceil(threads);
-        let outcomes: Vec<(String, FetchOutcome)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = frontier
+        let threads = config.threads.max(1).min(level.len());
+        let chunk = level.len().div_ceil(threads);
+        let records: Vec<(String, FetchRecord)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = level
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
                         part.iter()
-                            .map(|uri| (uri.clone(), fetch_one(web, uri, previous)))
+                            .map(|(uri, cap)| {
+                                (uri.clone(), fetch_with_retries(source, uri, *cap, policy, previous))
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -132,19 +259,49 @@ fn crawl_inner(
             handles.into_iter().flat_map(|h| h.join().expect("crawler worker panicked")).collect()
         });
 
+        // Sequential merge in frontier order: counters, breaker bookkeeping
+        // and link discovery are all deterministic.
         let mut next: Vec<String> = Vec::new();
-        for (uri, outcome) in outcomes {
-            match outcome {
+        let mut level_ticks = 0u64;
+        for (uri, record) in records {
+            level_ticks = level_ticks.max(record.ticks);
+            result.retries += u64::from(record.retries);
+            fetched_retry.add(u64::from(record.retries));
+            result.corrupted += record.corrupted as usize;
+            fetched_corrupted.add(u64::from(record.corrupted));
+            for _ in 0..record.failed_attempts() {
+                breaker.record_failure(&uri, clock);
+            }
+            match record.outcome {
                 FetchOutcome::Missing => {
+                    // The peer answered (with "no such document"): reachable.
+                    breaker.record_success(&uri);
                     fetched_missing.inc();
                     result.missing += 1;
                 }
-                FetchOutcome::ParseError => {
+                FetchOutcome::ParseError { detail } => {
+                    breaker.record_success(&uri);
                     fetched_error.inc();
                     result.documents_fetched += 1;
                     result.parse_errors += 1;
+                    result.errors.push(Error::Parse { uri, detail });
+                }
+                FetchOutcome::GaveUp { error } => {
+                    fetched_gave_up.inc();
+                    result.gave_up += 1;
+                    result.errors.push(Error::Fetch { uri, error, attempts: record.attempts });
+                }
+                FetchOutcome::Dead => {
+                    fetched_unreachable.inc();
+                    result.unreachable += 1;
+                    result.errors.push(Error::Fetch {
+                        uri,
+                        error: FetchError::Dead,
+                        attempts: record.attempts,
+                    });
                 }
                 FetchOutcome::Parsed { version, extracted, reused } => {
+                    breaker.record_success(&uri);
                     fetched_parsed.inc();
                     result.documents_fetched += 1;
                     if reused {
@@ -168,10 +325,15 @@ fn crawl_inner(
                 }
             }
         }
+        clock += level_ticks;
         next.sort();
         frontier = next;
         range += 1;
     }
+
+    result.ticks = clock - clock_start;
+    breaker.advance_to(clock);
+    result.breaker_transitions = breaker.transitions()[transitions_before..].to_vec();
 
     result.agents = {
         let mut list: Vec<ExtractedAgent> = agents.into_values().collect();
@@ -183,38 +345,114 @@ fn crawl_inner(
 
 enum FetchOutcome {
     Missing,
-    ParseError,
+    ParseError { detail: String },
+    GaveUp { error: FetchError },
+    Dead,
     Parsed { version: u64, extracted: Vec<ExtractedAgent>, reused: bool },
 }
 
-fn fetch_one(web: &DocumentWeb, uri: &str, previous: Option<&CrawlResult>) -> FetchOutcome {
-    match web.fetch(uri) {
-        None => FetchOutcome::Missing,
-        Some(doc) => {
-            if let Some(prev) = previous.and_then(|p| p.documents.get(uri)) {
-                if prev.version == doc.version {
-                    return FetchOutcome::Parsed {
-                        version: doc.version,
-                        extracted: prev.agents.clone(),
-                        reused: true,
-                    };
-                }
+struct FetchRecord {
+    outcome: FetchOutcome,
+    /// Attempts actually made.
+    attempts: u32,
+    /// Retries among those attempts (`attempts - 1` unless aborted early).
+    retries: u32,
+    /// Corrupted responses observed.
+    corrupted: u32,
+    /// Virtual ticks this URI's fetch chain consumed (latency + delays).
+    ticks: u64,
+}
+
+impl FetchRecord {
+    /// Failed attempts to charge against the peer's breaker.
+    fn failed_attempts(&self) -> u32 {
+        match self.outcome {
+            // Terminal failure: every attempt failed.
+            FetchOutcome::GaveUp { .. } | FetchOutcome::Dead => self.attempts,
+            // Terminal success (a response arrived): only the retried
+            // attempts before it had failed.
+            _ => self.retries,
+        }
+    }
+}
+
+/// One URI's bounded retry loop. Pure: the outcome depends only on the
+/// source, the URI, the cap and the policy — never on other threads.
+fn fetch_with_retries(
+    source: &dyn FetchSource,
+    uri: &str,
+    attempt_cap: u32,
+    policy: &FetchPolicy,
+    previous: Option<&CrawlResult>,
+) -> FetchRecord {
+    let mut record = FetchRecord {
+        outcome: FetchOutcome::Missing,
+        attempts: 0,
+        retries: 0,
+        corrupted: 0,
+        ticks: 0,
+    };
+    let mut attempt = 0u32;
+    loop {
+        record.ticks += source.attempt_ticks(uri, attempt);
+        record.attempts = attempt + 1;
+        match source.fetch_attempt(uri, attempt) {
+            Ok(doc) => {
+                record.outcome = parse_document(uri, doc, previous);
+                return record;
             }
-            // Content negotiation: dispatch on the published media type
-            // ("documents encoded in RDF, OWL, or similar formats", §2).
-            let parsed = match doc.content_type.as_str() {
-                "application/rdf+xml" => semrec_rdf::rdfxml::parse(&doc.body),
-                _ => semrec_rdf::turtle::parse(&doc.body),
-            };
-            match parsed {
-                Ok(graph) => FetchOutcome::Parsed {
-                    version: doc.version,
-                    extracted: extract_agents(&graph),
-                    reused: false,
-                },
-                Err(_) => FetchOutcome::ParseError,
+            Err(FetchError::NotFound) => {
+                record.outcome = FetchOutcome::Missing;
+                return record;
+            }
+            Err(FetchError::Dead) => {
+                record.outcome = FetchOutcome::Dead;
+                return record;
+            }
+            Err(error) => {
+                if error == FetchError::Corrupted {
+                    record.corrupted += 1;
+                }
+                if attempt + 1 >= attempt_cap.max(1) {
+                    record.outcome = FetchOutcome::GaveUp { error };
+                    return record;
+                }
+                // Back off before the next attempt (virtual, never slept).
+                record.ticks += policy.delay_ticks(uri, attempt);
+                record.retries += 1;
+                attempt += 1;
             }
         }
+    }
+}
+
+fn parse_document(
+    uri: &str,
+    doc: crate::store::Document,
+    previous: Option<&CrawlResult>,
+) -> FetchOutcome {
+    if let Some(prev) = previous.and_then(|p| p.documents.get(uri)) {
+        if prev.version == doc.version {
+            return FetchOutcome::Parsed {
+                version: doc.version,
+                extracted: prev.agents.clone(),
+                reused: true,
+            };
+        }
+    }
+    // Content negotiation: dispatch on the published media type
+    // ("documents encoded in RDF, OWL, or similar formats", §2).
+    let parsed = match doc.content_type.as_str() {
+        "application/rdf+xml" => semrec_rdf::rdfxml::parse(&doc.body),
+        _ => semrec_rdf::turtle::parse(&doc.body),
+    };
+    match parsed {
+        Ok(graph) => FetchOutcome::Parsed {
+            version: doc.version,
+            extracted: extract_agents(&graph),
+            reused: false,
+        },
+        Err(e) => FetchOutcome::ParseError { detail: e.to_string() },
     }
 }
 
@@ -285,6 +523,7 @@ pub fn assemble_community(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultyWeb};
     use crate::publish::publish_community;
     use semrec_core::Community;
     use semrec_taxonomy::fixtures::example1;
@@ -323,6 +562,14 @@ mod tests {
         assert_eq!(result.documents_fetched, 4);
         assert_eq!(result.parse_errors, 0);
         assert_eq!(result.missing, 0);
+        assert_eq!(result.retries, 0);
+        assert_eq!(result.gave_up, 0);
+        assert_eq!(result.unreachable, 0);
+        assert!(!result.deadline_exceeded);
+        assert!(result.errors.is_empty());
+        assert!(result.breaker_transitions.is_empty());
+        assert!(result.health().coverage() > 0.999);
+        assert!(!result.health().is_degraded());
     }
 
     #[test]
@@ -367,6 +614,11 @@ mod tests {
         assert_eq!(result.parse_errors, 1);
         // bob's page broke, so carol's URI is never even discovered.
         assert_eq!(result.agents.len(), 1);
+        // The parse failure is recorded as a typed error.
+        assert_eq!(result.errors.len(), 1);
+        assert_eq!(result.errors[0].uri(), Some("http://ex.org/bob"));
+        assert!(matches!(result.errors[0], Error::Parse { .. }));
+        assert!(result.health().is_degraded());
     }
 
     #[test]
@@ -503,5 +755,153 @@ mod tests {
         let a = crawl(&web, &seeds, &CrawlConfig { threads: 1, ..Default::default() });
         let b = crawl(&web, &seeds, &CrawlConfig { threads: 8, ..Default::default() });
         assert_eq!(a.agents, b.agents);
+    }
+
+    // --- resilience ----------------------------------------------------------
+
+    #[test]
+    fn retries_recover_transient_faults() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        // A high transient rate: single-attempt crawls lose part of the
+        // chain, retried crawls recover all of it.
+        let faulty = FaultyWeb::new(&web, FaultPlan::transient(0.6, 11));
+        let policy = FetchPolicy { max_attempts: 12, ..FetchPolicy::default() };
+        let (result, _) = crawl_resilient(&faulty, &seeds, &CrawlConfig::default(), &policy);
+        assert_eq!(result.agents.len(), 4, "retries must recover the whole chain");
+        assert!(result.retries > 0, "a 60% fault rate must force retries");
+        assert!(result.ticks > 4, "backoff delays must consume virtual time");
+        assert!(result.health().is_degraded() || result.gave_up == 0);
+    }
+
+    #[test]
+    fn give_up_accounting_is_honest() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        // Certain failure, one attempt: everything reachable gives up.
+        let faulty = FaultyWeb::new(&web, FaultPlan::transient(1.0, 1));
+        let policy = FetchPolicy { max_attempts: 2, ..FetchPolicy::default() };
+        let (result, _) = crawl_resilient(&faulty, &seeds, &CrawlConfig::default(), &policy);
+        assert_eq!(result.agents.len(), 0);
+        assert_eq!(result.gave_up, 1, "only the seed is ever discovered");
+        assert_eq!(result.retries, 1);
+        let health = result.health();
+        assert!(health.is_degraded());
+        assert_eq!(health.coverage(), 0.0);
+        assert!(matches!(
+            result.errors[0],
+            Error::Fetch { error: FetchError::Unavailable, attempts: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn dead_peers_are_unreachable_and_open_the_breaker_across_refreshes() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        // Kill carol specifically: a plan where only her URI is dead.
+        let plan = FaultPlan { dead_rate: 0.25, seed: find_seed_killing(&web, "carol"), ..FaultPlan::none() };
+        assert!(plan.is_dead("http://ex.org/carol"));
+        let faulty = FaultyWeb::new(&web, plan);
+        let policy = FetchPolicy { breaker_threshold: 2, ..FetchPolicy::default() };
+        let (first, mut breaker) =
+            crawl_resilient(&faulty, &seeds, &CrawlConfig::default(), &policy);
+        assert!(first.unreachable >= 1, "the dead peer is unreachable");
+        assert!(first.agents.len() < 4);
+
+        // Refreshing against the same breaker: repeated dead-peer failures
+        // eventually open the circuit and stop consuming fetch attempts.
+        let mut last = first;
+        for _ in 0..4 {
+            last = refresh_resilient(
+                &faulty,
+                &seeds,
+                &CrawlConfig::default(),
+                &policy,
+                &mut breaker,
+                &last,
+            );
+        }
+        assert!(
+            breaker.times_opened() >= 1,
+            "persistent failures must open the breaker: {:?}",
+            breaker.transitions()
+        );
+    }
+
+    /// Finds a seed under which carol (and only carol, among the chain's
+    /// four homepages) is dead at a 25% dead rate.
+    fn find_seed_killing(web: &DocumentWeb, victim: &str) -> u64 {
+        (0..10_000)
+            .find(|&seed| {
+                let plan = FaultPlan { dead_rate: 0.25, seed, ..FaultPlan::none() };
+                web.uris().iter().all(|uri| plan.is_dead(uri) == uri.contains(victim))
+            })
+            .expect("some seed kills exactly the victim")
+    }
+
+    #[test]
+    fn deadline_abandons_the_remaining_frontier() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        // Each level costs 1 tick (chain ⇒ one document per level); a
+        // 2-tick budget reaches alice and bob only.
+        let policy = FetchPolicy { deadline: Some(2), ..FetchPolicy::no_retry() };
+        let faulty = FaultyWeb::new(&web, FaultPlan::none());
+        let (result, _) = crawl_resilient(&faulty, &seeds, &CrawlConfig::default(), &policy);
+        assert!(result.deadline_exceeded);
+        assert_eq!(result.agents.len(), 2, "alice and bob fit in the budget");
+        assert_eq!(result.unreachable, 1, "carol's document was abandoned");
+    }
+
+    #[test]
+    fn zero_fault_resilient_crawl_matches_the_plain_crawl() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let plain = crawl(&web, &seeds, &CrawlConfig::default());
+        let faulty = FaultyWeb::new(&web, FaultPlan::none());
+        let (resilient, _) =
+            crawl_resilient(&faulty, &seeds, &CrawlConfig::default(), &FetchPolicy::default());
+        assert_eq!(plain.agents, resilient.agents);
+        assert_eq!(plain.documents_fetched, resilient.documents_fetched);
+        assert_eq!(resilient.retries, 0);
+        assert_eq!(resilient.gave_up + resilient.unreachable + resilient.corrupted, 0);
+    }
+
+    #[test]
+    fn fault_injected_crawls_are_thread_count_invariant() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let policy = FetchPolicy { max_attempts: 3, ..FetchPolicy::default() };
+        let run = |threads: usize| {
+            let faulty = FaultyWeb::new(&web, FaultPlan::transient(0.4, 5));
+            let (result, breaker) = crawl_resilient(
+                &faulty,
+                &seeds,
+                &CrawlConfig { threads, ..Default::default() },
+                &policy,
+            );
+            (result, breaker)
+        };
+        let (a, ba) = run(1);
+        let (b, bb) = run(8);
+        assert_eq!(a.agents, b.agents);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.gave_up, b.gave_up);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.breaker_transitions, b.breaker_transitions);
+        assert_eq!(ba.transitions(), bb.transitions());
+        assert_eq!(a.errors, b.errors);
     }
 }

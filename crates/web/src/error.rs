@@ -1,0 +1,105 @@
+//! The unified error type of the web crate.
+//!
+//! Everything that can go wrong between a published document and the
+//! assembled community funnels into one [`Error`] enum: fetch failures
+//! (with their [`FetchError`] taxonomy), parse failures, and taxonomy /
+//! catalog extraction failures. Crawls record the typed errors they
+//! survived in [`crate::crawler::CrawlResult::errors`] instead of only
+//! counting them.
+
+use std::fmt;
+
+use semrec_taxonomy::TaxonomyError;
+
+use crate::fault::FetchError;
+
+/// Result alias for fallible web-crate operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any failure the web layer can produce.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// A document fetch failed terminally (after any retries).
+    Fetch {
+        /// The document URI that could not be fetched.
+        uri: String,
+        /// The last fetch error observed.
+        error: FetchError,
+        /// Fetch attempts spent before giving up.
+        attempts: u32,
+    },
+    /// A fetched document failed to parse (Turtle or RDF/XML).
+    Parse {
+        /// The document URI whose body was malformed.
+        uri: String,
+        /// The underlying parser message.
+        detail: String,
+    },
+    /// A global taxonomy or catalog document did not describe a valid
+    /// taxonomy.
+    Taxonomy(TaxonomyError),
+}
+
+impl Error {
+    /// The document URI the error is about, when there is one.
+    pub fn uri(&self) -> Option<&str> {
+        match self {
+            Error::Fetch { uri, .. } | Error::Parse { uri, .. } => Some(uri),
+            Error::Taxonomy(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Fetch { uri, error, attempts } => {
+                write!(f, "fetch of <{uri}> failed after {attempts} attempt(s): {error}")
+            }
+            Error::Parse { uri, detail } => write!(f, "document <{uri}> failed to parse: {detail}"),
+            Error::Taxonomy(e) => write!(f, "global structure extraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Fetch { error, .. } => Some(error),
+            Error::Taxonomy(e) => Some(e),
+            Error::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<TaxonomyError> for Error {
+    fn from(e: TaxonomyError) -> Self {
+        Error::Taxonomy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::Fetch {
+            uri: "http://ex.org/a".into(),
+            error: FetchError::Unavailable,
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("after 3 attempt(s)"));
+        assert!(e.source().is_some());
+        assert_eq!(e.uri(), Some("http://ex.org/a"));
+
+        let p = Error::Parse { uri: "http://ex.org/b".into(), detail: "bad prefix".into() };
+        assert!(p.to_string().contains("bad prefix"));
+        assert!(p.source().is_none());
+
+        let t = Error::from(TaxonomyError::CycleDetected);
+        assert!(t.to_string().contains("cycle"));
+        assert_eq!(t.uri(), None);
+    }
+}

@@ -1,0 +1,358 @@
+//! Seeded fault injection over the document web.
+//!
+//! §2 frames the Semantic Web as "an aggregation of distributed metadata":
+//! agents publish RDF homepages on machines the crawler does not control,
+//! so fetches fail — transiently, permanently, or halfway (truncated
+//! transfers). [`FaultyWeb`] wraps a [`DocumentWeb`] and injects exactly
+//! those failures from a [`FaultPlan`], a *stateless, seeded* schedule:
+//! whether attempt `k` against URI `u` fails is a pure function of
+//! `(seed, u, k)`, never of wall clock or thread interleaving, so
+//! fault-injected crawls stay byte-for-byte reproducible across runs and
+//! worker counts (the determinism contract of `semrec-obs`).
+//!
+//! The fallible surface is the [`FetchSource`] trait, returning
+//! `Result<Document, FetchError>` with a typed error taxonomy. The plain
+//! [`DocumentWeb`] implements it too (its only failure mode is
+//! [`FetchError::NotFound`]), so the crawler is written once against the
+//! fallible interface and the infallible in-memory web is just the
+//! zero-fault special case.
+
+use std::fmt;
+
+use crate::store::{Document, DocumentWeb};
+
+/// Why a fetch attempt failed — the typed error taxonomy of the
+/// decentralized web.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FetchError {
+    /// No document is published at this URI (a dangling link). Permanent:
+    /// retrying cannot help.
+    NotFound,
+    /// The peer did not answer this attempt (network partition, overload,
+    /// host down). Transient: a later attempt may succeed.
+    Unavailable,
+    /// The transfer aborted mid-body and failed its integrity check
+    /// (truncated/corrupted response). Transient: a retry may succeed.
+    Corrupted,
+    /// The peer is permanently gone (de-registered host, dead homepage).
+    /// Permanent: retrying cannot help.
+    Dead,
+}
+
+impl FetchError {
+    /// Whether a retry of the same URI can possibly succeed.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, FetchError::Unavailable | FetchError::Corrupted)
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::NotFound => write!(f, "no document at this URI"),
+            FetchError::Unavailable => write!(f, "peer temporarily unavailable"),
+            FetchError::Corrupted => write!(f, "response truncated (integrity check failed)"),
+            FetchError::Dead => write!(f, "peer permanently dead"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A fallible document source: one fetch *attempt* against one URI.
+///
+/// `attempt` is 0-based and lets fault schedules differ between retries of
+/// the same URI. [`attempt_ticks`](FetchSource::attempt_ticks) is the
+/// simulated latency one attempt costs, charged against the crawler's
+/// virtual clock (and hence its per-crawl deadline).
+pub trait FetchSource: Sync {
+    /// Performs one fetch attempt.
+    fn fetch_attempt(&self, uri: &str, attempt: u32) -> Result<Document, FetchError>;
+
+    /// Simulated latency of one attempt, in virtual ticks.
+    fn attempt_ticks(&self, uri: &str, attempt: u32) -> u64 {
+        let _ = (uri, attempt);
+        1
+    }
+}
+
+/// The infallible in-memory web: the zero-fault special case. Its only
+/// error is [`FetchError::NotFound`] for unpublished URIs.
+impl FetchSource for DocumentWeb {
+    fn fetch_attempt(&self, uri: &str, _attempt: u32) -> Result<Document, FetchError> {
+        self.fetch(uri).ok_or(FetchError::NotFound)
+    }
+}
+
+/// A deterministic, seeded schedule of faults.
+///
+/// All probabilities are per *attempt* and derived by hashing
+/// `(seed, uri, attempt)` — no shared RNG stream, so injection commutes
+/// with thread scheduling. `dead_rate` is per *URI*: a dead peer is dead
+/// on every attempt, forever.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all fault decisions derive from.
+    pub seed: u64,
+    /// Per-attempt probability of [`FetchError::Unavailable`].
+    pub transient_rate: f64,
+    /// Per-attempt probability of [`FetchError::Corrupted`] (rolled only
+    /// when the attempt was not already transiently failed).
+    pub corruption_rate: f64,
+    /// Fraction of URIs that are permanently [`FetchError::Dead`].
+    pub dead_rate: f64,
+    /// Base latency of every attempt, in virtual ticks.
+    pub latency_base: u64,
+    /// Extra per-attempt latency, uniform in `[0, latency_jitter]` ticks.
+    pub latency_jitter: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (latency 1 tick, like the plain
+    /// web).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_rate: 0.0,
+            corruption_rate: 0.0,
+            dead_rate: 0.0,
+            latency_base: 1,
+            latency_jitter: 0,
+        }
+    }
+
+    /// A plan with only transient unavailability at the given rate.
+    pub fn transient(rate: f64, seed: u64) -> Self {
+        FaultPlan { transient_rate: rate, seed, ..FaultPlan::none() }
+    }
+
+    /// Whether this URI's peer is permanently dead under the plan.
+    pub fn is_dead(&self, uri: &str) -> bool {
+        self.dead_rate > 0.0 && unit(stable_hash(self.seed, uri, 0, SALT_DEAD)) < self.dead_rate
+    }
+
+    /// The injected failure for one attempt, if any (dead peers first,
+    /// then transient unavailability, then corruption).
+    pub fn attempt_fault(&self, uri: &str, attempt: u32) -> Option<FetchError> {
+        if self.is_dead(uri) {
+            return Some(FetchError::Dead);
+        }
+        let roll = |salt: u64| unit(stable_hash(self.seed, uri, attempt as u64, salt));
+        if self.transient_rate > 0.0 && roll(SALT_TRANSIENT) < self.transient_rate {
+            return Some(FetchError::Unavailable);
+        }
+        if self.corruption_rate > 0.0 && roll(SALT_CORRUPT) < self.corruption_rate {
+            return Some(FetchError::Corrupted);
+        }
+        None
+    }
+
+    /// Simulated latency of one attempt in ticks.
+    pub fn latency_ticks(&self, uri: &str, attempt: u32) -> u64 {
+        let jitter = if self.latency_jitter == 0 {
+            0
+        } else {
+            stable_hash(self.seed, uri, attempt as u64, SALT_LATENCY) % (self.latency_jitter + 1)
+        };
+        self.latency_base.saturating_add(jitter)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A [`DocumentWeb`] seen through a [`FaultPlan`]: the unreliable,
+/// distributed web the paper's crawlers actually face.
+#[derive(Debug)]
+pub struct FaultyWeb<'a> {
+    inner: &'a DocumentWeb,
+    plan: FaultPlan,
+}
+
+impl<'a> FaultyWeb<'a> {
+    /// Wraps a web with a fault plan.
+    pub fn new(inner: &'a DocumentWeb, plan: FaultPlan) -> Self {
+        FaultyWeb { inner, plan }
+    }
+
+    /// The wrapped (reliable) web.
+    pub fn inner(&self) -> &DocumentWeb {
+        self.inner
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FetchSource for FaultyWeb<'_> {
+    fn fetch_attempt(&self, uri: &str, attempt: u32) -> Result<Document, FetchError> {
+        // Transport faults mask the origin: a dead or partitioned peer
+        // cannot even report 404, and a truncated body arrives (and is
+        // charged as store traffic) before its integrity check fails.
+        match self.plan.attempt_fault(uri, attempt) {
+            Some(FetchError::Corrupted) => {
+                let _ = self.inner.fetch(uri);
+                Err(FetchError::Corrupted)
+            }
+            Some(error) => Err(error),
+            None => self.inner.fetch(uri).ok_or(FetchError::NotFound),
+        }
+    }
+
+    fn attempt_ticks(&self, uri: &str, attempt: u32) -> u64 {
+        self.plan.latency_ticks(uri, attempt)
+    }
+}
+
+const SALT_DEAD: u64 = 0x9e37_79b9_7f4a_7c15;
+const SALT_TRANSIENT: u64 = 0xbf58_476d_1ce4_e5b9;
+const SALT_CORRUPT: u64 = 0x94d0_49bb_1331_11eb;
+const SALT_LATENCY: u64 = 0x2545_f491_4f6c_dd1d;
+
+/// FNV-1a over the URI bytes, mixed with seed/attempt/salt through the
+/// SplitMix64 finalizer — a stateless, platform-independent hash.
+pub(crate) fn stable_hash(seed: u64, uri: &str, attempt: u64, salt: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in uri.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt.wrapping_mul(salt))
+}
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform f64 in `[0, 1)`.
+pub(crate) fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web() -> DocumentWeb {
+        let web = DocumentWeb::new();
+        for i in 0..50 {
+            web.publish(format!("http://ex.org/{i}"), "body", "text/turtle");
+        }
+        web
+    }
+
+    #[test]
+    fn zero_fault_plan_is_transparent() {
+        let web = web();
+        let faulty = FaultyWeb::new(&web, FaultPlan::none());
+        for i in 0..50 {
+            let uri = format!("http://ex.org/{i}");
+            assert_eq!(faulty.fetch_attempt(&uri, 0).unwrap().body, "body");
+            assert_eq!(faulty.attempt_ticks(&uri, 0), 1);
+        }
+        assert_eq!(faulty.fetch_attempt("http://ex.org/missing", 0), Err(FetchError::NotFound));
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic() {
+        let web = web();
+        let plan = FaultPlan {
+            transient_rate: 0.4,
+            corruption_rate: 0.1,
+            dead_rate: 0.1,
+            ..FaultPlan::transient(0.4, 99)
+        };
+        let a = FaultyWeb::new(&web, plan);
+        let b = FaultyWeb::new(&web, plan);
+        for i in 0..50 {
+            let uri = format!("http://ex.org/{i}");
+            for attempt in 0..5 {
+                assert_eq!(a.fetch_attempt(&uri, attempt), b.fetch_attempt(&uri, attempt));
+                assert_eq!(a.attempt_ticks(&uri, attempt), b.attempt_ticks(&uri, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn transient_rate_shapes_the_failure_frequency() {
+        let web = web();
+        let plan = FaultPlan::transient(0.3, 7);
+        let faulty = FaultyWeb::new(&web, plan);
+        let mut failures = 0;
+        let mut trials = 0;
+        for i in 0..50 {
+            let uri = format!("http://ex.org/{i}");
+            for attempt in 0..20 {
+                trials += 1;
+                if faulty.fetch_attempt(&uri, attempt).is_err() {
+                    failures += 1;
+                }
+            }
+        }
+        let rate = failures as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed failure rate {rate}");
+    }
+
+    #[test]
+    fn dead_peers_fail_every_attempt() {
+        let web = web();
+        let plan = FaultPlan { dead_rate: 0.3, ..FaultPlan::none() };
+        let faulty = FaultyWeb::new(&web, plan);
+        let mut dead = 0;
+        for i in 0..50 {
+            let uri = format!("http://ex.org/{i}");
+            if plan.is_dead(&uri) {
+                dead += 1;
+                for attempt in 0..8 {
+                    assert_eq!(faulty.fetch_attempt(&uri, attempt), Err(FetchError::Dead));
+                }
+            } else {
+                assert!(faulty.fetch_attempt(&uri, 0).is_ok());
+            }
+        }
+        assert!(dead > 5 && dead < 25, "dead fraction should track the rate, got {dead}/50");
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        assert!(FetchError::Unavailable.is_retryable());
+        assert!(FetchError::Corrupted.is_retryable());
+        assert!(!FetchError::NotFound.is_retryable());
+        assert!(!FetchError::Dead.is_retryable());
+    }
+
+    #[test]
+    fn transient_faults_clear_on_a_different_attempt() {
+        // With a mid-range rate, at least one URI must fail on attempt 0
+        // and succeed on some later attempt (that is what makes retries
+        // worthwhile).
+        let web = web();
+        let faulty = FaultyWeb::new(&web, FaultPlan::transient(0.5, 3));
+        let recovered = (0..50).any(|i| {
+            let uri = format!("http://ex.org/{i}");
+            faulty.fetch_attempt(&uri, 0).is_err()
+                && (1..6).any(|attempt| faulty.fetch_attempt(&uri, attempt).is_ok())
+        });
+        assert!(recovered, "some transient failure must clear on retry");
+    }
+
+    #[test]
+    fn latency_stays_in_band() {
+        let web = web();
+        let plan = FaultPlan { latency_base: 3, latency_jitter: 4, ..FaultPlan::none() };
+        let faulty = FaultyWeb::new(&web, plan);
+        for i in 0..50 {
+            let uri = format!("http://ex.org/{i}");
+            let t = faulty.attempt_ticks(&uri, 0);
+            assert!((3..=7).contains(&t), "latency {t} out of [3, 7]");
+        }
+    }
+}

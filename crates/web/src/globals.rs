@@ -13,6 +13,8 @@ use std::collections::HashMap;
 use semrec_rdf::{vocab, Graph, Iri, Literal, Subject, Term, Triple};
 use semrec_taxonomy::{Catalog, Taxonomy, TaxonomyError, TopicId};
 
+use crate::error::Result;
+
 /// The topic IRI within a base namespace: `{base}t{index}`.
 pub fn topic_iri(base: &str, topic: TopicId) -> Iri {
     Iri::new_unchecked(format!("{base}t{}", topic.index()))
@@ -48,8 +50,9 @@ pub fn taxonomy_graph(taxonomy: &Taxonomy, base: &str) -> Graph {
 /// Rebuilds a taxonomy from its published graph.
 ///
 /// Fails when the graph does not describe a single-rooted acyclic taxonomy
-/// (missing root, several roots, cycles, or dangling `subClassOf` targets).
-pub fn extract_taxonomy(graph: &Graph, base: &str) -> Result<Taxonomy, TaxonomyError> {
+/// (missing root, several roots, cycles, or dangling `subClassOf` targets) —
+/// the failure surfaces as [`crate::Error::Taxonomy`].
+pub fn extract_taxonomy(graph: &Graph, base: &str) -> Result<Taxonomy> {
     // Collect topics: raw index → (label, parent raw indexes).
     let topic_type = Term::Iri(vocab::rec::topic_class());
     let mut nodes: HashMap<usize, (String, Vec<usize>)> = HashMap::new();
@@ -71,10 +74,10 @@ pub fn extract_taxonomy(graph: &Graph, base: &str) -> Result<Taxonomy, TaxonomyE
     // The unique root: no parents.
     let mut roots = nodes.iter().filter(|(_, (_, p))| p.is_empty());
     let Some((&root, (root_label, _))) = roots.next() else {
-        return Err(TaxonomyError::CycleDetected); // no ⊤: malformed
+        return Err(TaxonomyError::CycleDetected.into()); // no ⊤: malformed
     };
     if roots.next().is_some() {
-        return Err(TaxonomyError::DuplicateLabel("multiple roots".into()));
+        return Err(TaxonomyError::DuplicateLabel("multiple roots".into()).into());
     }
 
     let mut builder = Taxonomy::builder(root_label.clone());
@@ -98,7 +101,7 @@ pub fn extract_taxonomy(graph: &Graph, base: &str) -> Result<Taxonomy, TaxonomyE
             }
         });
         if pending.len() == before {
-            return Err(TaxonomyError::CycleDetected);
+            return Err(TaxonomyError::CycleDetected.into());
         }
     }
     // Extra DAG parents.

@@ -11,6 +11,11 @@
 //!   incremental [`crawler::refresh`]) plus community assembly;
 //! * [`globals`] — the globally published taxonomy and catalog as RDF
 //!   documents, losslessly extractable (§3.1's public structures);
+//! * [`fault`] — seeded fault injection ([`fault::FaultyWeb`] over a
+//!   [`fault::FaultPlan`]) with a typed [`fault::FetchError`] taxonomy;
+//! * [`policy`] — retry/backoff/deadline [`policy::FetchPolicy`] and the
+//!   per-peer [`policy::CircuitBreaker`];
+//! * [`error`] — the unified [`Error`] enum of the crate;
 //! * [`extract`] — defensive document → model extraction;
 //! * [`weblog`] — HTML weblogs with Amazon-style product links mined into
 //!   implicit votes;
@@ -35,15 +40,24 @@
 #![warn(missing_docs)]
 
 pub mod crawler;
+pub mod error;
 pub mod extract;
+pub mod fault;
 pub mod globals;
 pub mod isbn;
+pub mod policy;
 pub mod publish;
 pub mod simulation;
 pub mod store;
 pub mod weblog;
 
-pub use crawler::{assemble_community, crawl, refresh, AssembleStats, CrawlConfig, CrawlResult, DocumentSnapshot};
+pub use crawler::{
+    assemble_community, crawl, crawl_resilient, crawl_with, refresh, refresh_resilient,
+    AssembleStats, CrawlConfig, CrawlResult, DocumentSnapshot,
+};
+pub use error::{Error, Result};
 pub use extract::ExtractedAgent;
+pub use fault::{FaultPlan, FaultyWeb, FetchError, FetchSource};
 pub use isbn::Isbn10;
+pub use policy::{BreakerState, CircuitBreaker, FetchPolicy};
 pub use store::{Document, DocumentWeb};

@@ -14,7 +14,9 @@ use rand::{RngExt, SeedableRng};
 use semrec_core::Community;
 use semrec_trust::AgentId;
 
-use crate::crawler::{crawl, refresh, CrawlConfig, CrawlResult};
+use crate::crawler::{crawl, crawl_with, refresh, CrawlConfig, CrawlResult};
+use crate::fault::{FaultPlan, FaultyWeb};
+use crate::policy::{CircuitBreaker, FetchPolicy};
 use crate::publish::{homepage_turtle, homepage_uri, publish_community};
 use crate::store::DocumentWeb;
 
@@ -29,6 +31,13 @@ pub struct SimulationConfig {
     pub refresh_interval: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Optional fault injection: when set, every crawl goes through a
+    /// [`FaultyWeb`] under `policy`, with one circuit breaker persisting
+    /// across the whole simulation (quarantines survive refreshes).
+    pub faults: Option<FaultPlan>,
+    /// Fetch policy for fault-injected crawls (ignored when `faults` is
+    /// `None`: the reliable path is single-attempt by construction).
+    pub policy: FetchPolicy,
 }
 
 impl Default for SimulationConfig {
@@ -38,6 +47,8 @@ impl Default for SimulationConfig {
             update_probability: 0.05,
             refresh_interval: 5,
             seed: 0,
+            faults: None,
+            policy: FetchPolicy::default(),
         }
     }
 }
@@ -58,6 +69,16 @@ pub struct SimulationReport {
     pub staleness_series: Vec<f64>,
     /// Mean of the staleness series.
     pub mean_staleness: f64,
+    /// Retry attempts spent across all crawls (0 without fault injection).
+    pub retries: u64,
+    /// URIs abandoned after exhausting their retry budget, summed over
+    /// crawls.
+    pub gave_up: usize,
+    /// URIs never fetched (dead peers, open breakers, deadlines), summed
+    /// over crawls.
+    pub unreachable: usize,
+    /// Times the persistent circuit breaker opened during the simulation.
+    pub breaker_opens: u64,
 }
 
 /// Runs the simulation: mutates `community` (ratings drift over time) and
@@ -72,7 +93,21 @@ pub fn simulate(
     publish_community(community, web);
     let seeds: Vec<String> =
         community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
-    let mut view: CrawlResult = crawl(web, &seeds, &CrawlConfig::default());
+
+    // One breaker for the whole simulation: peers quarantined in one crawl
+    // stay quarantined into the next refresh until their cooldown elapses.
+    let faulty = config.faults.map(|plan| FaultyWeb::new(web, plan));
+    let mut breaker = CircuitBreaker::for_policy(&config.policy);
+    let crawl_once = |breaker: &mut CircuitBreaker, previous: Option<&CrawlResult>| match &faulty {
+        Some(source) => {
+            crawl_with(source, &seeds, &CrawlConfig::default(), &config.policy, breaker, previous)
+        }
+        None => match previous {
+            Some(view) => refresh(web, &seeds, &CrawlConfig::default(), view),
+            None => crawl(web, &seeds, &CrawlConfig::default()),
+        },
+    };
+    let mut view: CrawlResult = crawl_once(&mut breaker, None);
 
     let agents: Vec<AgentId> = community.agents().collect();
     let products: Vec<_> = community.catalog.iter().collect();
@@ -83,6 +118,10 @@ pub fn simulate(
         documents_reparsed: 0,
         staleness_series: Vec::with_capacity(config.ticks),
         mean_staleness: 0.0,
+        retries: view.retries,
+        gave_up: view.gave_up,
+        unreachable: view.unreachable,
+        breaker_opens: 0,
     };
 
     for tick in 1..=config.ticks {
@@ -101,9 +140,12 @@ pub fn simulate(
 
         // Scheduled refresh.
         if tick % config.refresh_interval == 0 {
-            let next = refresh(web, &seeds, &CrawlConfig::default(), &view);
+            let next = crawl_once(&mut breaker, Some(&view));
             report.refreshes += 1;
             report.documents_reparsed += next.documents_fetched - next.reused;
+            report.retries += next.retries;
+            report.gave_up += next.gave_up;
+            report.unreachable += next.unreachable;
             view = next;
         }
 
@@ -111,6 +153,7 @@ pub fn simulate(
     }
     report.mean_staleness =
         report.staleness_series.iter().sum::<f64>() / report.ticks.max(1) as f64;
+    report.breaker_opens = breaker.times_opened();
     report
 }
 
@@ -169,6 +212,7 @@ mod tests {
                     update_probability: 0.1,
                     refresh_interval: interval,
                     seed: 7,
+                    ..Default::default()
                 },
             )
         };
@@ -197,6 +241,7 @@ mod tests {
                 update_probability: 0.05,
                 refresh_interval: 3,
                 seed: 11,
+                ..Default::default()
             },
         );
         // Re-parsing is bounded by republications: unchanged docs are reused.
@@ -216,5 +261,37 @@ mod tests {
         let b = run();
         assert_eq!(a.staleness_series, b.staleness_series);
         assert_eq!(a.republications, b.republications);
+        assert_eq!((a.retries, a.gave_up, a.breaker_opens), (0, 0, 0));
+    }
+
+    #[test]
+    fn fault_injected_simulation_degrades_and_stays_deterministic() {
+        let run = || {
+            let mut c = world();
+            let web = DocumentWeb::new();
+            simulate(
+                &mut c,
+                &web,
+                &SimulationConfig {
+                    ticks: 20,
+                    update_probability: 0.1,
+                    refresh_interval: 4,
+                    seed: 9,
+                    faults: Some(FaultPlan::transient(0.3, 42)),
+                    policy: FetchPolicy { max_attempts: 3, ..FetchPolicy::default() },
+                },
+            )
+        };
+        let a = run();
+        // A 30% transient web forces retries, yet refreshes keep happening.
+        assert!(a.retries > 0, "faults must cost retries");
+        assert_eq!(a.refreshes, 5);
+        // Determinism holds under fault injection too.
+        let b = run();
+        assert_eq!(a.staleness_series, b.staleness_series);
+        assert_eq!(
+            (a.retries, a.gave_up, a.unreachable, a.breaker_opens),
+            (b.retries, b.gave_up, b.unreachable, b.breaker_opens)
+        );
     }
 }

@@ -9,9 +9,12 @@
 //! where agents *publish* (create or update, bumping a version counter) and
 //! crawlers *fetch*. There is no direct agent-to-agent channel — by design.
 //!
-//! Instrumentation: every fetch bumps the global `store.reads` counter and
-//! every publish/remove bumps `store.writes`, so crawl traffic is visible
-//! in the metrics dump alongside the per-web [`DocumentWeb::fetch_count`].
+//! Instrumentation: every fetch that finds a document bumps the global
+//! `store.reads` counter, every fetch that misses bumps `store.misses`
+//! (dangling links are not real traffic), and every publish/remove bumps
+//! `store.writes` — so crawl dashboards can tell served documents from
+//! 404s, alongside the per-web [`DocumentWeb::fetch_count`] (which counts
+//! both).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,11 +74,16 @@ impl DocumentWeb {
         }
     }
 
-    /// Fetches a document (cloned, like a network response).
+    /// Fetches a document (cloned, like a network response). Hits count as
+    /// `store.reads`, misses as `store.misses`.
     pub fn fetch(&self, uri: &str) -> Option<Document> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
-        semrec_obs::counter("store.reads").inc();
-        self.docs.read().unwrap().get(uri).cloned()
+        let doc = self.docs.read().unwrap().get(uri).cloned();
+        match doc {
+            Some(_) => semrec_obs::counter("store.reads").inc(),
+            None => semrec_obs::counter("store.misses").inc(),
+        }
+        doc
     }
 
     /// Removes a document; returns `true` if it existed.
@@ -163,8 +171,10 @@ mod tests {
     #[test]
     fn read_write_counters_track_traffic() {
         let reads = semrec_obs::counter("store.reads");
+        let misses = semrec_obs::counter("store.misses");
         let writes = semrec_obs::counter("store.writes");
-        let (reads_before, writes_before) = (reads.get(), writes.get());
+        let (reads_before, misses_before, writes_before) =
+            (reads.get(), misses.get(), writes.get());
         let web = DocumentWeb::new();
         web.publish("http://ex.org/a", "x", "text/turtle");
         web.fetch("http://ex.org/a");
@@ -173,7 +183,8 @@ mod tests {
         // Other tests in this binary hit the same global counters in
         // parallel, so assert lower bounds; exact-equality coverage lives
         // in the serialized workspace-level observability tests.
-        assert!(reads.get() - reads_before >= 2);
+        assert!(reads.get() - reads_before >= 1);
+        assert!(misses.get() - misses_before >= 1);
         assert!(writes.get() - writes_before >= 2);
     }
 

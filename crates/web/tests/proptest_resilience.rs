@@ -1,0 +1,85 @@
+//! Property tests for the resilience policy: for *arbitrary* fetch
+//! policies, backoff schedules are monotonically non-decreasing and capped,
+//! and jitter stays inside its configured band — deterministically.
+
+use proptest::prelude::*;
+use semrec_web::policy::FetchPolicy;
+
+fn policy(
+    backoff_base: u64,
+    backoff_factor: f64,
+    backoff_cap: u64,
+    jitter: f64,
+    jitter_seed: u64,
+) -> FetchPolicy {
+    FetchPolicy {
+        backoff_base,
+        backoff_factor,
+        backoff_cap,
+        jitter,
+        jitter_seed,
+        ..FetchPolicy::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn backoff_is_monotone_and_respects_the_cap(
+        backoff_base in 0u64..1_000,
+        backoff_factor in 0.0f64..8.0,
+        backoff_cap in 0u64..5_000,
+        retries in 1u32..64,
+    ) {
+        let p = policy(backoff_base, backoff_factor, backoff_cap, 0.0, 0);
+        let mut previous = 0u64;
+        for retry in 0..retries {
+            let d = p.backoff_ticks(retry);
+            prop_assert!(d >= previous,
+                "backoff fell from {previous} to {d} at retry {retry}");
+            prop_assert!(d <= backoff_cap.max(backoff_base),
+                "backoff {d} above cap {backoff_cap} (base {backoff_base})");
+            previous = d;
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_the_configured_band(
+        backoff_base in 1u64..1_000,
+        backoff_factor in 0.0f64..8.0,
+        backoff_cap in 1u64..5_000,
+        // Deliberately wider than the valid [0, 1]: the clamp is part of
+        // the contract.
+        jitter in -1.0f64..2.0,
+        jitter_seed in 0u64..u64::MAX,
+        uri_id in 0u64..10_000,
+        retry in 0u32..32,
+    ) {
+        let p = policy(backoff_base, backoff_factor, backoff_cap, jitter, jitter_seed);
+        let uri = format!("http://ex.org/{uri_id}");
+        let backoff = p.backoff_ticks(retry);
+        let j = p.jitter_ticks(&uri, retry);
+        let band = jitter.clamp(0.0, 1.0) * backoff as f64;
+        prop_assert!((j as f64) <= band,
+            "jitter {j} outside band {band} (backoff {backoff})");
+        // Deterministic: the same (policy, uri, retry) always jitters alike.
+        prop_assert_eq!(j, p.jitter_ticks(&uri, retry));
+        // The full delay composes exactly.
+        prop_assert_eq!(p.delay_ticks(&uri, retry), backoff.saturating_add(j));
+    }
+
+    #[test]
+    fn disabled_jitter_means_pure_backoff(
+        backoff_base in 0u64..1_000,
+        backoff_factor in 0.0f64..8.0,
+        backoff_cap in 0u64..5_000,
+        uri_id in 0u64..10_000,
+        retry in 0u32..32,
+    ) {
+        let p = policy(backoff_base, backoff_factor, backoff_cap, 0.0, 7);
+        let uri = format!("http://ex.org/{uri_id}");
+        prop_assert_eq!(p.jitter_ticks(&uri, retry), 0);
+        prop_assert_eq!(p.delay_ticks(&uri, retry), p.backoff_ticks(retry));
+    }
+}

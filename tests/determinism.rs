@@ -14,6 +14,11 @@ use std::sync::{Mutex, MutexGuard};
 use semrec::core::{recommend_batch, Recommender, RecommenderConfig};
 use semrec::datagen::{generate_community, CommunityGenConfig};
 use semrec::obs;
+use semrec::web::crawler::{assemble_community, crawl_resilient, CrawlConfig};
+use semrec::web::fault::{FaultPlan, FaultyWeb};
+use semrec::web::policy::FetchPolicy;
+use semrec::web::publish::publish_community;
+use semrec::web::store::DocumentWeb;
 
 /// Serializes tests touching the global registry (shared across this
 /// binary's test threads).
@@ -70,6 +75,92 @@ fn thread_count_does_not_change_recommendations_or_work_totals() {
     assert_eq!(recs_seq, recs_par, "parallel batch must match the sequential lists");
     // Work totals (everything except the per-worker task split and the
     // thread gauge) are thread-count invariant.
+    let totals = |counters: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
+        counters
+            .iter()
+            .filter(|(name, _)| !name.starts_with("batch.worker."))
+            .map(|(name, &count)| (name.clone(), count))
+            .collect()
+    };
+    assert_eq!(totals(&counters_seq), totals(&counters_par));
+}
+
+/// One fault-injected end-to-end pass: publish a seeded community, crawl it
+/// through a 30% transient-fault web with retries and breakers, assemble
+/// the reachable subset, and recommend for every assembled agent. Returns
+/// the rendered recommendations (bit-exact scores), the rendered resilience
+/// record (retries, give-ups, breaker transitions), and the counter map.
+fn run_faulty(seed: u64, threads: usize) -> (String, String, BTreeMap<String, u64>) {
+    let generated = generate_community(&CommunityGenConfig::small(seed));
+    let community = generated.community;
+    let web = DocumentWeb::new();
+    publish_community(&community, &web);
+    let mut seeds: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+    seeds.sort();
+    seeds.truncate(3);
+
+    obs::global().reset();
+    let faulty = FaultyWeb::new(&web, FaultPlan::transient(0.3, seed));
+    let (result, breaker) = crawl_resilient(
+        &faulty,
+        &seeds,
+        &CrawlConfig { threads, ..Default::default() },
+        &FetchPolicy::default(),
+    );
+    let resilience = format!(
+        "retries={} gave_up={} unreachable={} corrupted={} ticks={} transitions={:?} opened={}",
+        result.retries,
+        result.gave_up,
+        result.unreachable,
+        result.corrupted,
+        result.ticks,
+        result.breaker_transitions,
+        breaker.times_opened(),
+    );
+
+    let (rebuilt, _) =
+        assemble_community(&result.agents, community.taxonomy.clone(), community.catalog.clone());
+    let recommender = Recommender::new(rebuilt, RecommenderConfig::default())
+        .with_source_health(result.health());
+    let agents: Vec<_> = recommender.community().agents().collect();
+    let batch = recommend_batch(&recommender, &agents, 10, threads);
+
+    let mut rendered = String::new();
+    for (agent, result) in agents.iter().zip(&batch) {
+        rendered.push_str(&format!("{agent:?}:"));
+        for rec in result.as_ref().expect("recommendation succeeds") {
+            rendered.push_str(&format!(" {:?}={}", rec.product, rec.score.to_bits()));
+        }
+        rendered.push('\n');
+    }
+    (rendered, resilience, obs::global().snapshot().counters)
+}
+
+#[test]
+fn fault_injected_runs_are_byte_identical_across_runs() {
+    let _serial = lock();
+    let (recs_a, res_a, counters_a) = run_faulty(42, 4);
+    let (recs_b, res_b, counters_b) = run_faulty(42, 4);
+
+    assert!(!recs_a.is_empty());
+    assert_eq!(recs_a, recs_b, "degraded recommendations must be byte-identical");
+    assert_eq!(res_a, res_b, "retry counts and breaker transitions must be identical");
+    assert!(
+        counters_a.get("crawl.fetch.retry").copied().unwrap_or(0) > 0,
+        "a 30% fault plan must force retries: {counters_a:?}"
+    );
+    assert_eq!(counters_a, counters_b, "counter values must be identical across runs");
+}
+
+#[test]
+fn fault_injection_is_thread_count_invariant() {
+    let _serial = lock();
+    let (recs_seq, res_seq, counters_seq) = run_faulty(7, 1);
+    let (recs_par, res_par, counters_par) = run_faulty(7, 4);
+
+    assert_eq!(recs_seq, recs_par, "thread count must not change degraded recommendations");
+    assert_eq!(res_seq, res_par, "thread count must not change the resilience record");
     let totals = |counters: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
         counters
             .iter()
