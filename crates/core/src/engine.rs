@@ -6,6 +6,8 @@
 //! compares the target against the whole community, only against the
 //! bounded trust neighborhood — the scalability answer of §3.2.
 
+use std::sync::Arc;
+
 use semrec_profiles::generation::ProfileParams;
 use semrec_trust::neighborhood::{form_neighborhood, NeighborhoodParams};
 use semrec_trust::AgentId;
@@ -84,35 +86,28 @@ impl PipelineTrace {
     }
 }
 
-/// The recommender engine: a community plus materialized profiles.
+/// The immutable model state behind a [`Recommender`]: community,
+/// materialized profiles, configuration, and source health, bundled in one
+/// allocation so serving layers can share it across worker threads via a
+/// cheap `Arc` clone (see `semrec-serve`).
+///
+/// Once built the struct is never mutated — every pipeline stage reads it
+/// through `&self` — which is what makes a hot snapshot swap safe: readers
+/// pin the `Arc` they started with and the old model drops when the last
+/// reader finishes.
 #[derive(Clone, Debug)]
-pub struct Recommender {
+pub struct SharedModel {
     community: Community,
     profiles: ProfileStore,
     config: RecommenderConfig,
     source_health: SourceHealth,
 }
 
-impl Recommender {
-    /// Builds the engine, materializing every agent's profile once. The
-    /// community is assumed fully sourced; use
-    /// [`Recommender::with_source_health`] when it came from a crawl that
-    /// lost documents.
+impl SharedModel {
+    /// Builds the model state, materializing every agent's profile once.
     pub fn new(community: Community, config: RecommenderConfig) -> Self {
         let profiles = ProfileStore::build(&community, &config.profile);
-        Recommender { community, profiles, config, source_health: SourceHealth::default() }
-    }
-
-    /// Attaches the [`SourceHealth`] of the crawl that assembled this
-    /// community, so degraded runs are flagged in traces and explanations.
-    pub fn with_source_health(mut self, health: SourceHealth) -> Self {
-        self.source_health = health;
-        self
-    }
-
-    /// The health of the source this community was assembled from.
-    pub fn source_health(&self) -> &SourceHealth {
-        &self.source_health
+        SharedModel { community, profiles, config, source_health: SourceHealth::default() }
     }
 
     /// The underlying community.
@@ -130,32 +125,96 @@ impl Recommender {
         &self.config
     }
 
+    /// The health of the source this community was assembled from.
+    pub fn source_health(&self) -> &SourceHealth {
+        &self.source_health
+    }
+}
+
+/// The recommender engine: a community plus materialized profiles.
+///
+/// Internally just an `Arc<SharedModel>`, so cloning a `Recommender` (or
+/// sharing one across threads) costs a reference count, not a profile
+/// rebuild. All query methods take `&self` and never mutate the model.
+#[derive(Clone, Debug)]
+pub struct Recommender {
+    model: Arc<SharedModel>,
+}
+
+impl Recommender {
+    /// Builds the engine, materializing every agent's profile once. The
+    /// community is assumed fully sourced; use
+    /// [`Recommender::with_source_health`] when it came from a crawl that
+    /// lost documents.
+    pub fn new(community: Community, config: RecommenderConfig) -> Self {
+        Recommender { model: Arc::new(SharedModel::new(community, config)) }
+    }
+
+    /// Wraps an already-shared model without copying it.
+    pub fn from_shared(model: Arc<SharedModel>) -> Self {
+        Recommender { model }
+    }
+
+    /// A shared handle to the immutable model state (cheap `Arc` clone).
+    pub fn shared(&self) -> Arc<SharedModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Attaches the [`SourceHealth`] of the crawl that assembled this
+    /// community, so degraded runs are flagged in traces and explanations.
+    /// Copy-on-write: if the model is currently shared, it is cloned first.
+    pub fn with_source_health(mut self, health: SourceHealth) -> Self {
+        Arc::make_mut(&mut self.model).source_health = health;
+        self
+    }
+
+    /// The health of the source this community was assembled from.
+    pub fn source_health(&self) -> &SourceHealth {
+        self.model.source_health()
+    }
+
+    /// The underlying community.
+    pub fn community(&self) -> &Community {
+        self.model.community()
+    }
+
+    /// The materialized profile store.
+    pub fn profiles(&self) -> &ProfileStore {
+        self.model.profiles()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecommenderConfig {
+        self.model.config()
+    }
+
     /// Computes the synthesized peer weights for a target agent —
     /// the §3.2 + §3.3 + §3.4 front half of the pipeline.
     pub fn peer_weights(&self, target: AgentId) -> Result<(Vec<(AgentId, f64)>, PipelineTrace)> {
+        let model = &*self.model;
         let neighborhood = {
             let _stage = semrec_obs::span("engine.stage.neighborhood");
-            form_neighborhood(&self.community.trust, target, &self.config.neighborhood)?
+            form_neighborhood(&model.community.trust, target, &model.config.neighborhood)?
         };
         let peers: Vec<PeerScores> = {
             let _stage = semrec_obs::span("engine.stage.profiles");
-            let target_profile = self.profiles.profile(target);
+            let target_profile = model.profiles.profile(target);
             neighborhood
                 .normalized()
                 .into_iter()
                 .map(|(agent, trust)| PeerScores {
                     agent,
                     trust,
-                    similarity: self
+                    similarity: model
                         .config
                         .similarity
-                        .apply(target_profile, self.profiles.profile(agent)),
+                        .apply(target_profile, model.profiles.profile(agent)),
                 })
                 .collect()
         };
         let weighted = {
             let _stage = semrec_obs::span("engine.stage.synthesis");
-            synthesize(self.config.synthesis, &peers)
+            synthesize(model.config.synthesis, &peers)
         };
         let trace = PipelineTrace {
             neighborhood_size: neighborhood.peers.len(),
@@ -178,17 +237,18 @@ impl Recommender {
         target: AgentId,
         n: usize,
     ) -> Result<(Vec<Recommendation>, PipelineTrace)> {
-        if self.source_health.is_degraded() {
+        if self.model.source_health.is_degraded() {
             // The run proceeds on the reachable subset; the registry keeps
             // score so `--metrics` dumps surface it.
             semrec_obs::counter("engine.degraded_runs").inc();
         }
         let (weighted, trace) = self.peer_weights(target)?;
+        let model = &*self.model;
         let recs = {
             let _stage = semrec_obs::span("engine.stage.voting");
-            let mut recs = vote(&self.community, target, &weighted, &self.config.voting);
-            if self.config.novel_categories_only {
-                recs = novel_only(&self.community, self.profiles.profile(target), recs);
+            let mut recs = vote(&model.community, target, &weighted, &model.config.voting);
+            if model.config.novel_categories_only {
+                recs = novel_only(&model.community, model.profiles.profile(target), recs);
             }
             recs.truncate(n);
             recs
@@ -196,6 +256,16 @@ impl Recommender {
         Ok((recs, trace))
     }
 }
+
+// Compile-time guarantee that serving workers can share the model state
+// across threads: if a non-Send/Sync field ever sneaks into the model, this
+// fails to build rather than failing at a `thread::spawn` call site.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedModel>();
+    assert_send_sync::<Recommender>();
+    assert_send_sync::<Arc<SharedModel>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -288,6 +358,36 @@ mod tests {
         let (recs, trace) = rec.recommend_traced(loner, 10).unwrap();
         assert!(recs.is_empty());
         assert_eq!(trace.neighborhood_size, 0);
+    }
+
+    #[test]
+    fn clones_share_the_model_allocation() {
+        let (rec, agents, _) = setup();
+        let clone = rec.clone();
+        assert!(Arc::ptr_eq(&rec.shared(), &clone.shared()));
+        // A recommender rebuilt from the shared handle answers identically.
+        let rebuilt = Recommender::from_shared(rec.shared());
+        assert_eq!(
+            rec.recommend(agents[0], 10).unwrap(),
+            rebuilt.recommend(agents[0], 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_source_health_copies_on_write_when_shared() {
+        let (rec, _, _) = setup();
+        let shared_before = rec.shared(); // second owner forces the copy
+        let degraded = rec.clone().with_source_health(SourceHealth {
+            attempted: 10,
+            fetched: 5,
+            unreachable: 5,
+            ..SourceHealth::default()
+        });
+        assert!(degraded.source_health().is_degraded());
+        assert!(
+            !shared_before.source_health().is_degraded(),
+            "mutating a shared model must not leak into other owners"
+        );
     }
 
     #[test]

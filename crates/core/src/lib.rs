@@ -51,7 +51,7 @@ pub mod recommend;
 pub mod synthesis;
 
 pub use batch::recommend_batch;
-pub use engine::{PipelineTrace, Recommender, RecommenderConfig};
+pub use engine::{PipelineTrace, Recommender, RecommenderConfig, SharedModel};
 pub use explain::{Explanation, Voter};
 pub use error::{CoreError, Result};
 pub use health::SourceHealth;

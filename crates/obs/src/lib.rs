@@ -50,8 +50,8 @@ mod observer;
 mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    DEFAULT_BUCKETS,
+    Counter, Gauge, Histogram, HistogramSnapshot, HistogramSummary, MetricsRegistry,
+    MetricsSnapshot, DEFAULT_BUCKETS,
 };
 pub use observer::{Event, EventKind, Observer, RingBufferObserver};
 pub use trace::{span, take_trace, SpanGuard, SpanNode, TraceTree};

@@ -117,6 +117,33 @@ impl Histogram {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`). See
+    /// [`HistogramSnapshot::quantile`] for estimation semantics.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Estimated median. Convenience over [`Histogram::quantile`].
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// A point-in-time [`HistogramSummary`]: count, mean, and the serving
+    /// percentiles, computed from one consistent snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+
     fn reset(&self) {
         for bucket in &self.0.buckets {
             bucket.store(0, Ordering::Relaxed);
@@ -157,6 +184,94 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`), Prometheus-style: the upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q · count)`. Resolution is therefore one bucket width — fine
+    /// for latency reporting, not for exact statistics.
+    ///
+    /// Edge cases: an empty histogram reports `0.0`; a quantile landing in
+    /// the overflow (+∞) bucket saturates to the last finite bound (there
+    /// is no upper bound to report); `q = 0` is the smallest bucket that
+    /// holds any observation.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        // ceil(q * count), clamped to at least the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bucket, &filled) in self.buckets.iter().enumerate() {
+            cumulative += filled;
+            if cumulative >= rank {
+                return match self.bounds.get(bucket) {
+                    Some(&bound) => bound,
+                    // Overflow bucket: saturate to the last finite bound.
+                    None => self.bounds.last().copied().unwrap_or(0.0),
+                };
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Count, mean, and serving percentiles in one struct.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// The digest bench code reports for a latency histogram: count, mean, and
+/// the standard serving percentiles (bucket-upper-bound estimates).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Mean observed value (0 when empty).
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+impl std::fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "count={} mean={:.6} p50={:.6} p95={:.6} p99={:.6}",
+            self.count, self.mean, self.p50, self.p95, self.p99
+        )
+    }
 }
 
 /// Point-in-time copy of a whole registry, ordered by name for
@@ -175,6 +290,46 @@ impl MetricsSnapshot {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A copy keeping only metrics whose name starts with `prefix`.
+    ///
+    /// Metric namespaces are dot-delimited (`engine.*`, `serve.*`, …), so
+    /// golden comparisons over one subsystem slice the snapshot by prefix
+    /// instead of enumerating every name another subsystem might mint.
+    pub fn retain_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        self.filter(|name| name.starts_with(prefix))
+    }
+
+    /// A copy dropping every metric whose name starts with `prefix` — the
+    /// complement of [`MetricsSnapshot::retain_prefix`]. Used to keep
+    /// engine-side golden comparisons stable while a serving layer records
+    /// its own `serve.*` metrics into the same registry.
+    pub fn without_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        self.filter(|name| !name.starts_with(prefix))
+    }
+
+    fn filter(&self, keep: impl Fn(&str) -> bool) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, &value)| (name.clone(), value))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, &value)| (name.clone(), value))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(name, _)| keep(name))
+                .map(|(name, histogram)| (name.clone(), histogram.clone()))
+                .collect(),
+        }
     }
 
     /// Renders the snapshot as aligned `name value` lines; histograms show
@@ -389,6 +544,99 @@ mod tests {
         let histogram = Histogram::with_bounds(&[1.0]);
         histogram.observe(1.0);
         assert_eq!(histogram.snapshot().buckets, vec![1, 0]);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let histogram = Histogram::with_bounds(&[1.0, 2.0, 5.0, 10.0]);
+        // 90 observations ≤ 1, 5 in (1, 2], 4 in (2, 5], 1 in (5, 10].
+        for _ in 0..90 {
+            histogram.observe(0.5);
+        }
+        for _ in 0..5 {
+            histogram.observe(1.5);
+        }
+        for _ in 0..4 {
+            histogram.observe(3.0);
+        }
+        histogram.observe(7.0);
+        assert_eq!(histogram.p50(), 1.0);
+        assert_eq!(histogram.quantile(0.90), 1.0);
+        assert_eq!(histogram.p95(), 2.0);
+        assert_eq!(histogram.p99(), 5.0);
+        assert_eq!(histogram.quantile(1.0), 10.0);
+        assert_eq!(histogram.quantile(0.0), 1.0, "q=0 is the smallest occupied bucket");
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample_histograms() {
+        let empty = Histogram::with_bounds(&[1.0, 2.0]);
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.p99(), 0.0);
+        let summary = empty.summary();
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.mean, 0.0);
+        assert_eq!(summary.p95, 0.0);
+
+        let single = Histogram::with_bounds(&[1.0, 2.0]);
+        single.observe(1.5);
+        // Every percentile of a one-sample distribution is that sample's
+        // bucket bound.
+        assert_eq!(single.p50(), 2.0);
+        assert_eq!(single.p95(), 2.0);
+        assert_eq!(single.p99(), 2.0);
+        assert_eq!(single.summary().count, 1);
+    }
+
+    #[test]
+    fn quantile_saturates_at_the_overflow_bucket() {
+        let histogram = Histogram::with_bounds(&[1.0, 10.0]);
+        histogram.observe(100.0);
+        histogram.observe(200.0);
+        // Both observations overflow: the estimate can only promise "beyond
+        // the last finite bound".
+        assert_eq!(histogram.p50(), 10.0);
+        assert_eq!(histogram.p99(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let histogram = Histogram::with_bounds(&[1.0]);
+        histogram.observe(0.5);
+        let _ = histogram.quantile(1.5);
+    }
+
+    #[test]
+    fn summary_display_is_stable() {
+        let histogram = Histogram::with_bounds(&[1.0, 2.0]);
+        histogram.observe(0.5);
+        histogram.observe(1.5);
+        let text = histogram.summary().to_string();
+        assert!(text.contains("count=2"), "{text}");
+        assert!(text.contains("p95=2.000000"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_prefix_filters_split_namespaces() {
+        let registry = MetricsRegistry::new();
+        registry.counter("engine.runs").add(2);
+        registry.counter("serve.requests.served").add(5);
+        registry.gauge("serve.queue.depth").set(1.0);
+        registry.histogram("serve.latency.seconds").observe(0.01);
+        let snapshot = registry.snapshot();
+
+        let engine_only = snapshot.without_prefix("serve.");
+        assert_eq!(engine_only.counters.len(), 1);
+        assert!(engine_only.gauges.is_empty());
+        assert!(engine_only.histograms.is_empty());
+        assert_eq!(engine_only.counters["engine.runs"], 2);
+
+        let serve_only = snapshot.retain_prefix("serve.");
+        assert_eq!(serve_only.counters["serve.requests.served"], 5);
+        assert_eq!(serve_only.gauges["serve.queue.depth"], 1.0);
+        assert_eq!(serve_only.histograms["serve.latency.seconds"].count, 1);
+        assert!(!serve_only.counters.contains_key("engine.runs"));
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! The virtual tick clock.
+//!
+//! Deadlines and batch windows are keyed to *virtual ticks*, not wall time,
+//! for the same reason the fault-injection layer counts latency in ticks:
+//! determinism. A test (or the load generator) advances the clock
+//! explicitly, so "this request went stale in the queue" is a reproducible
+//! fact of the schedule, not a race against the wall clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically advancing virtual clock, shared by reference.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    now: AtomicU64,
+}
+
+impl TickClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        TickClock::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock by `ticks`, returning the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.now.fetch_add(ticks, Ordering::AcqRel) + ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let clock = TickClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(3), 3);
+        assert_eq!(clock.advance(1), 4);
+        assert_eq!(clock.now(), 4);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let clock = TickClock::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        clock.advance(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now(), 4000);
+    }
+}

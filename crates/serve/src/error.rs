@@ -1,0 +1,91 @@
+//! Typed serving errors.
+//!
+//! Load shedding is a *first-class answer*, not a failure mode hidden in a
+//! timeout: an overloaded server refuses at admission with
+//! [`ServeError::Overloaded`], and a request that sat in the queue past its
+//! deadline is dropped with [`ServeError::DeadlineExceeded`] instead of
+//! being served late. Callers can tell the three regimes apart and react
+//! (back off, retry elsewhere, degrade the UI) — the behaviour Jamali's
+//! distributed trust-aware serving argues for.
+
+use std::fmt;
+
+use semrec_core::CoreError;
+
+/// Result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors a serving request can end with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control refused the request: the queue was at capacity.
+    /// The depth the queue was at is attached for telemetry.
+    Overloaded {
+        /// Queue depth observed at rejection (== configured capacity).
+        depth: usize,
+    },
+    /// The request sat in the queue past its deadline and was shed at
+    /// dequeue rather than served late.
+    DeadlineExceeded {
+        /// The virtual tick the request had to be started by.
+        deadline: u64,
+        /// The virtual tick at which the worker picked it up.
+        now: u64,
+    },
+    /// The server is shutting down and no longer accepts (or completes)
+    /// requests.
+    ShuttingDown,
+    /// The recommendation engine itself failed (unknown agent, …).
+    Engine(CoreError),
+    /// The response channel was dropped before a reply arrived — only
+    /// possible if a worker panicked mid-request.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "request rejected: queue at capacity ({depth} deep)")
+            }
+            ServeError::DeadlineExceeded { deadline, now } => {
+                write!(f, "request shed: deadline tick {deadline} passed (now {now})")
+            }
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Disconnected => write!(f, "response channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        assert!(ServeError::Overloaded { depth: 8 }.to_string().contains("8 deep"));
+        assert!(ServeError::DeadlineExceeded { deadline: 3, now: 5 }
+            .to_string()
+            .contains("tick 3"));
+        let engine = ServeError::from(CoreError::UnknownAgent(7));
+        assert!(engine.to_string().contains("unknown agent"));
+        assert!(std::error::Error::source(&engine).is_some());
+        assert!(std::error::Error::source(&ServeError::ShuttingDown).is_none());
+    }
+}

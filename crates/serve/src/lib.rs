@@ -1,0 +1,76 @@
+//! # semrec-serve — concurrent recommendation serving
+//!
+//! The paper's framework is meant to answer *live* requests in a
+//! decentralized, high-churn environment; this crate is the serving
+//! substrate in front of [`semrec_core::Recommender`]. Std-only (threads,
+//! mutexes, channels), consistent with the workspace's vendored-deps
+//! constraint. Four pieces:
+//!
+//! * **[`SnapshotSwitch`] / [`ModelSnapshot`]** — the epoch-versioned
+//!   model. A crawl/refresh round publishes a new generation while
+//!   requests are in flight; readers pin the generation they started on,
+//!   and the old one drops with its last reader. Serving never pauses.
+//! * **[`BoundedQueue`]** — admission control. At capacity, submission
+//!   fails fast with [`ServeError::Overloaded`] instead of queuing without
+//!   bound, and requests whose virtual-tick deadline passed while queued
+//!   are shed at dequeue ([`ServeError::DeadlineExceeded`]) rather than
+//!   served late.
+//! * **[`Server`]** — the worker pool. Workers drain micro-batches (up to
+//!   `batch_size` per lock acquisition), pin one snapshot per batch, and
+//!   consult a sharded per-snapshot LRU ([`RecCache`]) keyed by
+//!   `(epoch, agent, n)` — swap invalidation is wholesale and a stale
+//!   generation can never answer, because the epoch is part of the key.
+//! * **[`loadgen`]** — a deterministic closed-loop load generator (seeded
+//!   Zipf over the agent panel) reporting latency percentiles,
+//!   throughput, shed rate, and cache hit rate.
+//!
+//! Everything observable lands in the global `semrec-obs` registry under
+//! the `serve.*` namespace (see the README's serving metric table).
+//!
+//! ```
+//! use semrec_core::{Community, Recommender, RecommenderConfig};
+//! use semrec_serve::{ServeConfig, Server};
+//! use semrec_taxonomy::fixtures::example1;
+//!
+//! let e = example1();
+//! let products: Vec<_> = e.catalog.iter().collect();
+//! let mut community = Community::new(e.fig.taxonomy, e.catalog);
+//! let alice = community.add_agent("http://example.org/alice").unwrap();
+//! let bob = community.add_agent("http://example.org/bob").unwrap();
+//! community.trust.set_trust(alice, bob, 0.9).unwrap();
+//! community.set_rating(bob, products[0], 1.0).unwrap();
+//!
+//! let engine = Recommender::new(community, RecommenderConfig::default());
+//! let server = Server::start(engine, ServeConfig::default());
+//! let response = server.submit(alice, 10).unwrap().wait().unwrap();
+//! assert_eq!(response.recommendations[0].product, products[0]);
+//! assert_eq!(response.epoch, 1);
+//! ```
+//!
+//! ## Determinism contract
+//!
+//! Recommendations served through the pool are byte-identical to direct
+//! [`Recommender::recommend`](semrec_core::Recommender::recommend) calls,
+//! for any worker count: the pipeline is a pure function of the pinned
+//! snapshot, the cache only ever returns what the same snapshot computed,
+//! and deadlines are checked against the *virtual* [`TickClock`] that only
+//! the caller advances. Wall time appears solely in latency histograms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clock;
+pub mod error;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CacheKey, CacheStats, RecCache};
+pub use clock::TickClock;
+pub use error::{Result, ServeError};
+pub use loadgen::{run_load, LoadGenConfig, LoadReport};
+pub use queue::{BoundedQueue, PushRefused};
+pub use server::{ServeConfig, ServeStats, ServedResponse, Server, Ticket};
+pub use snapshot::{ModelSnapshot, SnapshotSwitch};

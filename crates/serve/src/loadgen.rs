@@ -1,0 +1,342 @@
+//! Deterministic closed-loop load generation.
+//!
+//! `clients` threads each issue a fixed number of requests against a
+//! [`Server`], drawing target agents from a seeded Zipf distribution (per
+//! Diaz-Aviles/Ziegler, request popularity in P2P recommender communities
+//! is heavy-tailed — a few agents account for most traffic, which is also
+//! what makes the recommendation cache earn its keep). Each client owns an
+//! independent RNG stream seeded from `(seed, client index)`, so the *set*
+//! of requests issued is identical across runs and worker counts; only
+//! wall-clock interleaving varies.
+//!
+//! Closed-loop with bursts: a client keeps at most `burst` requests in
+//! flight and waits for all of them before issuing the next burst. `burst
+//! × clients` therefore bounds offered concurrency — raise it past the
+//! queue capacity to push the server into admission-controlled shedding.
+//!
+//! Latency histograms (p50/p95/p99), throughput, shed rate, and cache hit
+//! rate are reported in a [`LoadReport`] and recorded under the global
+//! `serve.latency.seconds` histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use semrec_core::AgentId;
+use semrec_datagen::zipf::Zipf;
+use semrec_obs::{HistogramSummary, MetricsRegistry};
+
+use crate::error::ServeError;
+use crate::server::Server;
+
+/// Load-generation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadGenConfig {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Requests a client keeps in flight before waiting (≥ 1).
+    pub burst: usize,
+    /// Recommendation list length requested.
+    pub top_n: usize,
+    /// Seed for the per-client RNG streams.
+    pub seed: u64,
+    /// Zipf exponent over the agent panel (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Deadline, in virtual ticks after submission, for each request.
+    pub deadline_ticks: Option<u64>,
+    /// Advance the server's virtual clock one tick every this many
+    /// submissions (0 = the clock never moves — deadlines never expire).
+    pub tick_every: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            requests_per_client: 100,
+            burst: 1,
+            top_n: 10,
+            seed: 17,
+            zipf_exponent: 1.1,
+            deadline_ticks: None,
+            tick_every: 0,
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Submission attempts (admitted + refused).
+    pub attempts: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests answered with a recommendation list.
+    pub served: u64,
+    /// Requests refused at admission (queue full).
+    pub shed_overload: u64,
+    /// Requests dropped past their deadline.
+    pub shed_deadline: u64,
+    /// Requests that ended in an engine error.
+    pub failed: u64,
+    /// Served requests answered from the cache.
+    pub cache_hits: u64,
+    /// Wall time of the whole run, in seconds.
+    pub wall_seconds: f64,
+    /// Client-observed latency (submission → response), in seconds.
+    pub latency: HistogramSummary,
+}
+
+impl LoadReport {
+    /// Total load shed, whatever the mechanism.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_deadline
+    }
+
+    /// Fraction of attempts that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.attempts as f64
+        }
+    }
+
+    /// Fraction of served requests answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.served as f64
+        }
+    }
+
+    /// Served requests per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.served as f64 / self.wall_seconds
+        }
+    }
+}
+
+#[derive(Default)]
+struct ClientTally {
+    attempts: u64,
+    admitted: u64,
+    served: u64,
+    shed_overload: u64,
+    shed_deadline: u64,
+    failed: u64,
+    cache_hits: u64,
+}
+
+/// Drives `server` with seeded Zipf traffic over `agents` and reports the
+/// aggregate outcome. Blocks until every request has resolved.
+///
+/// # Panics
+/// Panics if `agents` is empty or the config asks for zero clients.
+pub fn run_load(server: &Server, agents: &[AgentId], config: &LoadGenConfig) -> LoadReport {
+    assert!(!agents.is_empty(), "load generation needs a non-empty agent panel");
+    assert!(config.clients > 0, "load generation needs at least one client");
+    let burst = config.burst.max(1);
+
+    // Latency cells local to this run (the global registry accumulates
+    // across runs and is reset by the experiment harness at its own cadence).
+    let local = MetricsRegistry::new();
+    let latency = local.histogram("latency.seconds");
+    let global_latency = semrec_obs::histogram("serve.latency.seconds");
+    let submissions = AtomicU64::new(0);
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let latency = latency.clone();
+                let global_latency = global_latency.clone();
+                let submissions = &submissions;
+                scope.spawn(move || {
+                    // Independent per-client stream: splitmix the client
+                    // index into the seed so streams never collide.
+                    let mut rng = StdRng::seed_from_u64(
+                        config.seed ^ (client as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15),
+                    );
+                    let zipf = Zipf::new(agents.len(), config.zipf_exponent);
+                    let mut tally = ClientTally::default();
+                    let mut remaining = config.requests_per_client;
+                    while remaining > 0 {
+                        let round = burst.min(remaining);
+                        remaining -= round;
+                        let mut in_flight = Vec::with_capacity(round);
+                        for _ in 0..round {
+                            let agent = agents[zipf.sample(&mut rng)];
+                            let deadline = config
+                                .deadline_ticks
+                                .map(|ticks| server.clock().now() + ticks);
+                            tally.attempts += 1;
+                            let submitted_at = Instant::now();
+                            match server.submit_with_deadline(agent, config.top_n, deadline) {
+                                Ok(ticket) => {
+                                    tally.admitted += 1;
+                                    in_flight.push((ticket, submitted_at));
+                                }
+                                Err(ServeError::Overloaded { .. }) => tally.shed_overload += 1,
+                                Err(_) => tally.failed += 1,
+                            }
+                            if config.tick_every > 0 {
+                                let total = submissions.fetch_add(1, Ordering::Relaxed) + 1;
+                                if total.is_multiple_of(config.tick_every) {
+                                    server.clock().advance(1);
+                                }
+                            }
+                        }
+                        for (ticket, submitted_at) in in_flight {
+                            let outcome = ticket.wait();
+                            let elapsed = submitted_at.elapsed().as_secs_f64();
+                            match outcome {
+                                Ok(response) => {
+                                    tally.served += 1;
+                                    if response.cache_hit {
+                                        tally.cache_hits += 1;
+                                    }
+                                    latency.observe(elapsed);
+                                    global_latency.observe(elapsed);
+                                }
+                                Err(ServeError::DeadlineExceeded { .. }) => {
+                                    tally.shed_deadline += 1;
+                                }
+                                Err(_) => tally.failed += 1,
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load client panicked")).collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut report = LoadReport {
+        attempts: 0,
+        admitted: 0,
+        served: 0,
+        shed_overload: 0,
+        shed_deadline: 0,
+        failed: 0,
+        cache_hits: 0,
+        wall_seconds,
+        latency: latency.summary(),
+    };
+    for tally in tallies {
+        report.attempts += tally.attempts;
+        report.admitted += tally.admitted;
+        report.served += tally.served;
+        report.shed_overload += tally.shed_overload;
+        report.shed_deadline += tally.shed_deadline;
+        report.failed += tally.failed;
+        report.cache_hits += tally.cache_hits;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use semrec_core::{Community, Recommender, RecommenderConfig};
+    use semrec_taxonomy::fixtures::example1;
+
+    fn ring(n: usize) -> (Recommender, Vec<AgentId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let agents: Vec<AgentId> =
+            (0..n).map(|i| c.add_agent(format!("http://ex.org/u{i}")).unwrap()).collect();
+        for i in 0..n {
+            c.trust.set_trust(agents[i], agents[(i + 1) % n], 0.9).unwrap();
+            c.set_rating(agents[i], products[i % 4], 1.0).unwrap();
+        }
+        (Recommender::new(c, RecommenderConfig::default()), agents)
+    }
+
+    #[test]
+    fn closed_loop_resolves_every_request() {
+        let (engine, agents) = ring(16);
+        let server = Server::start(engine, ServeConfig::default());
+        let report = run_load(
+            &server,
+            &agents,
+            &LoadGenConfig { clients: 3, requests_per_client: 40, ..Default::default() },
+        );
+        assert_eq!(report.attempts, 120);
+        assert_eq!(report.admitted, 120, "ample queue: nothing shed");
+        assert_eq!(report.served, 120);
+        assert_eq!(report.shed(), 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.latency.count, 120);
+        assert!(report.latency.p50 <= report.latency.p95);
+        assert!(report.latency.p95 <= report.latency.p99);
+        assert!(report.throughput() > 0.0);
+        // Zipf traffic over 16 agents repeats targets: the cache must help.
+        assert!(report.cache_hits > 0);
+        assert!(report.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_growing_the_queue() {
+        let (engine, agents) = ring(16);
+        let server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                cache_capacity: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let report = run_load(
+            &server,
+            &agents,
+            &LoadGenConfig {
+                clients: 4,
+                requests_per_client: 50,
+                burst: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.attempts, 200);
+        assert!(report.shed_overload > 0, "queue of 2 under burst-8×4 load must shed");
+        assert_eq!(report.served + report.shed(), report.attempts);
+        assert!(server.queue_depth() <= 2, "the queue must stay bounded");
+        assert!(report.shed_rate() > 0.0 && report.shed_rate() < 1.0);
+    }
+
+    #[test]
+    fn identical_seeds_issue_identical_request_streams() {
+        // The request *stream* (sequence of agents per client) is a pure
+        // function of the seed — verify by draining one client's stream
+        // twice via the same construction the generator uses.
+        let (_, agents) = ring(32);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ 1u64.wrapping_mul(0x9e3779b97f4a7c15));
+            let zipf = Zipf::new(agents.len(), 1.1);
+            (0..50).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(17), draw(17));
+        assert_ne!(draw(17), draw(18), "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty agent panel")]
+    fn empty_panel_is_rejected() {
+        let (engine, _) = ring(4);
+        let server = Server::start(engine, ServeConfig::default());
+        let _ = run_load(&server, &[], &LoadGenConfig::default());
+    }
+}

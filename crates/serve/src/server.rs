@@ -1,0 +1,499 @@
+//! The serving core: a sharded worker pool draining the bounded request
+//! queue in micro-batches.
+//!
+//! Life of a request:
+//!
+//! 1. **Admission** — [`Server::submit`] pushes onto the bounded queue. At
+//!    capacity the push is refused with [`ServeError::Overloaded`]
+//!    (load-shedding, counted as `serve.requests.shed.overload`).
+//! 2. **Batching** — a worker drains up to `batch_size` requests with one
+//!    lock acquisition and pins the current [`ModelSnapshot`] once for the
+//!    whole batch, so every request in a batch is answered from a single
+//!    consistent generation.
+//! 3. **Deadline check** — a request whose virtual-tick deadline passed
+//!    while it queued is shed (`serve.requests.shed.deadline`) rather than
+//!    served late.
+//! 4. **Cache / compute** — the sharded LRU is consulted under the pinned
+//!    epoch; a miss runs the full pipeline and populates the cache.
+//!
+//! Snapshot swap ([`Server::publish`]) happens between batches from the
+//! workers' point of view: requests already drained finish on the old
+//! generation, later batches pin the new one, and nothing in flight is
+//! lost. Shutdown is graceful: the queue closes, workers drain what is
+//! left, and anything still queued when the pool has exited is answered
+//! with [`ServeError::ShuttingDown`] instead of a dropped channel.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use semrec_core::{AgentId, Recommendation, Recommender};
+
+use crate::cache::{CacheStats, RecCache};
+use crate::clock::TickClock;
+use crate::error::ServeError;
+use crate::queue::{BoundedQueue, PushRefused};
+use crate::snapshot::{ModelSnapshot, SnapshotSwitch};
+
+/// Serving configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue. `0` builds an accept-only server
+    /// (requests queue but are never processed — useful for admission and
+    /// shutdown tests).
+    pub workers: usize,
+    /// Maximum queued requests before admission control sheds.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker drains (and serves under one pinned
+    /// snapshot) per batch.
+    pub batch_size: usize,
+    /// Total recommendation-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache shards (each with its own lock).
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 1024,
+            batch_size: 8,
+            cache_capacity: 4096,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// A successfully served request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServedResponse {
+    /// The recommendation list (shared with the cache — cheap to clone).
+    pub recommendations: Arc<Vec<Recommendation>>,
+    /// The snapshot generation that answered.
+    pub epoch: u64,
+    /// Whether the answer came from the cache.
+    pub cache_hit: bool,
+}
+
+/// What a request resolves to.
+pub type ServeResult = Result<ServedResponse, ServeError>;
+
+/// A pending response: block on [`Ticket::wait`] to collect it.
+#[derive(Debug)]
+pub struct Ticket {
+    receiver: mpsc::Receiver<ServeResult>,
+}
+
+impl Ticket {
+    /// Blocks until the request resolves. Returns
+    /// [`ServeError::Disconnected`] only if a worker panicked mid-request.
+    pub fn wait(self) -> ServeResult {
+        self.receiver.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+struct Request {
+    agent: AgentId,
+    n: usize,
+    /// Virtual tick this request must be *started* by, if any.
+    deadline: Option<u64>,
+    responder: mpsc::Sender<ServeResult>,
+}
+
+/// Cumulative per-server request counters (survive registry resets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a recommendation list.
+    pub served: u64,
+    /// Requests refused at admission (queue full).
+    pub shed_overload: u64,
+    /// Requests dropped at dequeue because their deadline passed.
+    pub shed_deadline: u64,
+    /// Requests that reached the engine and got an engine error back.
+    pub failed: u64,
+}
+
+impl ServeStats {
+    /// Total load shed, whatever the mechanism.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_deadline
+    }
+
+    /// Every request that was resolved one way or another.
+    pub fn resolved(&self) -> u64 {
+        self.served + self.shed() + self.failed
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    shed_overload: AtomicU64,
+    shed_deadline: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// State shared between the server handle and its workers.
+struct Shared {
+    queue: BoundedQueue<Request>,
+    switch: SnapshotSwitch,
+    cache: RecCache,
+    clock: TickClock,
+    batch_size: usize,
+    stats: StatCells,
+}
+
+/// The in-process recommendation server.
+///
+/// Dropping the server shuts it down gracefully: the queue closes, workers
+/// finish what is queued, and the pool is joined.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server fronting `engine` (installed as snapshot epoch 1).
+    pub fn start(engine: Recommender, config: ServeConfig) -> Server {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            switch: SnapshotSwitch::new(engine),
+            cache: RecCache::new(config.cache_capacity, config.cache_shards),
+            clock: TickClock::new(),
+            batch_size: config.batch_size.max(1),
+            stats: StatCells::default(),
+        });
+        semrec_obs::gauge("serve.workers").set(config.workers as f64);
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("semrec-serve-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Submits a request with no deadline. Returns a [`Ticket`] on
+    /// admission, or the typed shed error immediately.
+    pub fn submit(&self, agent: AgentId, n: usize) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(agent, n, None)
+    }
+
+    /// Submits a request that must be *started* by virtual tick
+    /// `deadline` — if the queue is still holding it past that tick, it is
+    /// shed at dequeue instead of served late.
+    pub fn submit_with_deadline(
+        &self,
+        agent: AgentId,
+        n: usize,
+        deadline: Option<u64>,
+    ) -> Result<Ticket, ServeError> {
+        let (sender, receiver) = mpsc::channel();
+        let request = Request { agent, n, deadline, responder: sender };
+        match self.shared.queue.push(request) {
+            Ok(depth) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                semrec_obs::counter("serve.requests.submitted").inc();
+                semrec_obs::gauge("serve.queue.depth").set(depth as f64);
+                Ok(Ticket { receiver })
+            }
+            Err((_, PushRefused::Full { depth })) => {
+                self.shared.stats.shed_overload.fetch_add(1, Ordering::Relaxed);
+                semrec_obs::counter("serve.requests.shed").inc();
+                semrec_obs::counter("serve.requests.shed.overload").inc();
+                Err(ServeError::Overloaded { depth })
+            }
+            Err((_, PushRefused::Closed)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Atomically installs `engine` as the next model generation and
+    /// invalidates cache entries of older generations. In-flight batches
+    /// finish on the generation they pinned; returns the new epoch.
+    pub fn publish(&self, engine: Recommender) -> u64 {
+        let epoch = self.shared.switch.publish(engine);
+        self.shared.cache.invalidate_before(epoch);
+        epoch
+    }
+
+    /// The current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.switch.epoch()
+    }
+
+    /// The virtual clock deadlines are checked against. The server never
+    /// advances it on its own — the load generator (or test) drives time.
+    pub fn clock(&self) -> &TickClock {
+        &self.shared.clock
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Per-server request counters.
+    pub fn stats(&self) -> ServeStats {
+        let cells = &self.shared.stats;
+        ServeStats {
+            submitted: cells.submitted.load(Ordering::Relaxed),
+            served: cells.served.load(Ordering::Relaxed),
+            shed_overload: cells.shed_overload.load(Ordering::Relaxed),
+            shed_deadline: cells.shed_deadline.load(Ordering::Relaxed),
+            failed: cells.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-server cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Closes the queue, drains it, joins the workers, and returns the
+    /// final counters. Requests still queued if the pool could not drain
+    /// them (a zero-worker server) are answered `ShuttingDown`.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // A zero-worker server (or a panicked pool) may leave requests
+        // queued: answer them explicitly rather than dropping channels.
+        for request in self.shared.queue.take_all() {
+            let _ = request.responder.send(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// A worker: drain a micro-batch, pin the current snapshot once, serve the
+/// batch, repeat until the queue closes and empties.
+fn worker_loop(shared: &Shared) {
+    let batch_sizes = semrec_obs::histogram("serve.batch.size");
+    loop {
+        let batch = shared.queue.drain(shared.batch_size);
+        if batch.is_empty() {
+            return; // closed and drained
+        }
+        let _span = semrec_obs::span("serve.batch");
+        batch_sizes.observe(batch.len() as f64);
+        semrec_obs::gauge("serve.queue.depth").set(shared.queue.len() as f64);
+        let snapshot = shared.switch.pin();
+        for request in batch {
+            serve_one(shared, &snapshot, request);
+        }
+    }
+}
+
+/// Serves one drained request against the batch's pinned snapshot.
+fn serve_one(shared: &Shared, snapshot: &ModelSnapshot, request: Request) {
+    let now = shared.clock.now();
+    if let Some(deadline) = request.deadline {
+        if now > deadline {
+            shared.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            semrec_obs::counter("serve.requests.shed").inc();
+            semrec_obs::counter("serve.requests.shed.deadline").inc();
+            let _ = request.responder.send(Err(ServeError::DeadlineExceeded { deadline, now }));
+            return;
+        }
+    }
+    let key = (snapshot.epoch(), request.agent, request.n);
+    if let Some(cached) = shared.cache.get(&key) {
+        shared.stats.served.fetch_add(1, Ordering::Relaxed);
+        semrec_obs::counter("serve.requests.served").inc();
+        let _ = request.responder.send(Ok(ServedResponse {
+            recommendations: cached,
+            epoch: snapshot.epoch(),
+            cache_hit: true,
+        }));
+        return;
+    }
+    match snapshot.engine().recommend(request.agent, request.n) {
+        Ok(recommendations) => {
+            let recommendations = Arc::new(recommendations);
+            shared.cache.insert(key, Arc::clone(&recommendations));
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            semrec_obs::counter("serve.requests.served").inc();
+            let _ = request.responder.send(Ok(ServedResponse {
+                recommendations,
+                epoch: snapshot.epoch(),
+                cache_hit: false,
+            }));
+        }
+        Err(e) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            semrec_obs::counter("serve.requests.failed").inc();
+            let _ = request.responder.send(Err(ServeError::Engine(e)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_core::{Community, RecommenderConfig};
+    use semrec_taxonomy::fixtures::example1;
+
+    /// A ring community: every agent trusts the next and rates one product.
+    fn ring(n: usize) -> (Recommender, Vec<AgentId>) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let agents: Vec<AgentId> =
+            (0..n).map(|i| c.add_agent(format!("http://ex.org/u{i}")).unwrap()).collect();
+        for i in 0..n {
+            c.trust.set_trust(agents[i], agents[(i + 1) % n], 0.9).unwrap();
+            c.set_rating(agents[i], products[i % 4], 1.0).unwrap();
+        }
+        (Recommender::new(c, RecommenderConfig::default()), agents)
+    }
+
+    fn config(workers: usize) -> ServeConfig {
+        ServeConfig { workers, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn serves_and_matches_the_direct_engine() {
+        let (engine, agents) = ring(12);
+        let server = Server::start(engine.clone(), config(2));
+        for &agent in &agents {
+            let response = server.submit(agent, 5).unwrap().wait().unwrap();
+            assert_eq!(*response.recommendations, engine.recommend(agent, 5).unwrap());
+            assert_eq!(response.epoch, 1);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.served, 12);
+        assert_eq!(stats.shed(), 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let (engine, agents) = ring(6);
+        let server = Server::start(engine, config(1));
+        let first = server.submit(agents[0], 5).unwrap().wait().unwrap();
+        assert!(!first.cache_hit);
+        let second = server.submit(agents[0], 5).unwrap().wait().unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(*first.recommendations, *second.recommendations);
+        let cache = server.cache_stats();
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn admission_control_sheds_with_a_typed_error() {
+        let (engine, agents) = ring(6);
+        // Zero workers: nothing drains, so the third push must be refused
+        // deterministically.
+        let server = Server::start(
+            engine,
+            ServeConfig { workers: 0, queue_capacity: 2, ..ServeConfig::default() },
+        );
+        let a = server.submit(agents[0], 5).unwrap();
+        let b = server.submit(agents[1], 5).unwrap();
+        match server.submit(agents[2], 5) {
+            Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 2),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.shed_overload, 1);
+        // Shutdown answers the queued-but-never-served requests.
+        let stats = server.shutdown();
+        assert_eq!(stats.shed_overload, 1);
+        assert_eq!(a.wait(), Err(ServeError::ShuttingDown));
+        assert_eq!(b.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn stale_queued_requests_are_shed_at_dequeue() {
+        let (engine, agents) = ring(6);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(8),
+            switch: SnapshotSwitch::new(engine.clone()),
+            cache: RecCache::new(16, 2),
+            clock: TickClock::new(),
+            batch_size: 4,
+            stats: StatCells::default(),
+        });
+        // Queue two requests with deadlines at tick 0 and tick 5, then
+        // advance to tick 3 before any worker runs: exactly one is stale.
+        let (tx1, rx1) = mpsc::channel();
+        let (tx2, rx2) = mpsc::channel();
+        shared
+            .queue
+            .push(Request { agent: agents[0], n: 5, deadline: Some(0), responder: tx1 })
+            .unwrap();
+        shared
+            .queue
+            .push(Request { agent: agents[1], n: 5, deadline: Some(5), responder: tx2 })
+            .unwrap();
+        shared.clock.advance(3);
+        shared.queue.close();
+        worker_loop(&shared);
+        assert_eq!(
+            rx1.recv().unwrap(),
+            Err(ServeError::DeadlineExceeded { deadline: 0, now: 3 })
+        );
+        let ok = rx2.recv().unwrap().unwrap();
+        assert_eq!(*ok.recommendations, engine.recommend(agents[1], 5).unwrap());
+        assert_eq!(shared.stats.shed_deadline.load(Ordering::Relaxed), 1);
+        assert_eq!(shared.stats.served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn engine_errors_come_back_typed() {
+        let (engine, _) = ring(4);
+        let server = Server::start(engine, config(1));
+        let bogus = AgentId::from_index(999);
+        let result = server.submit(bogus, 5).unwrap().wait();
+        assert!(matches!(result, Err(ServeError::Engine(_))), "{result:?}");
+        assert_eq!(server.stats().failed, 1);
+    }
+
+    #[test]
+    fn publish_swaps_epoch_and_invalidates_the_cache() {
+        let (engine, agents) = ring(8);
+        let server = Server::start(engine.clone(), config(2));
+        let before = server.submit(agents[0], 5).unwrap().wait().unwrap();
+        assert_eq!(before.epoch, 1);
+
+        let (engine2, _) = ring(8);
+        assert_eq!(server.publish(engine2.clone()), 2);
+        let after = server.submit(agents[0], 5).unwrap().wait().unwrap();
+        assert_eq!(after.epoch, 2);
+        assert!(!after.cache_hit, "epoch 1 entries must not answer epoch 2");
+        assert_eq!(*after.recommendations, engine2.recommend(agents[0], 5).unwrap());
+        assert!(server.cache_stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn drop_shuts_down_without_hanging() {
+        let (engine, agents) = ring(6);
+        let server = Server::start(engine, config(4));
+        for &agent in &agents {
+            let _ = server.submit(agent, 3);
+        }
+        drop(server); // must join cleanly
+    }
+}

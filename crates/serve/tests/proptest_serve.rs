@@ -1,0 +1,133 @@
+//! Property tests for the serving layer's two load-bearing invariants:
+//!
+//! 1. the sharded LRU never holds more entries than its capacity, whatever
+//!    the operation sequence;
+//! 2. an entry computed against an old snapshot generation is never served
+//!    after a swap — lookups keyed by the current epoch only ever see
+//!    values inserted at that epoch.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use semrec_core::{AgentId, ProductId, Recommendation};
+use semrec_serve::{BoundedQueue, PushRefused, RecCache};
+
+/// A recommendation list "stamped" with the epoch it was computed at, so a
+/// cross-epoch leak is detectable from the value alone.
+fn stamped(epoch: u64) -> Arc<Vec<Recommendation>> {
+    Arc::new(vec![Recommendation {
+        product: ProductId::from_index(0),
+        score: epoch as f64,
+        voters: 1,
+    }])
+}
+
+proptest! {
+    #[test]
+    /// However the key space is hammered, the cache never exceeds its
+    /// effective capacity (per-shard budget × shards) and the disabled
+    /// cache never holds anything.
+    fn lru_never_exceeds_capacity(
+        capacity in 0usize..12,
+        shards in 1usize..5,
+        ops in prop::collection::vec(
+            (0u64..3, 0usize..24, 1usize..4, any::<bool>()),
+            1..120,
+        ),
+    ) {
+        let cache = RecCache::new(capacity, shards);
+        for (epoch, agent, n, is_insert) in ops {
+            let key = (epoch, AgentId::from_index(agent), n);
+            if is_insert {
+                cache.insert(key, stamped(epoch));
+            } else if let Some(hit) = cache.get(&key) {
+                prop_assert_eq!(hit[0].score, epoch as f64);
+            }
+            prop_assert!(
+                cache.len() <= cache.capacity(),
+                "{} entries > capacity {}", cache.len(), cache.capacity()
+            );
+            if capacity == 0 {
+                prop_assert!(cache.is_empty());
+            }
+        }
+        // Accounting sanity: every eviction and invalidation corresponds to
+        // an insert that is no longer resident.
+        let stats = cache.stats();
+        prop_assert!(stats.evictions as usize + cache.len() <= 120);
+    }
+
+    #[test]
+    /// Swap safety: whatever interleaving of inserts, publishes, and
+    /// lookups happens, a lookup under the current epoch never returns a
+    /// value computed at an older epoch — and after `invalidate_before`,
+    /// no pre-swap entry remains resident at all.
+    fn no_stale_epoch_survives_a_swap(
+        capacity in 1usize..16,
+        shards in 1usize..4,
+        ops in prop::collection::vec((0usize..24, 1usize..4, 0u8..8), 1..160),
+    ) {
+        let cache = RecCache::new(capacity, shards);
+        let mut epoch = 1u64;
+        for (agent, n, action) in ops {
+            let key = (epoch, AgentId::from_index(agent), n);
+            match action {
+                // Swap: the next generation arrives, old entries die.
+                0 => {
+                    epoch += 1;
+                    cache.invalidate_before(epoch);
+                }
+                // Lookup at the current epoch: any hit must carry the
+                // current generation's stamp.
+                1..=3 => {
+                    if let Some(hit) = cache.get(&key) {
+                        prop_assert_eq!(
+                            hit[0].score, epoch as f64,
+                            "epoch {} lookup returned a stale generation", epoch
+                        );
+                    }
+                }
+                // Insert at the current epoch.
+                _ => cache.insert(key, stamped(epoch)),
+            }
+        }
+    }
+
+    #[test]
+    /// The queue admits at most `capacity` items, refuses the rest with a
+    /// typed rejection carrying the observed depth, and hands back exactly
+    /// what it admitted, in FIFO order.
+    fn queue_admission_is_exact(
+        capacity in 1usize..10,
+        pushes in 0usize..25,
+    ) {
+        let queue = BoundedQueue::new(capacity);
+        let mut admitted = Vec::new();
+        for i in 0..pushes {
+            match queue.push(i) {
+                Ok(depth) => {
+                    admitted.push(i);
+                    prop_assert!(depth <= capacity);
+                }
+                Err((item, PushRefused::Full { depth })) => {
+                    prop_assert_eq!(item, i);
+                    prop_assert_eq!(depth, capacity);
+                }
+                Err((_, PushRefused::Closed)) => unreachable!("queue never closed"),
+            }
+        }
+        prop_assert_eq!(admitted.len(), pushes.min(capacity));
+        prop_assert_eq!(queue.len(), admitted.len());
+        queue.close();
+        let mut drained = Vec::new();
+        loop {
+            let batch = queue.drain(3);
+            if batch.is_empty() {
+                break;
+            }
+            drained.extend(batch);
+        }
+        prop_assert_eq!(drained, admitted);
+    }
+}

@@ -9,11 +9,13 @@
 //! semrec inspect   --data ./world
 //! semrec trust     --data ./world --agent http://community.example.org/agents/0#me
 //! semrec recommend --data ./world --agent http://community.example.org/agents/0#me --top 10
+//! semrec serve-bench --scale small --seed 42 --workers 4 --clients 8
 //! ```
 
 use std::path::{Path, PathBuf};
 
 use semrec::core::{Community, Recommender, RecommenderConfig};
+use semrec::serve::{run_load, LoadGenConfig, ServeConfig, Server};
 use semrec::datagen::community::{generate_community, CommunityGenConfig};
 use semrec::eval::Table;
 use semrec::trust::appleseed::{appleseed, AppleseedParams};
@@ -32,6 +34,7 @@ fn main() {
         "inspect" => inspect(&opts),
         "trust" => trust(&opts),
         "recommend" => recommend(&opts),
+        "serve-bench" => serve_bench(&opts),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -45,6 +48,11 @@ struct Options {
     agent: Option<String>,
     top: usize,
     diversify: Option<f64>,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    queue: usize,
+    cache: usize,
 }
 
 impl Options {
@@ -58,6 +66,11 @@ impl Options {
             agent: None,
             top: 10,
             diversify: None,
+            workers: 2,
+            clients: 4,
+            requests: 100,
+            queue: 1024,
+            cache: 4096,
         };
         let mut i = 0;
         while i < args.len() {
@@ -77,6 +90,21 @@ impl Options {
                     opts.diversify =
                         Some(value(&mut i).parse().unwrap_or_else(|_| usage("bad theta")))
                 }
+                "--workers" => {
+                    opts.workers = value(&mut i).parse().unwrap_or_else(|_| usage("bad workers"))
+                }
+                "--clients" => {
+                    opts.clients = value(&mut i).parse().unwrap_or_else(|_| usage("bad clients"))
+                }
+                "--requests" => {
+                    opts.requests = value(&mut i).parse().unwrap_or_else(|_| usage("bad requests"))
+                }
+                "--queue" => {
+                    opts.queue = value(&mut i).parse().unwrap_or_else(|_| usage("bad queue"))
+                }
+                "--cache" => {
+                    opts.cache = value(&mut i).parse().unwrap_or_else(|_| usage("bad cache"))
+                }
                 other => usage(&format!("unknown option `{other}`")),
             }
             i += 1;
@@ -92,6 +120,10 @@ fn usage(reason: &str) -> ! {
     eprintln!("  inspect   --data DIR");
     eprintln!("  trust     --data DIR --agent URI [--top N]");
     eprintln!("  recommend --data DIR --agent URI [--top N] [--diversify THETA]");
+    eprintln!(
+        "  serve-bench --scale small|medium|paper --seed N [--workers N] [--clients N]\n\
+         \x20             [--requests N] [--queue N] [--cache N] [--top N]"
+    );
     std::process::exit(2);
 }
 
@@ -284,5 +316,56 @@ fn recommend(opts: &Options) {
             rec.voters.to_string(),
         ]);
     }
+    println!("{}", table.render());
+}
+
+fn serve_bench(opts: &Options) {
+    let config = match opts.scale.as_str() {
+        "small" => CommunityGenConfig::small(opts.seed),
+        "medium" => CommunityGenConfig::medium(opts.seed),
+        "paper" => CommunityGenConfig::paper_scale(opts.seed),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    println!(
+        "Generating {} community (seed {}) and serving it with {} worker(s)…",
+        opts.scale, opts.seed, opts.workers
+    );
+    let community = generate_community(&config).community;
+    let panel: Vec<semrec::AgentId> = community.agents().take(64).collect();
+    let engine = Recommender::new(community, RecommenderConfig::default());
+
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            workers: opts.workers,
+            queue_capacity: opts.queue,
+            cache_capacity: opts.cache,
+            ..ServeConfig::default()
+        },
+    );
+    let report = run_load(
+        &server,
+        &panel,
+        &LoadGenConfig {
+            clients: opts.clients,
+            requests_per_client: opts.requests,
+            top_n: opts.top,
+            seed: opts.seed,
+            ..LoadGenConfig::default()
+        },
+    );
+
+    let mut table = Table::new(["measure", "value"]);
+    table.row(["requests attempted".to_string(), report.attempts.to_string()]);
+    table.row(["served".to_string(), report.served.to_string()]);
+    table.row(["shed (overload)".to_string(), report.shed_overload.to_string()]);
+    table.row(["shed (deadline)".to_string(), report.shed_deadline.to_string()]);
+    table.row(["failed".to_string(), report.failed.to_string()]);
+    table.row(["throughput (req/s)".to_string(), format!("{:.0}", report.throughput())]);
+    table.row(["latency p50 (ms)".to_string(), format!("{:.3}", report.latency.p50 * 1e3)]);
+    table.row(["latency p95 (ms)".to_string(), format!("{:.3}", report.latency.p95 * 1e3)]);
+    table.row(["latency p99 (ms)".to_string(), format!("{:.3}", report.latency.p99 * 1e3)]);
+    table.row(["cache hit rate".to_string(), format!("{:.3}", report.cache_hit_rate())]);
+    table.row(["snapshot epoch".to_string(), server.epoch().to_string()]);
     println!("{}", table.render());
 }

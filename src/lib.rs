@@ -18,6 +18,7 @@
 //! | [`datagen`] | `semrec-datagen` | §4.1-scale synthetic communities |
 //! | [`eval`] | `semrec-eval` | splits, metrics, baselines, tables |
 //! | [`obs`] | `semrec-obs` | metrics registry, stage spans, event observers |
+//! | [`serve`] | `semrec-serve` | concurrent serving: snapshot swap, admission control, batching |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -30,6 +31,7 @@ pub use semrec_eval as eval;
 pub use semrec_obs as obs;
 pub use semrec_profiles as profiles;
 pub use semrec_rdf as rdf;
+pub use semrec_serve as serve;
 pub use semrec_taxonomy as taxonomy;
 pub use semrec_trust as trust;
 pub use semrec_web as web;

@@ -187,6 +187,45 @@ fn observers_see_pipeline_span_events() {
 }
 
 #[test]
+fn serving_metrics_do_not_disturb_engine_goldens() {
+    let _serial = lock();
+    let (recommender, agents) = community();
+    obs::global().reset();
+
+    // The golden reference: one direct traced run.
+    let (direct, trace) = recommender.recommend_traced(agents[0], 10).unwrap();
+
+    // Serve the same request through a single-worker, cache-less server.
+    // Its serve.* counters land in the same global registry the engine
+    // goldens read from — they must not disturb them.
+    let server = semrec::serve::Server::start(
+        recommender.clone(),
+        semrec::serve::ServeConfig { workers: 1, cache_capacity: 0, ..Default::default() },
+    );
+    let response = server.submit(agents[0], 10).unwrap().wait().unwrap();
+    assert_eq!(*response.recommendations, direct, "served must equal direct");
+    drop(server);
+
+    let snapshot = obs::global().snapshot();
+    assert!(snapshot.counters["serve.requests.served"] >= 1);
+    // The serve.* namespace is disjoint from the engine metrics: filtering
+    // it away leaves exactly the per-run engine view the goldens compare.
+    let engine_view = snapshot.without_prefix("serve.");
+    assert!(engine_view.counters.keys().all(|name| !name.starts_with("serve.")));
+    assert!(engine_view.histograms.keys().all(|name| !name.starts_with("serve.")));
+    assert!(engine_view.counters.keys().any(|name| name.starts_with("engine.")));
+    assert_eq!(engine_view.counters["engine.runs"], 2, "direct run + served run");
+
+    // from_registry reconstructs the most recent run — the served one,
+    // which targeted the same agent, so the trace values are unchanged.
+    let view = PipelineTrace::from_registry(obs::global());
+    assert_eq!(view.neighborhood_size, trace.neighborhood_size);
+    assert_eq!(view.trust_iterations, trace.trust_iterations);
+    assert_eq!(view.nodes_explored, trace.nodes_explored);
+    assert_eq!(view.effective_peers, trace.effective_peers);
+}
+
+#[test]
 fn crawl_and_store_counters_track_a_publish_fetch_cycle() {
     let _serial = lock();
     let (recommender, _) = community();

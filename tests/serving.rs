@@ -1,0 +1,129 @@
+//! End-to-end guarantees of the serving layer (`semrec-serve`), pinned at
+//! the workspace level against the real engine:
+//!
+//! 1. **Determinism** — recommendations served through the pool are
+//!    byte-identical to direct `Recommender::recommend` calls, whatever the
+//!    worker count, and whether they came from the engine or the cache.
+//! 2. **Hot swap** — publishing a new snapshot mid-load loses no in-flight
+//!    request, routes every post-publish request to the new generation,
+//!    and lets the old generation's model drop with its last reader.
+//! 3. **Admission control** — at capacity the server sheds with a typed
+//!    `Overloaded` error instead of queuing without bound, and shutdown
+//!    answers still-queued requests instead of dropping them.
+
+use std::sync::Arc;
+
+use semrec::core::{Recommender, RecommenderConfig};
+use semrec::serve::{ServeConfig, ServeError, Server};
+use semrec::taxonomy::fixtures::example1;
+use semrec::{AgentId, Community};
+
+/// A ring community: agent i trusts agent i+1 and rates one product.
+fn ring(n: usize) -> (Recommender, Vec<AgentId>) {
+    let e = example1();
+    let products: Vec<_> = e.catalog.iter().collect();
+    let mut c = Community::new(e.fig.taxonomy, e.catalog);
+    let agents: Vec<AgentId> =
+        (0..n).map(|i| c.add_agent(format!("http://ex.org/u{i}")).unwrap()).collect();
+    for i in 0..n {
+        c.trust.set_trust(agents[i], agents[(i + 1) % n], 0.9).unwrap();
+        c.set_rating(agents[i], products[i % 4], 1.0).unwrap();
+    }
+    (Recommender::new(c, RecommenderConfig::default()), agents)
+}
+
+#[test]
+fn served_recommendations_are_byte_identical_to_direct_calls() {
+    let (engine, agents) = ring(48);
+    let direct: Vec<_> = agents.iter().map(|&a| engine.recommend(a, 10).unwrap()).collect();
+
+    for workers in [1, 2, 8] {
+        let server =
+            Server::start(engine.clone(), ServeConfig { workers, ..ServeConfig::default() });
+        // First pass: every answer computed by the engine.
+        let tickets: Vec<_> = agents.iter().map(|&a| server.submit(a, 10).unwrap()).collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().unwrap();
+            assert_eq!(
+                *response.recommendations, direct[i],
+                "worker count {workers} must not change agent {i}'s list"
+            );
+            assert_eq!(response.epoch, 1);
+        }
+        // Second pass: same panel again — cache hits must be equally exact.
+        let tickets: Vec<_> = agents.iter().map(|&a| server.submit(a, 10).unwrap()).collect();
+        let mut hits = 0;
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().unwrap();
+            assert_eq!(*response.recommendations, direct[i]);
+            hits += response.cache_hit as u64;
+        }
+        assert!(hits > 0, "a warm cache must answer repeats");
+    }
+}
+
+#[test]
+fn snapshot_swap_mid_load_loses_nothing_and_retires_the_old_model() {
+    let (engine, agents) = ring(32);
+    let old_model = Arc::downgrade(&engine.shared());
+    let server =
+        Server::start(engine.clone(), ServeConfig { workers: 2, ..ServeConfig::default() });
+
+    // A wave in flight, then a publish racing the workers.
+    let first: Vec<_> = agents.iter().map(|&a| server.submit(a, 10).unwrap()).collect();
+    let (next_engine, _) = ring(32);
+    let new_epoch = server.publish(next_engine);
+    assert_eq!(new_epoch, 2);
+    let second: Vec<_> = agents.iter().map(|&a| server.submit(a, 10).unwrap()).collect();
+
+    // Zero loss: every first-wave ticket resolves to a recommendation list,
+    // served by whichever generation its batch pinned.
+    for ticket in first {
+        let response = ticket.wait().unwrap();
+        assert!(response.epoch == 1 || response.epoch == new_epoch);
+    }
+    // Everything submitted after publish() returned sees the new epoch.
+    for ticket in second {
+        assert_eq!(ticket.wait().unwrap().epoch, new_epoch);
+    }
+
+    // The old generation's model drops once its last reader finishes. The
+    // local `engine` handle is ours; after dropping it, only a worker still
+    // mid-batch could pin the old snapshot, and only momentarily.
+    drop(engine);
+    let mut retired = false;
+    for _ in 0..500 {
+        if old_model.upgrade().is_none() {
+            retired = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(retired, "the pre-swap model must drop with its last reader");
+    drop(server);
+}
+
+#[test]
+fn admission_control_refuses_deterministically_and_shutdown_answers() {
+    let (engine, agents) = ring(8);
+    // Zero workers: nothing drains, so admission behavior is exact.
+    let server = Server::start(
+        engine,
+        ServeConfig { workers: 0, queue_capacity: 3, ..ServeConfig::default() },
+    );
+
+    let queued: Vec<_> = (0..3).map(|_| server.submit(agents[0], 5).unwrap()).collect();
+    match server.submit(agents[0], 5) {
+        Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 3),
+        other => panic!("4th submission into a 3-deep queue must shed, got {other:?}"),
+    }
+    assert_eq!(server.queue_depth(), 3);
+
+    // Shutdown answers the still-queued requests rather than dropping them.
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.served, 0, "no workers ran, so nothing was served");
+    for ticket in queued {
+        assert!(matches!(ticket.wait(), Err(ServeError::ShuttingDown)));
+    }
+}
