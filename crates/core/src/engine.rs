@@ -129,6 +129,41 @@ impl SharedModel {
     pub fn source_health(&self) -> &SourceHealth {
         &self.source_health
     }
+
+    /// Produces the next model generation from `next` incrementally:
+    /// profiles of agents outside `delta` are shared with this generation
+    /// by `Arc` clone, only dirty ones are recomputed — O(delta) profile
+    /// work instead of a full [`SharedModel::new`] rebuild.
+    ///
+    /// Byte-identity contract: given a sound `delta` (every URI whose
+    /// rating set differs is listed in `ratings_changed`), the returned
+    /// model answers every query byte-identically to
+    /// `SharedModel::new(next, *self.config())` with the same health
+    /// attached — which is what lets the serving layer carry clean cache
+    /// entries across the swap.
+    ///
+    /// Bumps the `model.profiles.reused` / `model.profiles.recomputed`
+    /// counters.
+    pub fn advance(
+        &self,
+        next: Community,
+        delta: &crate::delta::ModelDelta,
+        source_health: SourceHealth,
+    ) -> (SharedModel, crate::delta::AdvanceStats) {
+        let _span = semrec_obs::span("model.advance");
+        let dirty: std::collections::HashSet<&str> =
+            delta.ratings_changed.iter().map(String::as_str).collect();
+        let (profiles, stats) = self.profiles.advance(&self.community, &next, &dirty);
+        semrec_obs::counter("model.profiles.reused").add(stats.reused as u64);
+        semrec_obs::counter("model.profiles.recomputed").add(stats.recomputed as u64);
+        let model = SharedModel {
+            community: next,
+            profiles,
+            config: self.config,
+            source_health,
+        };
+        (model, stats)
+    }
 }
 
 /// The recommender engine: a community plus materialized profiles.
@@ -186,6 +221,18 @@ impl Recommender {
     /// The active configuration.
     pub fn config(&self) -> &RecommenderConfig {
         self.model.config()
+    }
+
+    /// Incrementally derives the engine for the next community generation —
+    /// see [`SharedModel::advance`].
+    pub fn advance(
+        &self,
+        next: Community,
+        delta: &crate::delta::ModelDelta,
+        source_health: SourceHealth,
+    ) -> (Recommender, crate::delta::AdvanceStats) {
+        let (model, stats) = self.model.advance(next, delta, source_health);
+        (Recommender { model: Arc::new(model) }, stats)
     }
 
     /// Computes the synthesized peer weights for a target agent —
@@ -388,6 +435,28 @@ mod tests {
             !shared_before.source_health().is_degraded(),
             "mutating a shared model must not leak into other owners"
         );
+    }
+
+    #[test]
+    fn advance_is_byte_identical_to_a_full_rebuild() {
+        let (rec, agents, products) = setup();
+        let mut next = rec.community().clone();
+        next.set_rating(agents[1], products[2], 0.4).unwrap();
+        let delta = crate::delta::ModelDelta {
+            ratings_changed: vec!["http://ex.org/bob".to_owned()],
+            trust_changed: Vec::new(),
+        };
+        let (incremental, stats) = rec.advance(next.clone(), &delta, SourceHealth::default());
+        assert_eq!(stats.recomputed, 1);
+        assert_eq!(stats.reused, 3);
+        let full = Recommender::new(next, *rec.config());
+        for &a in &agents {
+            assert_eq!(
+                incremental.recommend(a, 10).unwrap(),
+                full.recommend(a, 10).unwrap(),
+                "incremental and full rebuild must answer identically"
+            );
+        }
     }
 
     #[test]

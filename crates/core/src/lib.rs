@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod delta;
 pub mod diversify;
 pub mod engine;
 pub mod explain;
@@ -51,6 +52,7 @@ pub mod recommend;
 pub mod synthesis;
 
 pub use batch::recommend_batch;
+pub use delta::{AdvanceStats, ModelDelta, SwapPlan};
 pub use engine::{PipelineTrace, Recommender, RecommenderConfig, SharedModel};
 pub use explain::{Explanation, Voter};
 pub use error::{CoreError, Result};

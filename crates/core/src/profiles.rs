@@ -7,10 +7,14 @@
 //! all recommendation computations locally"); the store is the local cache
 //! of that computation.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use semrec_profiles::generation::{generate_profile, ProfileParams};
 use semrec_profiles::{similarity, ProfileVector};
 use semrec_trust::AgentId;
 
+use crate::delta::AdvanceStats;
 use crate::model::Community;
 
 /// Which similarity measure the engine uses over profile vectors (§3.3).
@@ -34,9 +38,15 @@ impl SimilarityMeasure {
 }
 
 /// Materialized taxonomy profiles for every agent of a community.
+///
+/// Profiles are stored behind per-agent `Arc`s: cloning the store (or
+/// [`advance`](ProfileStore::advance)-ing it to the next model generation)
+/// copies pointers, not vectors, so an incremental refresh pays O(delta)
+/// for the profiles it actually recomputes and O(n) pointer bumps for the
+/// rest.
 #[derive(Clone, Debug)]
 pub struct ProfileStore {
-    profiles: Vec<ProfileVector>,
+    profiles: Vec<Arc<ProfileVector>>,
     params: ProfileParams,
 }
 
@@ -46,15 +56,60 @@ impl ProfileStore {
         let profiles = community
             .agents()
             .map(|a| {
-                generate_profile(
+                Arc::new(generate_profile(
                     &community.taxonomy,
                     &community.catalog,
                     community.ratings_of(a),
                     params,
-                )
+                ))
             })
             .collect();
         ProfileStore { profiles, params: *params }
+    }
+
+    /// Derives the store for the next community generation, recomputing
+    /// only the profiles of agents whose URI is in `dirty` and sharing
+    /// every other profile with `self` by `Arc` clone.
+    ///
+    /// `previous` must be the community this store was built from. An agent
+    /// is reused only when it exists in both generations *and* is not
+    /// dirty — agents new to `next` (including former dangling trustees
+    /// whose ratings just appeared) are always computed fresh. The caller
+    /// is responsible for `dirty` being sound: it must contain every URI
+    /// whose rating set differs between the generations, or the returned
+    /// store silently diverges from [`ProfileStore::build`] on `next`.
+    pub fn advance(
+        &self,
+        previous: &Community,
+        next: &Community,
+        dirty: &HashSet<&str>,
+    ) -> (ProfileStore, AdvanceStats) {
+        let mut stats = AdvanceStats::default();
+        let profiles = next
+            .agents()
+            .map(|a| {
+                let uri = &next.agent(a).expect("iterated id").uri;
+                if !dirty.contains(uri.as_str()) {
+                    if let Some(old) = previous.agent_by_uri(uri) {
+                        debug_assert_eq!(
+                            previous.ratings_of(old),
+                            next.ratings_of(a),
+                            "clean agent {uri} has differing ratings: unsound dirty set"
+                        );
+                        stats.reused += 1;
+                        return Arc::clone(&self.profiles[old.index()]);
+                    }
+                }
+                stats.recomputed += 1;
+                Arc::new(generate_profile(
+                    &next.taxonomy,
+                    &next.catalog,
+                    next.ratings_of(a),
+                    &self.params,
+                ))
+            })
+            .collect();
+        (ProfileStore { profiles, params: self.params }, stats)
     }
 
     /// The profile of an agent.
@@ -79,12 +134,21 @@ impl ProfileStore {
 
     /// Recomputes a single agent's profile (after their ratings changed).
     pub fn refresh(&mut self, community: &Community, agent: AgentId) {
-        self.profiles[agent.index()] = generate_profile(
+        self.profiles[agent.index()] = Arc::new(generate_profile(
             &community.taxonomy,
             &community.catalog,
             community.ratings_of(agent),
             &self.params,
-        );
+        ));
+    }
+
+    /// True when two stores share the same `Arc` for this agent slot —
+    /// i.e. the profile was carried across a generation, not recomputed.
+    pub fn shares_profile_with(&self, other: &ProfileStore, agent: AgentId) -> bool {
+        match (self.profiles.get(agent.index()), other.profiles.get(agent.index())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Similarity between two agents under the given measure.
@@ -158,6 +222,78 @@ mod tests {
             .similarity(SimilarityMeasure::Cosine, agents[0], agents[1])
             .unwrap();
         assert!(after > before, "similarity must rise: {before} → {after}");
+    }
+
+    #[test]
+    fn refresh_tracks_rating_removal() {
+        // The profile must shrink back: removing the rating again restores
+        // the exact pre-rating profile, not some residue.
+        let (mut c, products) = setup();
+        let agents: Vec<_> = c.agents().collect();
+        let mut store = ProfileStore::build(&c, &ProfileParams::default());
+        let before = store.profile(agents[0]).clone();
+        c.set_rating(agents[0], products[3], 0.7).unwrap();
+        store.refresh(&c, agents[0]);
+        assert_ne!(
+            store.profile(agents[0]),
+            &before,
+            "adding a rating must move the profile"
+        );
+        assert!(c.remove_rating(agents[0], products[3]));
+        store.refresh(&c, agents[0]);
+        assert_eq!(
+            store.profile(agents[0]),
+            &before,
+            "removing the rating must shrink the profile back"
+        );
+    }
+
+    #[test]
+    fn trust_only_change_does_not_dirty_profiles() {
+        // A trust-edge-only delta leaves every profile clean: advance with
+        // an empty dirty set must reuse all profiles by pointer.
+        let (mut c, _) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        let previous = c.clone();
+        let agents: Vec<_> = c.agents().collect();
+        c.trust.set_trust(agents[0], agents[1], 0.9).unwrap();
+        let (next, stats) = store.advance(&previous, &c, &HashSet::new());
+        assert_eq!(stats, AdvanceStats { recomputed: 0, reused: 2 });
+        for &a in &agents {
+            assert!(next.shares_profile_with(&store, a), "profile must be shared, not copied");
+        }
+    }
+
+    #[test]
+    fn advance_recomputes_exactly_the_dirty_set() {
+        let (mut c, products) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        let previous = c.clone();
+        let agents: Vec<_> = c.agents().collect();
+        c.set_rating(agents[1], products[0], 0.5).unwrap();
+        let dirty: HashSet<&str> = ["http://ex.org/bob"].into_iter().collect();
+        let (next, stats) = store.advance(&previous, &c, &dirty);
+        assert_eq!(stats, AdvanceStats { recomputed: 1, reused: 1 });
+        assert!(next.shares_profile_with(&store, agents[0]));
+        assert!(!next.shares_profile_with(&store, agents[1]));
+        // The recomputed profile is byte-identical to a from-scratch build.
+        let fresh = ProfileStore::build(&c, &ProfileParams::default());
+        for &a in &agents {
+            assert_eq!(next.profile(a), fresh.profile(a));
+        }
+    }
+
+    #[test]
+    fn advance_computes_new_agents_fresh() {
+        let (mut c, products) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        let previous = c.clone();
+        let carol = c.add_agent("http://ex.org/carol").unwrap();
+        c.set_rating(carol, products[2], 1.0).unwrap();
+        let (next, stats) = store.advance(&previous, &c, &HashSet::new());
+        assert_eq!(stats, AdvanceStats { recomputed: 1, reused: 2 });
+        let fresh = ProfileStore::build(&c, &ProfileParams::default());
+        assert_eq!(next.profile(carol), fresh.profile(carol));
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries dropped wholesale by epoch invalidation.
     pub invalidated: u64,
+    /// Entries carried across a snapshot swap (re-keyed to the new epoch
+    /// instead of dropped — see [`RecCache::carry_into`]).
+    pub carried: u64,
 }
 
 #[derive(Debug)]
@@ -63,6 +66,7 @@ pub struct RecCache {
     misses: [Counter; 2],
     evictions: [Counter; 2],
     invalidated: [Counter; 2],
+    carried: [Counter; 2],
 }
 
 impl RecCache {
@@ -78,6 +82,7 @@ impl RecCache {
             misses: [Counter::default(), global("serve.cache.misses")],
             evictions: [Counter::default(), global("serve.cache.evictions")],
             invalidated: [Counter::default(), global("serve.cache.invalidated")],
+            carried: [Counter::default(), global("serve.cache.carried")],
         }
     }
 
@@ -109,6 +114,7 @@ impl RecCache {
             misses: self.misses[0].get(),
             evictions: self.evictions[0].get(),
             invalidated: self.invalidated[0].get(),
+            carried: self.carried[0].get(),
         }
     }
 
@@ -181,6 +187,57 @@ impl RecCache {
             Self::bump(&self.evictions);
         }
         shard.entries.push(Entry { key, value, stamp });
+    }
+
+    /// Selectively carries the previous generation across a snapshot swap:
+    /// entries of epoch `new_epoch - 1` whose agent passes `keep` are
+    /// re-keyed to `new_epoch` in place; everything else older than
+    /// `new_epoch` is dropped. Returns `(carried, dropped)`.
+    ///
+    /// Soundness is the *caller's* contract (see `SwapPlan`): `keep` must
+    /// only accept agents whose recommendations are byte-identical on the
+    /// new snapshot, and the agent-id mapping must be stable between the
+    /// two generations — otherwise a re-keyed entry would answer for the
+    /// wrong agent. Because the shard function ignores the epoch, the
+    /// old and new key of one entry live in the same shard, so re-keying
+    /// never migrates entries and a raced insert under the new epoch is
+    /// detected and resolved in favour of the fresh entry.
+    pub fn carry_into(&self, new_epoch: u64, keep: &dyn Fn(AgentId) -> bool) -> (usize, usize) {
+        let old_epoch = new_epoch.saturating_sub(1);
+        let mut carried = 0;
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let mut fresh: Vec<CacheKey> = shard
+                .entries
+                .iter()
+                .filter(|e| e.key.0 == new_epoch)
+                .map(|e| e.key)
+                .collect();
+            let before = shard.entries.len();
+            shard.entries.retain_mut(|e| {
+                if e.key.0 >= new_epoch {
+                    return true;
+                }
+                let rekeyed = (new_epoch, e.key.1, e.key.2);
+                if e.key.0 == old_epoch && keep(e.key.1) && !fresh.contains(&rekeyed) {
+                    e.key = rekeyed;
+                    fresh.push(rekeyed);
+                    carried += 1;
+                    true
+                } else {
+                    false
+                }
+            });
+            dropped += before - shard.entries.len();
+        }
+        for _ in 0..carried {
+            Self::bump(&self.carried);
+        }
+        for _ in 0..dropped {
+            Self::bump(&self.invalidated);
+        }
+        (carried, dropped)
     }
 
     /// Drops every entry whose epoch is older than `epoch`. Called on
@@ -279,6 +336,42 @@ mod tests {
             assert!(cache.get(&key(2, agent, 10)).is_some());
         }
         assert_eq!(cache.stats().invalidated, 4);
+    }
+
+    #[test]
+    fn carry_into_rekeys_clean_entries_and_drops_the_rest() {
+        let cache = RecCache::new(32, 4);
+        for agent in 0..4 {
+            cache.insert(key(1, agent, 10), value(agent as f64));
+        }
+        // Pre-old-epoch garbage must also go.
+        cache.insert(key(0, 9, 10), value(9.0));
+        // Agents 0 and 1 are clean; 2 and 3 are dirty.
+        let (carried, dropped) = cache.carry_into(2, &|a| a.index() < 2);
+        assert_eq!(carried, 2);
+        assert_eq!(dropped, 3);
+        assert!(cache.get(&key(2, 0, 10)).is_some(), "clean entry answers on the new epoch");
+        assert_eq!(cache.get(&key(2, 1, 10)).unwrap()[0].score, 1.0);
+        assert!(cache.get(&key(2, 2, 10)).is_none(), "dirty entry must not cross the swap");
+        assert!(cache.get(&key(1, 0, 10)).is_none(), "old key is gone after re-keying");
+        assert!(cache.get(&key(0, 9, 10)).is_none() && cache.get(&key(2, 9, 10)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.carried, 2);
+        assert_eq!(stats.invalidated, 3);
+    }
+
+    #[test]
+    fn carry_into_yields_to_raced_fresh_inserts() {
+        // A worker may have already computed agent 0 against the new
+        // snapshot before the carry runs; the fresh entry must win.
+        let cache = RecCache::new(32, 1);
+        cache.insert(key(1, 0, 10), value(0.1));
+        cache.insert(key(2, 0, 10), value(0.9));
+        let (carried, dropped) = cache.carry_into(2, &|_| true);
+        assert_eq!(carried, 0, "the fresh entry already covers the key");
+        assert_eq!(dropped, 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(2, 0, 10)).unwrap()[0].score, 0.9);
     }
 
     #[test]

@@ -72,5 +72,5 @@ pub use clock::TickClock;
 pub use error::{Result, ServeError};
 pub use loadgen::{run_load, LoadGenConfig, LoadReport};
 pub use queue::{BoundedQueue, PushRefused};
-pub use server::{ServeConfig, ServeStats, ServedResponse, Server, Ticket};
+pub use server::{PublishReport, ServeConfig, ServeStats, ServedResponse, Server, Ticket};
 pub use snapshot::{ModelSnapshot, SnapshotSwitch};

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use semrec_core::{AgentId, Recommendation, Recommender};
+use semrec_core::{AgentId, Recommendation, Recommender, SwapPlan};
 
 use crate::cache::{CacheStats, RecCache};
 use crate::clock::TickClock;
@@ -63,6 +63,19 @@ impl Default for ServeConfig {
             cache_shards: 8,
         }
     }
+}
+
+/// Outcome of a [`Server::publish_delta`] swap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishReport {
+    /// The epoch the new generation was installed as.
+    pub epoch: u64,
+    /// Cache entries carried across the swap (re-keyed, still answering).
+    pub carried: usize,
+    /// Cache entries dropped (dirty, or stale generations).
+    pub invalidated: usize,
+    /// Whether the plan forced wholesale invalidation.
+    pub wholesale: bool,
 }
 
 /// A successfully served request.
@@ -223,6 +236,29 @@ impl Server {
         let epoch = self.shared.switch.publish(engine);
         self.shared.cache.invalidate_before(epoch);
         epoch
+    }
+
+    /// Delta-aware publish: installs `engine` and, instead of dropping the
+    /// whole cache, carries the previous generation's entries for agents
+    /// the [`SwapPlan`] proves clean across the swap. A wholesale plan
+    /// (membership change, or dirty fraction past the threshold) degrades
+    /// to exactly [`Server::publish`] semantics.
+    ///
+    /// The caller must have computed `plan` for precisely this transition
+    /// (the engine currently installed → `engine`); the serving invariant —
+    /// a cached answer is only served if byte-identical to an engine
+    /// recompute on the live snapshot — then holds because a carried
+    /// agent's recommendations are unchanged by construction and the id
+    /// mapping is stable whenever the plan allows carrying at all.
+    pub fn publish_delta(&self, engine: Recommender, plan: &SwapPlan) -> PublishReport {
+        let epoch = self.shared.switch.publish(engine);
+        if plan.wholesale() {
+            let invalidated = self.shared.cache.invalidate_before(epoch);
+            return PublishReport { epoch, carried: 0, invalidated, wholesale: true };
+        }
+        let (carried, invalidated) =
+            self.shared.cache.carry_into(epoch, &|agent| plan.carryable(agent));
+        PublishReport { epoch, carried, invalidated, wholesale: false }
     }
 
     /// The current snapshot epoch.
@@ -485,6 +521,89 @@ mod tests {
         assert!(!after.cache_hit, "epoch 1 entries must not answer epoch 2");
         assert_eq!(*after.recommendations, engine2.recommend(agents[0], 5).unwrap());
         assert!(server.cache_stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn publish_delta_carries_clean_entries_across_the_swap() {
+        use semrec_core::ModelDelta;
+
+        // Large enough that the 6-hop reverse closure of one change stays
+        // a minority (7 of 20 agents) and the plan is not wholesale.
+        let (engine, agents) = ring(20);
+        let server = Server::start(engine.clone(), config(1));
+        // Warm the cache for every agent on epoch 1.
+        for &agent in &agents {
+            assert!(!server.submit(agent, 5).unwrap().wait().unwrap().cache_hit);
+        }
+
+        // Next generation: agent 3 re-rates one product.
+        let mut next = engine.community().clone();
+        let products: Vec<_> = next.catalog.iter().collect();
+        next.set_rating(agents[3], products[1], -0.5).unwrap();
+        let uri = next.agent(agents[3]).unwrap().uri.clone();
+        let delta = ModelDelta { ratings_changed: vec![uri], trust_changed: Vec::new() };
+        let plan = SwapPlan::compute(
+            engine.community(),
+            &next,
+            &delta,
+            engine.config().neighborhood.appleseed.max_range,
+            SwapPlan::DEFAULT_MAX_DIRTY_FRACTION,
+        );
+        let (engine2, _) = engine.advance(next, &delta, *engine.source_health());
+
+        let report = server.publish_delta(engine2.clone(), &plan);
+        assert_eq!(report.epoch, 2);
+        assert!(!report.wholesale);
+        assert!(report.carried > 0, "clean agents must carry: {report:?}");
+        assert!(report.invalidated > 0, "dirty agents must drop: {report:?}");
+
+        // The serving invariant: every answer — carried or recomputed — is
+        // byte-identical to an engine recompute on the live snapshot.
+        for &agent in &agents {
+            let response = server.submit(agent, 5).unwrap().wait().unwrap();
+            assert_eq!(response.epoch, 2);
+            assert_eq!(
+                *response.recommendations,
+                engine2.recommend(agent, 5).unwrap(),
+                "agent {agent:?} answer must match the live snapshot"
+            );
+            assert_eq!(
+                response.cache_hit,
+                plan.carryable(agent),
+                "exactly the carried agents answer from cache"
+            );
+        }
+        assert_eq!(server.cache_stats().carried, report.carried as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wholesale_plan_degrades_to_full_invalidation() {
+        use semrec_core::ModelDelta;
+
+        let (engine, agents) = ring(4);
+        let server = Server::start(engine.clone(), config(1));
+        for &agent in &agents {
+            server.submit(agent, 5).unwrap().wait().unwrap();
+        }
+        // Membership change: a ring of 5 renumbers nothing here, but the
+        // URI↔id mapping check sees the extra agent and refuses to carry.
+        let (engine2, _) = ring(5);
+        let plan = SwapPlan::compute(
+            engine.community(),
+            engine2.community(),
+            &ModelDelta::default(),
+            engine.config().neighborhood.appleseed.max_range,
+            SwapPlan::DEFAULT_MAX_DIRTY_FRACTION,
+        );
+        assert!(plan.wholesale());
+        let report = server.publish_delta(engine2.clone(), &plan);
+        assert_eq!(report.carried, 0);
+        assert_eq!(report.invalidated, 4);
+        let response = server.submit(agents[0], 5).unwrap().wait().unwrap();
+        assert!(!response.cache_hit);
+        assert_eq!(*response.recommendations, engine2.recommend(agents[0], 5).unwrap());
+        server.shutdown();
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::collections::{HashMap, HashSet};
 use semrec_core::{Community, SourceHealth};
 use semrec_taxonomy::{Catalog, Taxonomy};
 
+use crate::delta::{AgentDiff, CrawlDelta};
 use crate::error::Error;
 use crate::extract::{extract_agents, ExtractedAgent};
 use crate::fault::{FetchError, FetchSource};
@@ -98,6 +99,9 @@ pub struct CrawlResult {
     pub breaker_transitions: Vec<(String, BreakerState)>,
     /// Typed record of every failure the crawl survived.
     pub errors: Vec<Error>,
+    /// Difference against the previous crawl, when this was a refresh
+    /// (`None` on a fresh crawl). Drives the incremental model path.
+    pub delta: Option<CrawlDelta>,
 }
 
 impl CrawlResult {
@@ -340,6 +344,11 @@ pub fn crawl_with(
         list.sort_by(|a, b| a.uri.cmp(&b.uri));
         list
     };
+    if let Some(prev) = previous {
+        let delta = CrawlDelta::between(&prev.agents, &result.agents);
+        delta.publish_metrics();
+        result.delta = Some(delta);
+    }
     result
 }
 
@@ -479,45 +488,139 @@ pub fn assemble_community(
     taxonomy: Taxonomy,
     catalog: Catalog,
 ) -> (Community, AssembleStats) {
-    let mut community = Community::new(taxonomy, catalog);
-    let mut stats = AssembleStats::default();
+    CommunityBuilder::new(agents).build(taxonomy, catalog)
+}
 
-    for agent in agents {
-        if community.agent_by_uri(&agent.uri).is_none() {
-            community.add_agent(agent.uri.clone()).expect("fresh URI");
-            stats.agents += 1;
+/// The standing crawl view a community is assembled from: the full list of
+/// extracted agents, kept sorted by URI, shared by the fresh and the
+/// incremental path.
+///
+/// A fresh crawl builds one via [`CommunityBuilder::new`]; each refresh
+/// round folds its [`CrawlDelta`] in via
+/// [`apply_delta`](CommunityBuilder::apply_delta) and rebuilds. Because
+/// *both* paths assemble through the same [`build`](CommunityBuilder::build)
+/// over the same merged agent list, the incremental community is
+/// byte-identical to a from-scratch re-assembly by construction — including
+/// agent-id numbering, which depends on registration order and would
+/// otherwise drift under membership changes.
+#[derive(Clone, Debug, Default)]
+pub struct CommunityBuilder {
+    agents: Vec<ExtractedAgent>,
+}
+
+impl CommunityBuilder {
+    /// Starts from a crawl's extracted agents (deduplicated, sorted by URI
+    /// — the order [`CrawlResult::agents`] already has).
+    pub fn new(agents: &[ExtractedAgent]) -> Self {
+        let mut agents = agents.to_vec();
+        agents.sort_by(|a, b| a.uri.cmp(&b.uri));
+        agents.dedup_by(|a, b| a.uri == b.uri);
+        CommunityBuilder { agents }
+    }
+
+    /// The current agent list, sorted by URI.
+    pub fn agents(&self) -> &[ExtractedAgent] {
+        &self.agents
+    }
+
+    /// Folds a refresh round's delta into the standing view. After this,
+    /// the list equals what the refresh crawl extracted — byte-identical to
+    /// `CommunityBuilder::new(&refresh_result.agents)`.
+    pub fn apply_delta(&mut self, delta: &CrawlDelta) {
+        for uri in &delta.removed {
+            if let Ok(pos) = self.agents.binary_search_by(|a| a.uri.as_str().cmp(uri)) {
+                self.agents.remove(pos);
+            }
+        }
+        for agent in &delta.added {
+            match self.agents.binary_search_by(|a| a.uri.as_str().cmp(&agent.uri)) {
+                Ok(pos) => self.agents[pos] = agent.clone(),
+                Err(pos) => self.agents.insert(pos, agent.clone()),
+            }
+        }
+        for diff in &delta.changed {
+            let Ok(pos) = self.agents.binary_search_by(|a| a.uri.as_str().cmp(&diff.uri))
+            else {
+                debug_assert!(false, "changed agent {} missing from standing view", diff.uri);
+                continue;
+            };
+            apply_diff(&mut self.agents[pos], diff);
         }
     }
-    // Register trustees seen only as targets.
-    for agent in agents {
-        for (trustee, _) in &agent.trust {
-            if community.agent_by_uri(trustee).is_none() {
-                community.add_agent(trustee.clone()).expect("fresh URI");
+
+    /// Assembles the community: agents in URI order, then trustees seen
+    /// only as targets in first-reference order, then trust edges and
+    /// ratings (unknown products are counted, not fatal).
+    pub fn build(&self, taxonomy: Taxonomy, catalog: Catalog) -> (Community, AssembleStats) {
+        let agents = &self.agents;
+        let mut community = Community::new(taxonomy, catalog);
+        let mut stats = AssembleStats::default();
+
+        for agent in agents {
+            if community.agent_by_uri(&agent.uri).is_none() {
+                community.add_agent(agent.uri.clone()).expect("fresh URI");
                 stats.agents += 1;
-                stats.dangling_trustees += 1;
             }
         }
-    }
-
-    for agent in agents {
-        let me = community.agent_by_uri(&agent.uri).expect("registered above");
-        for (trustee, value) in &agent.trust {
-            let peer = community.agent_by_uri(trustee).expect("registered above");
-            if me != peer && community.trust.set_trust(me, peer, *value).is_ok() {
-                stats.trust_edges += 1;
-            }
-        }
-        for (identifier, score) in &agent.ratings {
-            match community.catalog.by_identifier(identifier) {
-                Some(product) => {
-                    community.set_rating(me, product, *score).expect("validated on extract");
-                    stats.ratings += 1;
+        // Register trustees seen only as targets.
+        for agent in agents {
+            for (trustee, _) in &agent.trust {
+                if community.agent_by_uri(trustee).is_none() {
+                    community.add_agent(trustee.clone()).expect("fresh URI");
+                    stats.agents += 1;
+                    stats.dangling_trustees += 1;
                 }
-                None => stats.unknown_products += 1,
             }
         }
+
+        for agent in agents {
+            let me = community.agent_by_uri(&agent.uri).expect("registered above");
+            for (trustee, value) in &agent.trust {
+                let peer = community.agent_by_uri(trustee).expect("registered above");
+                if me != peer && community.trust.set_trust(me, peer, *value).is_ok() {
+                    stats.trust_edges += 1;
+                }
+            }
+            for (identifier, score) in &agent.ratings {
+                match community.catalog.by_identifier(identifier) {
+                    Some(product) => {
+                        community.set_rating(me, product, *score).expect("validated on extract");
+                        stats.ratings += 1;
+                    }
+                    None => stats.unknown_products += 1,
+                }
+            }
+        }
+        (community, stats)
     }
-    (community, stats)
+}
+
+/// Applies one agent's diff to their standing extraction, keeping the
+/// key-sorted order [`crate::extract::extract_agents`] guarantees.
+fn apply_diff(agent: &mut ExtractedAgent, diff: &AgentDiff) {
+    apply_pairs(&mut agent.trust, &diff.trust_set, &diff.trust_removed);
+    apply_pairs(&mut agent.ratings, &diff.ratings_set, &diff.ratings_removed);
+    if let Some(knows) = &diff.knows {
+        agent.knows = knows.clone();
+    }
+    if let Some(see_also) = &diff.see_also {
+        agent.see_also = see_also.clone();
+    }
+}
+
+/// Applies set/removed operations to a key-sorted `(key, value)` list.
+fn apply_pairs(list: &mut Vec<(String, f64)>, set: &[(String, f64)], removed: &[String]) {
+    for key in removed {
+        if let Ok(pos) = list.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            list.remove(pos);
+        }
+    }
+    for (key, value) in set {
+        match list.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+            Ok(pos) => list[pos].1 = *value,
+            Err(pos) => list.insert(pos, (key.clone(), *value)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -744,6 +847,106 @@ mod tests {
         let second = refresh(&web, &seeds, &CrawlConfig::default(), &first);
         assert_eq!(second.agents.len(), 5, "the newcomer must be discovered");
         assert_eq!(second.reused, 3, "only unchanged documents are reused");
+    }
+
+    #[test]
+    fn refresh_emits_a_typed_delta() {
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let first = crawl(&web, &seeds, &CrawlConfig::default());
+        assert!(first.delta.is_none(), "a fresh crawl has no previous view to diff");
+
+        let second = refresh(&web, &seeds, &CrawlConfig::default(), &first);
+        let delta = second.delta.as_ref().expect("refreshes always diff");
+        assert!(delta.is_empty());
+        assert_eq!(delta.unchanged, 4);
+
+        // Bob republishes with a new rating: the delta names exactly him.
+        let mut c2 = c.clone();
+        let bob = c2.agent_by_uri("http://ex.org/bob#me").unwrap();
+        let product = c2.catalog.iter().nth(3).unwrap();
+        c2.set_rating(bob, product, 0.9).unwrap();
+        web.publish(
+            "http://ex.org/bob",
+            crate::publish::homepage_turtle(&c2, bob),
+            "text/turtle",
+        );
+        let third = refresh(&web, &seeds, &CrawlConfig::default(), &second);
+        let delta = third.delta.as_ref().unwrap();
+        assert_eq!(delta.changed.len(), 1);
+        assert_eq!(delta.changed[0].uri, "http://ex.org/bob#me");
+        assert!(delta.changed[0].profile_dirty());
+        assert!(!delta.changed[0].trust_dirty());
+        assert!(delta.added.is_empty() && delta.removed.is_empty());
+        assert_eq!(delta.unchanged, 3);
+    }
+
+    #[test]
+    fn reuse_heavy_refresh_reports_full_health() {
+        // Satellite regression: version-reused documents are skipped before
+        // parsing but still count as attempted+fetched — a fully-reused
+        // refresh must not look like a near-empty, degraded source.
+        let (c, _) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let first = crawl(&web, &seeds, &CrawlConfig::default());
+        let second = refresh(&web, &seeds, &CrawlConfig::default(), &first);
+        assert_eq!(second.reused, 4, "everything is version-unchanged");
+        let health = second.health();
+        assert_eq!(health.attempted, 4);
+        assert_eq!(health.fetched, 4);
+        assert!(health.coverage() > 0.999);
+        assert!(!health.is_degraded());
+        assert_eq!(health, first.health(), "reuse must not change the health picture");
+    }
+
+    #[test]
+    fn builder_apply_delta_matches_a_fresh_view() {
+        let (mut c, agents) = chain();
+        let web = DocumentWeb::new();
+        publish_community(&c, &web);
+        let seeds = vec!["http://ex.org/alice#me".to_owned()];
+        let first = crawl(&web, &seeds, &CrawlConfig::default());
+        let mut builder = CommunityBuilder::new(&first.agents);
+
+        // A churn round touching every delta kind: bob re-rates, dave
+        // befriends a newcomer, carol's rating disappears.
+        let products: Vec<_> = c.catalog.iter().collect();
+        let bob = c.agent_by_uri("http://ex.org/bob#me").unwrap();
+        c.set_rating(bob, products[3], -0.5).unwrap();
+        let carol = c.agent_by_uri("http://ex.org/carol#me").unwrap();
+        assert!(c.remove_rating(carol, products[2]));
+        let eve = c.add_agent("http://ex.org/eve#me").unwrap();
+        c.set_rating(eve, products[0], 1.0).unwrap();
+        c.trust.set_trust(agents[3], eve, 0.7).unwrap();
+        for agent in [bob, carol, agents[3], eve] {
+            let uri = c.agent(agent).unwrap().uri.clone();
+            let homepage = uri.trim_end_matches("#me").to_owned();
+            web.publish(&homepage, crate::publish::homepage_turtle(&c, agent), "text/turtle");
+        }
+
+        let second = refresh(&web, &seeds, &CrawlConfig::default(), &first);
+        builder.apply_delta(second.delta.as_ref().unwrap());
+        assert_eq!(
+            builder.agents(),
+            &second.agents[..],
+            "delta-folded view must equal the fresh extraction byte-for-byte"
+        );
+        // And the assembled communities agree, including id numbering.
+        let (incremental, istats) =
+            builder.build(c.taxonomy.clone(), c.catalog.clone());
+        let (fresh, fstats) =
+            assemble_community(&second.agents, c.taxonomy.clone(), c.catalog.clone());
+        assert_eq!(istats, fstats);
+        assert_eq!(incremental.agent_count(), fresh.agent_count());
+        for a in fresh.agents() {
+            assert_eq!(incremental.agent(a).unwrap(), fresh.agent(a).unwrap());
+            assert_eq!(incremental.ratings_of(a), fresh.ratings_of(a));
+            assert_eq!(incremental.trust.out_edges(a), fresh.trust.out_edges(a));
+        }
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! * [`publish`] — FOAF homepages with Golbeck-style trust statements and
 //!   BLAM!-style product ratings, serialized to Turtle or 2004-era RDF/XML;
 //! * [`crawler`] — bounded-range parallel BFS crawling (with version-based
-//!   incremental [`crawler::refresh`]) plus community assembly;
+//!   incremental [`crawler::refresh`]) plus community assembly through the
+//!   [`crawler::CommunityBuilder`] shared by the fresh and delta paths;
+//! * [`delta`] — typed crawl deltas ([`delta::CrawlDelta`]): what changed
+//!   between two crawls, driving the incremental model pipeline;
 //! * [`globals`] — the globally published taxonomy and catalog as RDF
 //!   documents, losslessly extractable (§3.1's public structures);
 //! * [`fault`] — seeded fault injection ([`fault::FaultyWeb`] over a
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod crawler;
+pub mod delta;
 pub mod error;
 pub mod extract;
 pub mod fault;
@@ -53,8 +57,9 @@ pub mod weblog;
 
 pub use crawler::{
     assemble_community, crawl, crawl_resilient, crawl_with, refresh, refresh_resilient,
-    AssembleStats, CrawlConfig, CrawlResult, DocumentSnapshot,
+    AssembleStats, CommunityBuilder, CrawlConfig, CrawlResult, DocumentSnapshot,
 };
+pub use delta::{AgentDiff, CrawlDelta};
 pub use error::{Error, Result};
 pub use extract::ExtractedAgent;
 pub use fault::{FaultPlan, FaultyWeb, FetchError, FetchSource};

@@ -10,11 +10,14 @@
 //! semrec trust     --data ./world --agent http://community.example.org/agents/0#me
 //! semrec recommend --data ./world --agent http://community.example.org/agents/0#me --top 10
 //! semrec serve-bench --scale small --seed 42 --workers 4 --clients 8
+//! semrec refresh-bench --scale small --seed 42 --rounds 3 --churn 0.05
 //! ```
 
 use std::path::{Path, PathBuf};
 
-use semrec::core::{Community, Recommender, RecommenderConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semrec::core::{Community, Recommender, RecommenderConfig, SharedModel, SwapPlan};
 use semrec::serve::{run_load, LoadGenConfig, ServeConfig, Server};
 use semrec::datagen::community::{generate_community, CommunityGenConfig};
 use semrec::eval::Table;
@@ -35,6 +38,7 @@ fn main() {
         "trust" => trust(&opts),
         "recommend" => recommend(&opts),
         "serve-bench" => serve_bench(&opts),
+        "refresh-bench" => refresh_bench(&opts),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -53,6 +57,8 @@ struct Options {
     requests: usize,
     queue: usize,
     cache: usize,
+    rounds: usize,
+    churn: f64,
 }
 
 impl Options {
@@ -71,6 +77,8 @@ impl Options {
             requests: 100,
             queue: 1024,
             cache: 4096,
+            rounds: 3,
+            churn: 0.05,
         };
         let mut i = 0;
         while i < args.len() {
@@ -105,6 +113,12 @@ impl Options {
                 "--cache" => {
                     opts.cache = value(&mut i).parse().unwrap_or_else(|_| usage("bad cache"))
                 }
+                "--rounds" => {
+                    opts.rounds = value(&mut i).parse().unwrap_or_else(|_| usage("bad rounds"))
+                }
+                "--churn" => {
+                    opts.churn = value(&mut i).parse().unwrap_or_else(|_| usage("bad churn"))
+                }
                 other => usage(&format!("unknown option `{other}`")),
             }
             i += 1;
@@ -123,6 +137,10 @@ fn usage(reason: &str) -> ! {
     eprintln!(
         "  serve-bench --scale small|medium|paper --seed N [--workers N] [--clients N]\n\
          \x20             [--requests N] [--queue N] [--cache N] [--top N]"
+    );
+    eprintln!(
+        "  refresh-bench --scale small|medium|paper --seed N [--rounds N] [--churn F]\n\
+         \x20               [--workers N]"
     );
     std::process::exit(2);
 }
@@ -368,4 +386,131 @@ fn serve_bench(opts: &Options) {
     table.row(["cache hit rate".to_string(), format!("{:.3}", report.cache_hit_rate())]);
     table.row(["snapshot epoch".to_string(), server.epoch().to_string()]);
     println!("{}", table.render());
+}
+
+fn refresh_bench(opts: &Options) {
+    use semrec::web::crawler::{crawl, refresh, CommunityBuilder, CrawlConfig};
+    use semrec::web::publish::{homepage_turtle, homepage_uri, publish_community};
+    use semrec::web::store::DocumentWeb;
+
+    let mut config = match opts.scale.as_str() {
+        "small" => CommunityGenConfig::small(opts.seed),
+        "medium" => CommunityGenConfig::medium(opts.seed),
+        "paper" => CommunityGenConfig::paper_scale(opts.seed),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    // Sparse graph + tight horizon: the regime where a small delta's
+    // reverse-trust closure stays a small fraction of the community, so the
+    // swap can carry cache entries instead of invalidating wholesale.
+    config.mean_trust_edges = 2.5;
+    let engine_config = RecommenderConfig {
+        neighborhood: semrec::trust::neighborhood::NeighborhoodParams {
+            appleseed: AppleseedParams { max_range: Some(2), ..Default::default() },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let horizon = engine_config.neighborhood.appleseed.max_range;
+
+    println!(
+        "Generating {} community (seed {}), then {} refresh rounds at churn {:.2}…",
+        opts.scale, opts.seed, opts.rounds, opts.churn
+    );
+    let mut source = generate_community(&config).community;
+    let agents = source.agent_count();
+    let products: Vec<_> = source.catalog.iter().collect();
+    let seeds: Vec<String> =
+        source.agents().map(|a| source.agent(a).map(|i| i.uri.clone()).unwrap()).collect();
+
+    let web = DocumentWeb::new();
+    publish_community(&source, &web);
+    let crawl_config = CrawlConfig::default();
+    let mut previous = crawl(&web, &seeds, &crawl_config);
+    let mut builder = CommunityBuilder::new(&previous.agents);
+    let (community, _) = builder.build(source.taxonomy.clone(), source.catalog.clone());
+    let mut engine = Recommender::new(community, engine_config);
+    let panel: Vec<semrec::AgentId> = engine.community().agents().take(64).collect();
+
+    let server = Server::start(
+        engine.clone(),
+        ServeConfig { workers: opts.workers, ..ServeConfig::default() },
+    );
+    for &agent in &panel {
+        let _ = server.submit(agent, opts.top).unwrap_or_else(|e| fail(&e.to_string())).wait();
+    }
+
+    let mut table = Table::new([
+        "round", "touched", "reused", "recomp", "inc ms", "full ms", "dirty", "swap", "carried",
+        "hit rate",
+    ]);
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5eed);
+    for round in 1..=opts.rounds {
+        let republishers = ((agents as f64 * opts.churn) as usize).max(1);
+        for _ in 0..republishers {
+            let agent = semrec::AgentId::from_index(rng.random_range(0..agents));
+            let product = products[rng.random_range(0..products.len())];
+            let rating = -1.0 + 2.0 * rng.random::<f64>();
+            source.set_rating(agent, product, rating).unwrap_or_else(|e| fail(&e.to_string()));
+            let uri = source.agent(agent).map(|i| i.uri.clone()).unwrap();
+            web.publish(homepage_uri(&uri), homepage_turtle(&source, agent), "text/turtle");
+        }
+
+        let result = refresh(&web, &seeds, &crawl_config, &previous);
+        let delta = result.delta.clone().expect("refresh always diffs");
+        let model_delta = delta.model_delta();
+        let health = result.health();
+
+        let started = std::time::Instant::now();
+        builder.apply_delta(&delta);
+        let (next_community, _) = builder.build(source.taxonomy.clone(), source.catalog.clone());
+        let (next_engine, stats) = engine.advance(next_community, &model_delta, health);
+        let incremental_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = std::time::Instant::now();
+        std::hint::black_box(SharedModel::new(next_engine.community().clone(), engine_config));
+        let full_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let plan = SwapPlan::compute(
+            engine.community(),
+            next_engine.community(),
+            &model_delta,
+            horizon,
+            SwapPlan::DEFAULT_MAX_DIRTY_FRACTION,
+        );
+        let report = server.publish_delta(next_engine.clone(), &plan);
+
+        let mut hits = 0usize;
+        for &agent in &panel {
+            let response = server
+                .submit(agent, opts.top)
+                .unwrap_or_else(|e| fail(&e.to_string()))
+                .wait()
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            if response.cache_hit {
+                hits += 1;
+            }
+        }
+
+        table.row([
+            round.to_string(),
+            delta.touched().to_string(),
+            stats.reused.to_string(),
+            stats.recomputed.to_string(),
+            format!("{incremental_ms:.2}"),
+            format!("{full_ms:.2}"),
+            plan.dirty_count().to_string(),
+            if report.wholesale { "whole".to_string() } else { "carry".to_string() },
+            report.carried.to_string(),
+            format!("{:.3}", hits as f64 / panel.len() as f64),
+        ]);
+
+        engine = next_engine;
+        previous = result;
+    }
+    println!("{}", table.render());
+    let cache = server.cache_stats();
+    println!(
+        "cache: {} hits, {} misses, {} carried, {} invalidated",
+        cache.hits, cache.misses, cache.carried, cache.invalidated
+    );
 }

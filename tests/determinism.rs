@@ -14,10 +14,12 @@ use std::sync::{Mutex, MutexGuard};
 use semrec::core::{recommend_batch, Recommender, RecommenderConfig};
 use semrec::datagen::{generate_community, CommunityGenConfig};
 use semrec::obs;
-use semrec::web::crawler::{assemble_community, crawl_resilient, CrawlConfig};
+use semrec::web::crawler::{
+    assemble_community, crawl_resilient, refresh_resilient, CommunityBuilder, CrawlConfig,
+};
 use semrec::web::fault::{FaultPlan, FaultyWeb};
 use semrec::web::policy::FetchPolicy;
-use semrec::web::publish::publish_community;
+use semrec::web::publish::{homepage_turtle, homepage_uri, publish_community};
 use semrec::web::store::DocumentWeb;
 
 /// Serializes tests touching the global registry (shared across this
@@ -161,6 +163,106 @@ fn fault_injection_is_thread_count_invariant() {
 
     assert_eq!(recs_seq, recs_par, "thread count must not change degraded recommendations");
     assert_eq!(res_seq, res_par, "thread count must not change the resilience record");
+    let totals = |counters: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
+        counters
+            .iter()
+            .filter(|(name, _)| !name.starts_with("batch.worker."))
+            .map(|(name, &count)| (name.clone(), count))
+            .collect()
+    };
+    assert_eq!(totals(&counters_seq), totals(&counters_par));
+}
+
+/// One fault-injected *incremental* pass: crawl through a transient-fault
+/// web, apply one deterministic churn round, refresh through the same
+/// faulty web, and advance the model along the delta path
+/// (`CommunityBuilder::apply_delta` + `Recommender::advance`). Returns the
+/// rendered recommendations (bit-exact scores), the rendered advance
+/// record, and the counter map — all of which must be invariant across
+/// runs and thread counts.
+fn run_incremental(seed: u64, threads: usize) -> (String, String, BTreeMap<String, u64>) {
+    let generated = generate_community(&CommunityGenConfig::small(seed));
+    let mut community = generated.community;
+    let web = DocumentWeb::new();
+    publish_community(&community, &web);
+    let seeds: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+
+    obs::global().reset();
+    let faulty = FaultyWeb::new(&web, FaultPlan::transient(0.3, seed));
+    let config = CrawlConfig { threads, ..Default::default() };
+    let policy = FetchPolicy::default();
+    let (first, mut breaker) = crawl_resilient(&faulty, &seeds, &config, &policy);
+    let (initial, _) =
+        assemble_community(&first.agents, community.taxonomy.clone(), community.catalog.clone());
+    let engine = Recommender::new(initial, RecommenderConfig::default())
+        .with_source_health(first.health());
+
+    // Deterministic churn: the first five agents re-rate one product each
+    // and republish; everything else stays untouched.
+    let products: Vec<_> = community.catalog.iter().collect();
+    for (k, agent) in community.agents().take(5).enumerate() {
+        community.set_rating(agent, products[k % products.len()], 0.5).expect("valid rating");
+        let uri = community.agent(agent).unwrap().uri.clone();
+        web.publish(homepage_uri(&uri), homepage_turtle(&community, agent), "text/turtle");
+    }
+
+    let second = refresh_resilient(&faulty, &seeds, &config, &policy, &mut breaker, &first);
+    let delta = second.delta.clone().expect("refresh always diffs");
+    let mut builder = CommunityBuilder::new(&first.agents);
+    builder.apply_delta(&delta);
+    let (next, _) = builder.build(community.taxonomy.clone(), community.catalog.clone());
+    let (advanced, stats) = engine.advance(next, &delta.model_delta(), second.health());
+    let record = format!(
+        "touched={} reused={} recomputed={} retries={} ticks={}",
+        delta.touched(),
+        stats.reused,
+        stats.recomputed,
+        second.retries,
+        second.ticks,
+    );
+
+    let agents: Vec<_> = advanced.community().agents().collect();
+    let batch = recommend_batch(&advanced, &agents, 10, threads);
+    let mut rendered = String::new();
+    for (agent, result) in agents.iter().zip(&batch) {
+        rendered.push_str(&format!("{agent:?}:"));
+        for rec in result.as_ref().expect("recommendation succeeds") {
+            rendered.push_str(&format!(" {:?}={}", rec.product, rec.score.to_bits()));
+        }
+        rendered.push('\n');
+    }
+    (rendered, record, obs::global().snapshot().counters)
+}
+
+#[test]
+fn incremental_refresh_after_faults_is_byte_identical_across_runs() {
+    let _serial = lock();
+    let (recs_a, rec_a, counters_a) = run_incremental(42, 4);
+    let (recs_b, rec_b, counters_b) = run_incremental(42, 4);
+
+    assert!(!recs_a.is_empty());
+    assert_eq!(recs_a, recs_b, "incremental recommendations must be byte-identical");
+    assert_eq!(rec_a, rec_b, "the advance record must be identical");
+    assert!(
+        counters_a.get("refresh.delta.changed").copied().unwrap_or(0) > 0,
+        "the churn round must register as changed agents: {counters_a:?}"
+    );
+    assert!(
+        counters_a.get("model.profiles.reused").copied().unwrap_or(0) > 0,
+        "untouched agents must reuse their profiles: {counters_a:?}"
+    );
+    assert_eq!(counters_a, counters_b, "counter values must be identical across runs");
+}
+
+#[test]
+fn incremental_refresh_is_thread_count_invariant() {
+    let _serial = lock();
+    let (recs_seq, rec_seq, counters_seq) = run_incremental(7, 1);
+    let (recs_par, rec_par, counters_par) = run_incremental(7, 4);
+
+    assert_eq!(recs_seq, recs_par, "thread count must not change incremental recommendations");
+    assert_eq!(rec_seq, rec_par, "thread count must not change the advance record");
     let totals = |counters: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
         counters
             .iter()
