@@ -130,6 +130,29 @@ impl SharedModel {
         &self.source_health
     }
 
+    /// Reassembles a model from explicitly supplied parts, e.g. as
+    /// deserialized from a durable checkpoint (see `semrec-store`).
+    ///
+    /// Unlike [`SharedModel::new`] the profile store is *not* recomputed —
+    /// the caller asserts that `profiles` is exactly what
+    /// [`ProfileStore::build`] would produce for `community` under
+    /// `config.profile`. Persistence round-trip tests prove that a model
+    /// rebuilt this way answers every query byte-identically to the model
+    /// it was captured from.
+    pub fn from_parts(
+        community: Community,
+        profiles: ProfileStore,
+        config: RecommenderConfig,
+        source_health: SourceHealth,
+    ) -> Self {
+        debug_assert_eq!(
+            profiles.len(),
+            community.agent_count(),
+            "one profile per agent, in agent-id order"
+        );
+        SharedModel { community, profiles, config, source_health }
+    }
+
     /// Produces the next model generation from `next` incrementally:
     /// profiles of agents outside `delta` are shared with this generation
     /// by `Arc` clone, only dirty ones are recomputed — O(delta) profile

@@ -112,6 +112,23 @@ impl ProfileStore {
         (ProfileStore { profiles, params: self.params }, stats)
     }
 
+    /// Rebuilds a store from explicit per-agent profiles in agent-id order,
+    /// e.g. as deserialized from a checkpoint (see `semrec-store`). The
+    /// caller is responsible for the vectors matching what
+    /// [`ProfileStore::build`] would produce for the community they will be
+    /// used with; persistence round-trip tests hold that line.
+    pub fn from_profiles(
+        profiles: impl IntoIterator<Item = ProfileVector>,
+        params: ProfileParams,
+    ) -> Self {
+        ProfileStore { profiles: profiles.into_iter().map(Arc::new).collect(), params }
+    }
+
+    /// Iterates the stored profiles in agent-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProfileVector> {
+        self.profiles.iter().map(|p| &**p)
+    }
+
     /// The profile of an agent.
     pub fn profile(&self, agent: AgentId) -> &ProfileVector {
         &self.profiles[agent.index()]

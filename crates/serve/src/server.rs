@@ -174,9 +174,17 @@ pub struct Server {
 impl Server {
     /// Starts a server fronting `engine` (installed as snapshot epoch 1).
     pub fn start(engine: Recommender, config: ServeConfig) -> Server {
+        Server::start_at(engine, config, 1)
+    }
+
+    /// Starts a server fronting `engine` at a caller-chosen snapshot epoch
+    /// — the warm-start path for an engine recovered from a durable
+    /// checkpoint (see `semrec-store`), which resumes at the epoch the
+    /// persisted model had reached instead of restarting at 1.
+    pub fn start_at(engine: Recommender, config: ServeConfig, epoch: u64) -> Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
-            switch: SnapshotSwitch::new(engine),
+            switch: SnapshotSwitch::new_at(engine, epoch),
             cache: RecCache::new(config.cache_capacity, config.cache_shards),
             clock: TickClock::new(),
             batch_size: config.batch_size.max(1),

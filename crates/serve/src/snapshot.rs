@@ -51,7 +51,19 @@ pub struct SnapshotSwitch {
 impl SnapshotSwitch {
     /// Installs `engine` as epoch 1.
     pub fn new(engine: Recommender) -> Self {
-        let snapshot = Arc::new(ModelSnapshot { epoch: 1, engine });
+        Self::new_at(engine, 1)
+    }
+
+    /// Installs `engine` as a caller-chosen starting epoch (clamped to at
+    /// least 1 — epochs start at 1 and only grow).
+    ///
+    /// This is the warm-start entry point: a node recovering from a
+    /// durable checkpoint (see `semrec-store`) resumes at the epoch its
+    /// persisted model had reached, so epoch-keyed cache semantics and the
+    /// `serve.snapshot.epoch` gauge line up with a node that never
+    /// restarted.
+    pub fn new_at(engine: Recommender, epoch: u64) -> Self {
+        let snapshot = Arc::new(ModelSnapshot { epoch: epoch.max(1), engine });
         Self::publish_metrics(&snapshot);
         SnapshotSwitch { current: RwLock::new(snapshot) }
     }
@@ -111,6 +123,15 @@ mod tests {
         assert_eq!(switch.publish(engine()), 2);
         assert_eq!(switch.publish(engine()), 3);
         assert_eq!(switch.pin().epoch(), 3);
+    }
+
+    #[test]
+    fn warm_start_resumes_at_the_persisted_epoch() {
+        let switch = SnapshotSwitch::new_at(engine(), 7);
+        assert_eq!(switch.epoch(), 7);
+        assert_eq!(switch.publish(engine()), 8);
+        // Epochs start at 1 even if a caller passes a bogus 0.
+        assert_eq!(SnapshotSwitch::new_at(engine(), 0).epoch(), 1);
     }
 
     #[test]

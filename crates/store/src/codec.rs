@@ -1,0 +1,233 @@
+//! A minimal length-prefixed binary codec plus the FNV-1a-64 checksum.
+//!
+//! Deliberately boring: little-endian fixed-width integers, `u64`
+//! length-prefixed byte strings, `f64` persisted as raw IEEE-754 bits so a
+//! round trip is bit-exact (the repo-wide byte-identity contract lives or
+//! dies on this). Every read is bounds-checked and returns a typed
+//! [`Error::Truncated`] instead of slicing past the end.
+
+use crate::error::{Error, Result};
+
+/// FNV-1a 64-bit hash — the snapshot/WAL integrity checksum.
+///
+/// Not cryptographic; it guards against torn writes and bit rot, not
+/// adversaries, and it is std-only.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only byte buffer with typed `put_*` helpers.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bits (bit-exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Reported in [`Error::Truncated`] so the caller knows which
+    /// structure the bytes ran out in.
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, tagging truncation errors with `context`.
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
+        Reader { bytes, pos: 0, context }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Truncated { context: self.context });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length (`u64`) and sanity-bounds it against the bytes that
+    /// are actually left, so a corrupted length cannot trigger a huge
+    /// allocation before the inevitable truncation error.
+    pub fn get_len(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        if v > self.remaining() as u64 {
+            return Err(Error::Truncated { context: self.context });
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads an `f64` from its raw IEEE-754 bits.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool, rejecting anything but 0/1 as corruption.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::Corrupt(format!("bool byte {other} in {}", self.context))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corrupt(format!("invalid UTF-8 in {}", self.context)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.1f64);
+        w.put_bool(true);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5], "unit");
+        assert!(matches!(r.get_u64(), Err(Error::Truncated { context: "unit" })));
+    }
+
+    #[test]
+    fn hostile_length_prefix_cannot_demand_a_huge_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~18EB follow
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "unit");
+        assert!(matches!(r.get_len(), Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_corruption() {
+        let mut r = Reader::new(&[9], "unit");
+        assert!(matches!(r.get_bool(), Err(Error::Corrupt(_))));
+        let mut w = Writer::new();
+        w.put_len(2);
+        w.put_raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "unit");
+        assert!(matches!(r.get_str(), Err(Error::Corrupt(_))));
+    }
+}

@@ -1,0 +1,332 @@
+//! # semrec-store — durable checkpoints, delta WAL, and crash-recoverable warm starts
+//!
+//! The paper's decentralized architecture (§2, §4.1) assumes peers that
+//! appear, disappear, and come back; a node that must re-crawl the world
+//! from nothing on every restart cannot rejoin cheaply. This crate is the
+//! persistence layer under the pipeline: a **versioned, checksummed binary
+//! snapshot** of the full model (standing extraction view, taxonomy,
+//! catalog, config, source health, materialized profiles, serve epoch)
+//! plus an **append-only WAL of [`CrawlDelta`](semrec_web::delta::CrawlDelta)
+//! records** between snapshots. Std-only, consistent with the workspace's
+//! vendored-deps constraint. Three pieces:
+//!
+//! * **[`Checkpoint`]** — capture/encode/decode/restore of one full model
+//!   generation. The restore path reassembles the community through
+//!   `CommunityBuilder` (the same code a live crawl uses, so agent-id
+//!   numbering is preserved) and installs the persisted profile bits
+//!   verbatim — no float is ever re-derived on load.
+//! * **[`WalRecord`] / [`decode_wal`]** — per-record framed, checksummed
+//!   deltas. A crash mid-append leaves a torn tail: the valid prefix
+//!   replays, the tear surfaces as a typed error.
+//! * **[`Store`]** — the directory of numbered snapshot/WAL pairs:
+//!   [`checkpoint`](Store::checkpoint), [`append_delta`](Store::append_delta),
+//!   [`recover`](Store::recover) (newest loadable snapshot + replay, with
+//!   typed-error fallback past corrupt generations), and
+//!   [`compact_if_needed`](Store::compact_if_needed).
+//!
+//! ## The headline guarantee
+//!
+//! **Recover-then-serve is byte-identical to never having restarted.**
+//! A model recovered from snapshot+WAL answers every recommendation
+//! bit-for-bit like the live model it mirrors, and a server warm-started
+//! with [`Recovery::epoch`] (`semrec_serve::Server::start_at`) keeps the
+//! epoch-keyed cache semantics of the node that wrote the log. Nothing in
+//! this crate panics on corrupted input: bad magic, unsupported versions,
+//! truncation, checksum mismatches, and semantically impossible states
+//! all come back as typed [`Error`] variants, and recovery falls back to
+//! the previous good snapshot.
+//!
+//! Everything observable lands in the global `semrec-obs` registry under
+//! the `store.*` namespace (see the README's persistence metric table).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod snapshot;
+#[allow(clippy::module_inception)]
+pub mod store;
+pub mod wal;
+
+pub use error::{Error, Result};
+pub use snapshot::{Checkpoint, RestoredModel, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use store::{CheckpointReport, CompactionPolicy, Recovery, Store};
+pub use wal::{decode_wal, encode_record, wal_header, WalReadout, WalRecord, WAL_MAGIC, WAL_VERSION};
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use semrec_core::{Recommender, RecommenderConfig, SourceHealth};
+    use semrec_taxonomy::fixtures::example1;
+    use semrec_web::crawler::CommunityBuilder;
+    use semrec_web::delta::{AgentDiff, CrawlDelta};
+    use semrec_web::extract::ExtractedAgent;
+
+    use super::*;
+
+    /// A unique per-test scratch directory (no external tempfile crate).
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("semrec-store-{}-{tag}-{n}", std::process::id()))
+    }
+
+    fn agent(i: usize, trust: &[(usize, f64)], ratings: &[(&str, f64)]) -> ExtractedAgent {
+        ExtractedAgent {
+            uri: format!("http://ex.org/u{i}"),
+            trust: trust.iter().map(|&(j, v)| (format!("http://ex.org/u{j}"), v)).collect(),
+            ratings: ratings.iter().map(|&(p, v)| (p.to_owned(), v)).collect(),
+            knows: trust.iter().map(|&(j, _)| format!("http://ex.org/u{j}")).collect(),
+            see_also: Vec::new(),
+        }
+    }
+
+    /// A small ring world over the Example 1 taxonomy/catalog, plus its
+    /// engine built the same way a crawl would.
+    fn world() -> (Recommender, Vec<ExtractedAgent>) {
+        let e = example1();
+        let ids: Vec<String> =
+            e.catalog.iter().map(|p| e.catalog.product(p).identifier.clone()).collect();
+        let view: Vec<ExtractedAgent> = (0..6)
+            .map(|i| agent(i, &[((i + 1) % 6, 0.9)], &[(ids[i % ids.len()].as_str(), 1.0)]))
+            .collect();
+        let (community, _) = CommunityBuilder::new(&view).build(e.fig.taxonomy, e.catalog);
+        (Recommender::new(community, RecommenderConfig::default()), view)
+    }
+
+    fn render(engine: &Recommender) -> String {
+        let mut out = String::new();
+        for a in engine.community().agents() {
+            out.push_str(&format!("{a:?}:"));
+            for rec in engine.recommend(a, 10).expect("recommendation succeeds") {
+                out.push_str(&format!(" {:?}={}", rec.product, rec.score.to_bits()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn checkpoint_recover_round_trip_is_byte_identical() {
+        let (engine, view) = world();
+        let store = Store::open(scratch("roundtrip")).unwrap();
+        let report = store.checkpoint(&engine, &view, 3).unwrap();
+        assert_eq!(report.seq, 1);
+        assert!(report.snapshot_bytes > 0);
+
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.snapshot_seq, 1);
+        assert_eq!(recovery.epoch, 3, "no WAL records → the persisted epoch");
+        assert_eq!(recovery.replayed, 0);
+        assert!(!recovery.degraded());
+        assert_eq!(recovery.view, view);
+        assert_eq!(render(&recovery.engine), render(&engine));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn wal_replay_equals_the_live_advance() {
+        let (engine, view) = world();
+        let store = Store::open(scratch("replay")).unwrap();
+        store.checkpoint(&engine, &view, 1).unwrap();
+
+        // Two refresh rounds on the live node, each appended to the WAL.
+        let catalog = example1().catalog;
+        let target = catalog.product(catalog.iter().next().unwrap()).identifier.clone();
+        let mut live = engine;
+        let mut live_view = view;
+        for round in 0..2u64 {
+            let delta = CrawlDelta {
+                changed: vec![AgentDiff {
+                    uri: format!("http://ex.org/u{round}"),
+                    ratings_set: vec![(target.clone(), 0.25 + round as f64 / 10.0)],
+                    ..AgentDiff::default()
+                }],
+                unchanged: live_view.len() - 1,
+                ..CrawlDelta::default()
+            };
+            let health = SourceHealth { attempted: 6, fetched: 6, ..Default::default() };
+            store.append_delta(&delta, &health).unwrap();
+            let mut builder = CommunityBuilder::new(&live_view);
+            builder.apply_delta(&delta);
+            let c = live.community();
+            let (next, _) = builder.build(c.taxonomy.clone(), c.catalog.clone());
+            let (advanced, _) = live.advance(next, &delta.model_delta(), health);
+            live = advanced;
+            live_view = builder.agents().to_vec();
+        }
+
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.replayed, 2);
+        assert_eq!(recovery.epoch, 3, "epoch 1 + one publish per replayed record");
+        assert!(!recovery.degraded());
+        assert_eq!(recovery.view, live_view);
+        assert_eq!(
+            render(&recovery.engine),
+            render(&live),
+            "snapshot+WAL recovery must be byte-identical to never restarting"
+        );
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_the_previous_good_one() {
+        let (engine, view) = world();
+        let store = Store::open(scratch("fallback")).unwrap();
+        store.checkpoint(&engine, &view, 1).unwrap();
+        store.checkpoint(&engine, &view, 5).unwrap();
+
+        // Bit-flip the newest snapshot's body.
+        let path = store.snapshot_path(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.snapshot_seq, 1, "must fall back past the corrupt generation");
+        assert_eq!(recovery.skipped.len(), 1);
+        assert!(
+            matches!(recovery.skipped[0].1, Error::ChecksumMismatch { .. }),
+            "{:?}",
+            recovery.skipped[0].1
+        );
+        assert!(recovery.degraded());
+        assert_eq!(render(&recovery.engine), render(&engine));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_replays_the_valid_prefix() {
+        let (engine, view) = world();
+        let store = Store::open(scratch("torn")).unwrap();
+        store.checkpoint(&engine, &view, 1).unwrap();
+        let catalog = example1().catalog;
+        let target = catalog.product(catalog.iter().next().unwrap()).identifier.clone();
+        let delta = CrawlDelta {
+            changed: vec![AgentDiff {
+                uri: "http://ex.org/u0".into(),
+                ratings_set: vec![(target, 0.5)],
+                ..AgentDiff::default()
+            }],
+            unchanged: view.len() - 1,
+            ..CrawlDelta::default()
+        };
+        let health = SourceHealth::default();
+        store.append_delta(&delta, &health).unwrap();
+        store.append_delta(&delta, &health).unwrap();
+
+        // Tear the last record mid-payload.
+        let path = store.wal_path(1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.replayed, 1, "the intact prefix replays");
+        assert!(matches!(recovery.wal_error, Some(Error::Truncated { .. })));
+        assert_eq!(recovery.epoch, 2);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn bad_version_wal_recovers_snapshot_only() {
+        let (engine, view) = world();
+        let store = Store::open(scratch("walversion")).unwrap();
+        store.checkpoint(&engine, &view, 4).unwrap();
+        let delta = CrawlDelta { unchanged: view.len(), ..CrawlDelta::default() };
+        store.append_delta(&delta, &SourceHealth::default()).unwrap();
+
+        let path = store.wal_path(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 0xEE; // version byte
+        std::fs::write(&path, bytes).unwrap();
+
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.replayed, 0, "an untrusted log replays nothing");
+        assert!(matches!(recovery.wal_error, Some(Error::BadVersion { found: 0xEE, .. })));
+        assert_eq!(render(&recovery.engine), render(&engine));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn empty_store_and_walless_appends_are_typed_errors() {
+        let store = Store::open(scratch("empty")).unwrap();
+        assert!(matches!(store.recover(), Err(Error::NoSnapshot)));
+        let delta = CrawlDelta::default();
+        assert!(matches!(
+            store.append_delta(&delta, &SourceHealth::default()),
+            Err(Error::NoSnapshot)
+        ));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn compaction_folds_the_wal_into_a_fresh_generation() {
+        let (engine, view) = world();
+        let store = Store::open(scratch("compact")).unwrap();
+        store.checkpoint(&engine, &view, 1).unwrap();
+        let delta = CrawlDelta { unchanged: view.len(), ..CrawlDelta::default() };
+        store.append_delta(&delta, &SourceHealth::default()).unwrap();
+
+        let lenient = CompactionPolicy::default();
+        assert!(!store.should_compact(&lenient).unwrap());
+        assert!(store
+            .compact_if_needed(&engine, &view, 2, &lenient)
+            .unwrap()
+            .is_none());
+
+        let strict = CompactionPolicy { max_wal_bytes: 1, max_wal_ratio: 0.0 };
+        let report = store
+            .compact_if_needed(&engine, &view, 2, &strict)
+            .unwrap()
+            .expect("an over-budget WAL must compact");
+        assert_eq!(report.seq, 2);
+        assert_eq!(store.wal_bytes().unwrap(), wal_header().len() as u64);
+        let recovery = store.recover().unwrap();
+        assert_eq!(recovery.snapshot_seq, 2);
+        assert_eq!(recovery.replayed, 0);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn every_single_byte_mutation_of_a_snapshot_is_typed_never_a_panic() {
+        let (engine, view) = world();
+        let bytes = Checkpoint::capture(&engine, &view, 1).encode();
+        for cut in 0..bytes.len() {
+            if let Ok(checkpoint) = Checkpoint::decode(&bytes[..cut]) {
+                let _ = checkpoint.restore();
+            }
+        }
+        // Flipping any single bit must be caught by the checksum (or an
+        // earlier frame check) — decode can never return Ok.
+        for i in (0..bytes.len()).step_by(7) {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x04;
+            assert!(Checkpoint::decode(&mutated).is_err(), "byte {i} flip went unnoticed");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_snapshots_are_typed() {
+        let (engine, view) = world();
+        let good = Checkpoint::capture(&engine, &view, 1).encode();
+        let mut magic = good.clone();
+        magic[..8].copy_from_slice(b"NOTMAGIC");
+        assert!(matches!(Checkpoint::decode(&magic), Err(Error::BadMagic { .. })));
+        // A version bump must re-checksum or it reads as plain corruption;
+        // patch both to exercise the version check in isolation.
+        let mut versioned = good.clone();
+        versioned[8..12].copy_from_slice(&9u32.to_le_bytes());
+        let body_end = versioned.len() - 8;
+        let sum = codec::fnv1a64(&versioned[..body_end]);
+        versioned[body_end..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::decode(&versioned),
+            Err(Error::BadVersion { found: 9, expected: SNAPSHOT_VERSION })
+        ));
+        assert!(Checkpoint::decode(&good).is_ok());
+    }
+}

@@ -1,0 +1,390 @@
+//! The on-disk store: snapshot files, their companion WALs, recovery, and
+//! compaction.
+//!
+//! A store directory holds numbered generations:
+//!
+//! ```text
+//! store/
+//!   snapshot-000001.bin   wal-000001.log
+//!   snapshot-000002.bin   wal-000002.log   ← newest pair: the live one
+//! ```
+//!
+//! [`Store::checkpoint`] cuts `snapshot-<seq+1>.bin` (written to a temp
+//! file and renamed, so a crash mid-write never leaves a half snapshot
+//! under the live name) plus a fresh empty `wal-<seq+1>.log`; refreshes
+//! then [`Store::append_delta`] onto that WAL. [`Store::recover`] walks
+//! snapshots newest-first, skipping corrupt ones with a typed error and a
+//! `store.recovery.fallback` bump, then replays the surviving snapshot's
+//! WAL through the exact live-refresh code path
+//! (`CommunityBuilder::apply_delta` → `build` → `Recommender::advance`).
+//! [`Store::compact_if_needed`] folds a WAL that outgrew the
+//! [`CompactionPolicy`] into a fresh snapshot.
+//!
+//! Everything observable lands under the `store.*` metric namespace (see
+//! the README's persistence metric table).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use semrec_core::Recommender;
+use semrec_web::crawler::CommunityBuilder;
+use semrec_web::delta::CrawlDelta;
+use semrec_web::extract::ExtractedAgent;
+use semrec_core::SourceHealth;
+
+use crate::error::{Error, Result};
+use crate::snapshot::Checkpoint;
+use crate::wal::{decode_wal, encode_record, wal_header, WalRecord};
+
+/// When to fold the live WAL into a fresh snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionPolicy {
+    /// Compact once the WAL exceeds this many bytes, regardless of the
+    /// snapshot's size.
+    pub max_wal_bytes: u64,
+    /// Compact once `wal bytes / snapshot bytes` exceeds this ratio —
+    /// past it, replay work rivals a snapshot load and the log has
+    /// stopped paying for itself.
+    pub max_wal_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { max_wal_bytes: 1 << 22, max_wal_ratio: 0.5 }
+    }
+}
+
+/// Outcome of one [`Store::checkpoint`] (or compaction).
+#[derive(Clone, Debug)]
+pub struct CheckpointReport {
+    /// The generation number the snapshot was written as.
+    pub seq: u64,
+    /// Size of the snapshot file in bytes.
+    pub snapshot_bytes: u64,
+    /// Path of the snapshot file.
+    pub path: PathBuf,
+}
+
+/// Outcome of one [`Store::recover`].
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered engine, advanced through every replayed WAL record.
+    pub engine: Recommender,
+    /// The standing extraction view after replay (feed to the next
+    /// refresh).
+    pub view: Vec<ExtractedAgent>,
+    /// The serve epoch to warm-start at: the persisted epoch plus one per
+    /// replayed record, since each appended refresh corresponds to one
+    /// snapshot publish on the node that wrote the log.
+    pub epoch: u64,
+    /// Which snapshot generation answered.
+    pub snapshot_seq: u64,
+    /// The serve epoch stored in that snapshot (before replay).
+    pub snapshot_epoch: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Snapshots that failed to load, newest first, with the typed reason.
+    /// Non-empty means recovery fell back at least once.
+    pub skipped: Vec<(u64, Error)>,
+    /// Why WAL replay stopped early (torn tail, or header damage that
+    /// dropped the whole log), if it did.
+    pub wal_error: Option<Error>,
+}
+
+impl Recovery {
+    /// True when recovery had to fall back past a corrupt snapshot or
+    /// drop a corrupt WAL.
+    pub fn degraded(&self) -> bool {
+        !self.skipped.is_empty() || self.wal_error.is_some()
+    }
+}
+
+/// A durable checkpoint + WAL store rooted at one directory.
+#[derive(Clone, Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a generation's snapshot file.
+    pub fn snapshot_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("snapshot-{seq:06}.bin"))
+    }
+
+    /// Path of a generation's WAL file.
+    pub fn wal_path(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("wal-{seq:06}.log"))
+    }
+
+    /// Every snapshot generation present, ascending.
+    pub fn snapshot_seqs(&self) -> Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = name
+                .strip_prefix("snapshot-")
+                .and_then(|rest| rest.strip_suffix(".bin"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+        Ok(seqs)
+    }
+
+    /// The newest snapshot generation, if any.
+    pub fn latest_seq(&self) -> Result<Option<u64>> {
+        Ok(self.snapshot_seqs()?.last().copied())
+    }
+
+    /// Captures and durably writes the model as the next snapshot
+    /// generation, with a fresh empty WAL beside it.
+    ///
+    /// Bumps `store.snapshot.write` / `store.snapshot.write.bytes` under a
+    /// `store.snapshot.write` span.
+    pub fn checkpoint(
+        &self,
+        engine: &Recommender,
+        view: &[ExtractedAgent],
+        epoch: u64,
+    ) -> Result<CheckpointReport> {
+        let _span = semrec_obs::span("store.snapshot.write");
+        let seq = self.latest_seq()?.unwrap_or(0) + 1;
+        let bytes = Checkpoint::capture(engine, view, epoch).encode();
+
+        let path = self.snapshot_path(seq);
+        write_atomically(&path, &bytes)?;
+        write_atomically(&self.wal_path(seq), &wal_header())?;
+
+        semrec_obs::counter("store.snapshot.write").inc();
+        semrec_obs::counter("store.snapshot.write.bytes").add(bytes.len() as u64);
+        Ok(CheckpointReport { seq, snapshot_bytes: bytes.len() as u64, path })
+    }
+
+    /// Appends one refresh — its emitted [`CrawlDelta`] and post-refresh
+    /// [`SourceHealth`] — to the newest generation's WAL. Returns the
+    /// record's sequence number within the log.
+    ///
+    /// This is how the `semrec-web` refresh path persists its delta: the
+    /// caller that ran `refresh`/`refresh_resilient` hands the
+    /// `CrawlResult`'s delta and health straight here (see the CLI's
+    /// `store-bench` and experiment E18). Bumps `store.wal.appended` /
+    /// `store.wal.appended.bytes`.
+    pub fn append_delta(&self, delta: &CrawlDelta, health: &SourceHealth) -> Result<u64> {
+        let seq = self.latest_seq()?.ok_or(Error::NoSnapshot)?;
+        let path = self.wal_path(seq);
+        let existing = if path.exists() { count_records(&fs::read(&path)?)? } else { 0 };
+        let record = WalRecord { seq: existing + 1, delta: delta.clone(), health: *health };
+        let framed = encode_record(&record);
+        let mut file = fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        if existing == 0 && file.metadata()?.len() == 0 {
+            file.write_all(&wal_header())?;
+        }
+        file.write_all(&framed)?;
+        file.sync_all()?;
+        semrec_obs::counter("store.wal.appended").inc();
+        semrec_obs::counter("store.wal.appended.bytes").add(framed.len() as u64);
+        Ok(record.seq)
+    }
+
+    /// Recovers the model: newest loadable snapshot + WAL replay.
+    ///
+    /// Snapshots that fail to read, decode, or restore are skipped with
+    /// their typed error ([`Recovery::skipped`]) and a
+    /// `store.recovery.fallback` bump. The surviving snapshot's WAL is
+    /// replayed through the live refresh code path; a torn tail replays
+    /// the valid prefix and a header-corrupt WAL replays nothing, either
+    /// way surfacing the typed cause in [`Recovery::wal_error`] (the
+    /// latter also counts as a fallback — snapshot+WAL degraded to
+    /// snapshot-only). Errs with [`Error::NoSnapshot`] when no generation
+    /// is loadable at all.
+    ///
+    /// Bumps `store.snapshot.load` / `store.snapshot.load.bytes` and one
+    /// `store.wal.replayed` per replayed record, under `store.recovery`.
+    pub fn recover(&self) -> Result<Recovery> {
+        let _span = semrec_obs::span("store.recovery");
+        let mut skipped = Vec::new();
+        let mut seqs = self.snapshot_seqs()?;
+        seqs.reverse();
+        if seqs.is_empty() {
+            return Err(Error::NoSnapshot);
+        }
+        for seq in seqs {
+            match self.load_snapshot(seq) {
+                Ok(checkpoint) => return self.replay(seq, checkpoint, skipped),
+                Err(e) => {
+                    semrec_obs::counter("store.recovery.fallback").inc();
+                    skipped.push((seq, e));
+                }
+            }
+        }
+        Err(Error::NoSnapshot)
+    }
+
+    fn load_snapshot(&self, seq: u64) -> Result<Checkpoint> {
+        let _span = semrec_obs::span("store.snapshot.load");
+        let bytes = fs::read(self.snapshot_path(seq))?;
+        let checkpoint = Checkpoint::decode(&bytes)?;
+        semrec_obs::counter("store.snapshot.load").inc();
+        semrec_obs::counter("store.snapshot.load.bytes").add(bytes.len() as u64);
+        Ok(checkpoint)
+    }
+
+    fn replay(
+        &self,
+        seq: u64,
+        checkpoint: Checkpoint,
+        skipped: Vec<(u64, Error)>,
+    ) -> Result<Recovery> {
+        let restored = checkpoint.restore()?;
+        let snapshot_epoch = restored.epoch;
+        let mut engine = restored.engine;
+        let mut view = restored.view;
+
+        let wal_path = self.wal_path(seq);
+        let (records, mut wal_error) = if wal_path.exists() {
+            match decode_wal(&fs::read(&wal_path)?) {
+                Ok(readout) => (readout.records, readout.torn),
+                Err(fatal) => {
+                    // The whole log is untrusted: snapshot-only recovery.
+                    semrec_obs::counter("store.recovery.fallback").inc();
+                    (Vec::new(), Some(fatal))
+                }
+            }
+        } else {
+            (Vec::new(), None)
+        };
+
+        let mut replayed = 0;
+        for record in &records {
+            let _span = semrec_obs::span("store.wal.replay");
+            let mut builder = CommunityBuilder::new(&view);
+            builder.apply_delta(&record.delta);
+            let community = engine.community();
+            let (next, _stats) =
+                builder.build(community.taxonomy.clone(), community.catalog.clone());
+            let (advanced, _stats) = engine.advance(next, &record.delta.model_delta(), record.health);
+            engine = advanced;
+            view = builder.agents().to_vec();
+            replayed += 1;
+            semrec_obs::counter("store.wal.replayed").inc();
+        }
+        // Surface out-of-order sequence numbers as corruption even when
+        // every checksum passed (e.g. records spliced between logs).
+        if wal_error.is_none() {
+            if let Some(position) =
+                records.iter().enumerate().find(|(i, r)| r.seq != *i as u64 + 1)
+            {
+                wal_error = Some(Error::Corrupt(format!(
+                    "wal record {} carries sequence {}",
+                    position.0 + 1,
+                    position.1.seq
+                )));
+            }
+        }
+
+        Ok(Recovery {
+            engine,
+            view,
+            epoch: snapshot_epoch + replayed as u64,
+            snapshot_seq: seq,
+            snapshot_epoch,
+            replayed: replayed as usize,
+            skipped,
+            wal_error,
+        })
+    }
+
+    /// Bytes of the newest generation's WAL (0 when absent).
+    pub fn wal_bytes(&self) -> Result<u64> {
+        match self.latest_seq()? {
+            Some(seq) => file_len(&self.wal_path(seq)),
+            None => Ok(0),
+        }
+    }
+
+    /// Bytes of the newest snapshot (0 when absent).
+    pub fn snapshot_bytes(&self) -> Result<u64> {
+        match self.latest_seq()? {
+            Some(seq) => file_len(&self.snapshot_path(seq)),
+            None => Ok(0),
+        }
+    }
+
+    /// True when the newest WAL has outgrown the policy.
+    pub fn should_compact(&self, policy: &CompactionPolicy) -> Result<bool> {
+        let wal = self.wal_bytes()?;
+        if wal > policy.max_wal_bytes {
+            return Ok(true);
+        }
+        let snapshot = self.snapshot_bytes()?;
+        Ok(snapshot > 0 && wal as f64 / snapshot as f64 > policy.max_wal_ratio)
+    }
+
+    /// Folds the live state (the caller's current engine/view/epoch —
+    /// i.e. the WAL already applied) into a fresh snapshot generation
+    /// with an empty WAL, if the policy says the log has grown too long.
+    ///
+    /// Bumps `store.wal.compacted` when it compacts.
+    pub fn compact_if_needed(
+        &self,
+        engine: &Recommender,
+        view: &[ExtractedAgent],
+        epoch: u64,
+        policy: &CompactionPolicy,
+    ) -> Result<Option<CheckpointReport>> {
+        if !self.should_compact(policy)? {
+            return Ok(None);
+        }
+        let report = self.checkpoint(engine, view, epoch)?;
+        semrec_obs::counter("store.wal.compacted").inc();
+        Ok(Some(report))
+    }
+}
+
+fn file_len(path: &Path) -> Result<u64> {
+    match fs::metadata(path) {
+        Ok(meta) => Ok(meta.len()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Counts intact records in WAL bytes (used to assign append sequence
+/// numbers); torn tails and header damage surface as errors upstream, not
+/// here — an append onto a torn log would hide the tear, so refuse it.
+fn count_records(bytes: &[u8]) -> Result<u64> {
+    let readout = decode_wal(bytes)?;
+    match readout.torn {
+        Some(e) => Err(e),
+        None => Ok(readout.records.len() as u64),
+    }
+}
+
+/// Writes via a temp file + rename, so the target name never holds a
+/// partial file. (Same-directory rename keeps it on one filesystem.)
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}

@@ -1,0 +1,308 @@
+//! The append-only write-ahead log of [`CrawlDelta`] records.
+//!
+//! Between snapshots, every refresh appends one [`WalRecord`]: the typed
+//! delta the crawl emitted plus the post-refresh [`SourceHealth`] (which
+//! `Recommender::advance` needs to attach to the advanced model). Recovery
+//! replays the log in order on top of the snapshot's standing view —
+//! `CommunityBuilder::apply_delta` + `build` + `advance` — which is the
+//! exact code path a live refresh takes, so a replayed model is
+//! byte-identical to the model the appender had.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! "SEMRECWL" | version: u32
+//! repeated: payload_len: u32 | fnv1a64(payload): u64 | payload
+//! ```
+//!
+//! Each record is independently checksummed, so a crash mid-append leaves
+//! a *torn tail*: the valid prefix replays normally and the tail surfaces
+//! as a typed error ([`WalReadout::torn`]) instead of poisoning the whole
+//! log. Header-level damage (bad magic/version) is fatal for the log and
+//! makes recovery fall back to an older snapshot.
+
+use semrec_core::SourceHealth;
+use semrec_web::delta::{AgentDiff, CrawlDelta};
+
+use crate::codec::{fnv1a64, Reader, Writer};
+use crate::error::{Error, Result};
+use crate::snapshot::{
+    decode_agent, decode_health, decode_scored_list, decode_string_list, encode_agent,
+    encode_health, encode_scored_list, encode_string_list,
+};
+
+/// Magic bytes opening every WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"SEMRECWL";
+/// The WAL format version this build writes and reads.
+pub const WAL_VERSION: u32 = 1;
+
+/// One appended refresh: its delta and the post-refresh source health.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Position in the log, starting at 1 after the owning snapshot.
+    pub seq: u64,
+    /// The typed crawl delta the refresh emitted.
+    pub delta: CrawlDelta,
+    /// Source health after the refresh (attached to the advanced model).
+    pub health: SourceHealth,
+}
+
+/// The result of reading a WAL: every intact record in order, plus the
+/// typed error describing the torn tail, if any.
+#[derive(Debug, Default)]
+pub struct WalReadout {
+    /// Records whose framing and checksum were intact, in append order.
+    pub records: Vec<WalRecord>,
+    /// Why reading stopped early (`None` when the log ended cleanly).
+    pub torn: Option<Error>,
+}
+
+/// The bytes of an empty WAL (header only).
+pub fn wal_header() -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_raw(WAL_MAGIC);
+    w.put_u32(WAL_VERSION);
+    w.into_bytes()
+}
+
+/// Serializes one record as a framed, checksummed entry ready to append.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Writer::new();
+    payload.put_u64(record.seq);
+    encode_health(&mut payload, &record.health);
+    encode_delta(&mut payload, &record.delta);
+    let payload = payload.into_bytes();
+    let mut framed = Writer::new();
+    framed.put_u32(payload.len() as u32);
+    framed.put_u64(fnv1a64(&payload));
+    framed.put_raw(&payload);
+    framed.into_bytes()
+}
+
+/// Reads a whole WAL byte buffer.
+///
+/// Header damage (short file, bad magic, unsupported version) is a hard
+/// `Err` — nothing in the log can be trusted. Record-level damage stops
+/// the read at the last intact record, with the valid prefix in
+/// [`WalReadout::records`] and the typed cause in [`WalReadout::torn`].
+pub fn decode_wal(bytes: &[u8]) -> Result<WalReadout> {
+    if bytes.len() < 8 {
+        return Err(Error::Truncated { context: "wal header" });
+    }
+    if &bytes[..8] != WAL_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(Error::BadMagic { expected: WAL_MAGIC, found });
+    }
+    if bytes.len() < 12 {
+        return Err(Error::Truncated { context: "wal header" });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(Error::BadVersion { expected: WAL_VERSION, found: version });
+    }
+
+    let mut readout = WalReadout::default();
+    let mut rest = &bytes[12..];
+    while !rest.is_empty() {
+        if rest.len() < 12 {
+            readout.torn = Some(Error::Truncated { context: "wal record frame" });
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let stored = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        if rest.len() < 12 + len {
+            readout.torn = Some(Error::Truncated { context: "wal record payload" });
+            break;
+        }
+        let payload = &rest[12..12 + len];
+        let computed = fnv1a64(payload);
+        if computed != stored {
+            readout.torn = Some(Error::ChecksumMismatch { computed, stored });
+            break;
+        }
+        match decode_payload(payload) {
+            Ok(record) => readout.records.push(record),
+            Err(e) => {
+                readout.torn = Some(e);
+                break;
+            }
+        }
+        rest = &rest[12 + len..];
+    }
+    Ok(readout)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord> {
+    let mut r = Reader::new(payload, "wal record");
+    let seq = r.get_u64()?;
+    let health = decode_health(&mut r)?;
+    let delta = decode_delta(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(Error::Corrupt("trailing bytes after wal record".into()));
+    }
+    Ok(WalRecord { seq, delta, health })
+}
+
+fn put_opt_strings(w: &mut Writer, v: &Option<Vec<String>>) {
+    match v {
+        Some(list) => {
+            w.put_bool(true);
+            encode_string_list(w, list);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_strings(r: &mut Reader<'_>) -> Result<Option<Vec<String>>> {
+    Ok(if r.get_bool()? { Some(decode_string_list(r)?) } else { None })
+}
+
+fn encode_delta(w: &mut Writer, delta: &CrawlDelta) {
+    w.put_len(delta.added.len());
+    for agent in &delta.added {
+        encode_agent(w, agent);
+    }
+    w.put_len(delta.changed.len());
+    for diff in &delta.changed {
+        w.put_str(&diff.uri);
+        encode_scored_list(w, &diff.trust_set);
+        encode_string_list(w, &diff.trust_removed);
+        encode_scored_list(w, &diff.ratings_set);
+        encode_string_list(w, &diff.ratings_removed);
+        put_opt_strings(w, &diff.knows);
+        put_opt_strings(w, &diff.see_also);
+    }
+    encode_string_list(w, &delta.removed);
+    w.put_len(delta.unchanged);
+}
+
+fn decode_delta(r: &mut Reader<'_>) -> Result<CrawlDelta> {
+    let added_count = r.get_len()?;
+    let mut added = Vec::with_capacity(added_count);
+    for _ in 0..added_count {
+        added.push(decode_agent(r)?);
+    }
+    let changed_count = r.get_len()?;
+    let mut changed = Vec::with_capacity(changed_count);
+    for _ in 0..changed_count {
+        changed.push(AgentDiff {
+            uri: r.get_str()?,
+            trust_set: decode_scored_list(r)?,
+            trust_removed: decode_string_list(r)?,
+            ratings_set: decode_scored_list(r)?,
+            ratings_removed: decode_string_list(r)?,
+            knows: get_opt_strings(r)?,
+            see_also: get_opt_strings(r)?,
+        });
+    }
+    let removed = decode_string_list(r)?;
+    let unchanged = r.get_u64()? as usize;
+    Ok(CrawlDelta { added, changed, removed, unchanged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semrec_web::extract::ExtractedAgent;
+
+    fn record(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            delta: CrawlDelta {
+                added: vec![ExtractedAgent {
+                    uri: format!("http://ex.org/new{seq}"),
+                    trust: vec![("http://ex.org/a".into(), 0.75)],
+                    ratings: vec![("isbn:1".into(), -0.5)],
+                    knows: vec!["http://ex.org/a".into()],
+                    see_also: vec![],
+                }],
+                changed: vec![AgentDiff {
+                    uri: "http://ex.org/a".into(),
+                    trust_set: vec![("http://ex.org/b".into(), 0.25)],
+                    trust_removed: vec!["http://ex.org/c".into()],
+                    ratings_set: vec![("isbn:2".into(), 1.0)],
+                    ratings_removed: vec!["isbn:3".into()],
+                    knows: Some(vec!["http://ex.org/b".into()]),
+                    see_also: None,
+                }],
+                removed: vec!["http://ex.org/gone".into()],
+                unchanged: 41,
+            },
+            health: SourceHealth { attempted: 9, fetched: 8, unreachable: 1, ..Default::default() },
+        }
+    }
+
+    fn log(records: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = wal_header();
+        for r in records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn records_round_trip_exactly() {
+        let records = vec![record(1), record(2), record(3)];
+        let readout = decode_wal(&log(&records)).unwrap();
+        assert!(readout.torn.is_none());
+        assert_eq!(readout.records, records);
+    }
+
+    #[test]
+    fn empty_log_is_just_the_header() {
+        let readout = decode_wal(&wal_header()).unwrap();
+        assert!(readout.records.is_empty());
+        assert!(readout.torn.is_none());
+    }
+
+    #[test]
+    fn torn_tail_keeps_the_valid_prefix() {
+        let bytes = log(&[record(1), record(2)]);
+        for cut in [bytes.len() - 1, bytes.len() - 10] {
+            let readout = decode_wal(&bytes[..cut]).unwrap();
+            assert_eq!(readout.records, vec![record(1)], "cut at {cut}");
+            assert!(matches!(readout.torn, Some(Error::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn bit_flip_in_a_record_stops_with_checksum_mismatch() {
+        let mut bytes = log(&[record(1), record(2)]);
+        let flip_at = bytes.len() - 3; // inside record 2's payload
+        bytes[flip_at] ^= 0x40;
+        let readout = decode_wal(&bytes).unwrap();
+        assert_eq!(readout.records, vec![record(1)]);
+        assert!(matches!(readout.torn, Some(Error::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn header_damage_is_fatal() {
+        let good = log(&[record(1)]);
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(decode_wal(&bad_magic), Err(Error::BadMagic { .. })));
+        let mut bad_version = good.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            decode_wal(&bad_version),
+            Err(Error::BadVersion { found: 99, .. })
+        ));
+        assert!(matches!(decode_wal(&good[..5]), Err(Error::Truncated { .. })));
+    }
+
+    #[test]
+    fn no_mutation_of_a_small_log_panics() {
+        // Exhaustive single-byte corruption: every truncation and every
+        // bit-flip must come back as a typed result, never a panic.
+        let bytes = log(&[record(1)]);
+        for cut in 0..bytes.len() {
+            let _ = decode_wal(&bytes[..cut]);
+        }
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x01;
+            let _ = decode_wal(&mutated);
+        }
+    }
+}

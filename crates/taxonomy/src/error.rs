@@ -20,6 +20,9 @@ pub enum TaxonomyError {
     UnknownProduct(usize),
     /// A product was registered without any topic descriptor (`|f(b)| ≥ 1`).
     MissingDescriptors(String),
+    /// Serialized raw parts violated a structural invariant
+    /// (see `Taxonomy::from_parts`).
+    InvalidParts(String),
 }
 
 impl fmt::Display for TaxonomyError {
@@ -32,6 +35,9 @@ impl fmt::Display for TaxonomyError {
             TaxonomyError::UnknownProduct(idx) => write!(f, "unknown product index {idx}"),
             TaxonomyError::MissingDescriptors(id) => {
                 write!(f, "product `{id}` has no topic descriptors (|f(b)| ≥ 1 required)")
+            }
+            TaxonomyError::InvalidParts(what) => {
+                write!(f, "malformed taxonomy parts: {what}")
             }
         }
     }

@@ -31,5 +31,5 @@ pub mod topic;
 pub use catalog::{Catalog, Product, ProductId};
 pub use error::{Result, TaxonomyError};
 pub use stats::{stats, TaxonomyStats};
-pub use taxonomy::{Taxonomy, TaxonomyBuilder};
+pub use taxonomy::{Taxonomy, TaxonomyBuilder, TaxonomyParts};
 pub use topic::{Topic, TopicId};

@@ -211,6 +211,91 @@ impl Taxonomy {
         let lca = self.lowest_common_ancestor(a, b);
         (self.depth(a) - self.depth(lca)) + (self.depth(b) - self.depth(lca))
     }
+
+    /// Exports the raw adjacency representation for serialization (see
+    /// `semrec-store`).
+    ///
+    /// The parts preserve the *exact* stored order of every adjacency list
+    /// — in particular `children`, whose order depends on the historical
+    /// interleaving of [`TaxonomyBuilder::add_topic`] and
+    /// [`TaxonomyBuilder::add_parent`] calls and feeds the summation order
+    /// of profile generation. Rebuilding through the public builder in
+    /// topic-id order could reorder children and perturb float sums;
+    /// [`Taxonomy::from_parts`] cannot.
+    pub fn to_parts(&self) -> TaxonomyParts {
+        TaxonomyParts {
+            labels: self.topics.iter().map(|t| t.label.clone()).collect(),
+            parents: self.parents.clone(),
+            children: self.children.clone(),
+            depth: self.depth.clone(),
+        }
+    }
+
+    /// Rebuilds a taxonomy from [`Taxonomy::to_parts`] output, validating
+    /// structural invariants (consistent lengths, in-bounds ids, a
+    /// parentless root, parented non-roots, unique labels,
+    /// parents/children agreement) so corrupted serialized bytes surface
+    /// as a typed [`TaxonomyError::InvalidParts`] instead of a panic.
+    pub fn from_parts(parts: TaxonomyParts) -> Result<Taxonomy> {
+        let TaxonomyParts { labels, parents, children, depth } = parts;
+        let n = labels.len();
+        let invalid = |what: &str| TaxonomyError::InvalidParts(what.to_owned());
+        if n == 0 {
+            return Err(invalid("no topics: a taxonomy contains at least ⊤"));
+        }
+        if parents.len() != n || children.len() != n || depth.len() != n {
+            return Err(invalid("adjacency/depth vectors disagree on topic count"));
+        }
+        if !parents[0].is_empty() || depth[0] != 0 {
+            return Err(invalid("⊤ must be parentless at depth 0"));
+        }
+        let mut edges = 0usize;
+        for (idx, list) in parents.iter().enumerate() {
+            if idx > 0 && list.is_empty() {
+                return Err(invalid("non-root topic without a parent"));
+            }
+            edges += list.len();
+            for p in list {
+                if p.index() >= n {
+                    return Err(invalid("parent id out of bounds"));
+                }
+                if !children[p.index()].contains(&TopicId::from_index(idx)) {
+                    return Err(invalid("parent edge missing from the child list"));
+                }
+            }
+        }
+        if children.iter().map(Vec::len).sum::<usize>() != edges {
+            return Err(invalid("parents/children edge counts disagree"));
+        }
+        let mut by_label = HashMap::with_capacity(n);
+        for (idx, label) in labels.iter().enumerate() {
+            if by_label.insert(label.clone(), TopicId::from_index(idx)).is_some() {
+                return Err(TaxonomyError::DuplicateLabel(label.clone()));
+            }
+        }
+        Ok(Taxonomy {
+            topics: labels.into_iter().map(|label| Topic { label }).collect(),
+            parents,
+            children,
+            depth,
+            by_label,
+        })
+    }
+}
+
+/// The raw serializable representation of a [`Taxonomy`]: exactly its
+/// stored adjacency vectors, order included. Produced by
+/// [`Taxonomy::to_parts`], consumed by [`Taxonomy::from_parts`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaxonomyParts {
+    /// Topic labels in id order (index 0 is ⊤).
+    pub labels: Vec<String>,
+    /// Direct parents per topic, in stored order.
+    pub parents: Vec<Vec<TopicId>>,
+    /// Direct children per topic, in stored order.
+    pub children: Vec<Vec<TopicId>>,
+    /// Shortest-path depth to ⊤ per topic.
+    pub depth: Vec<u32>,
 }
 
 /// Incremental taxonomy construction.
@@ -449,6 +534,63 @@ mod tests {
         let t = b.build();
         assert_eq!(t.depth(deep), 1);
         assert_eq!(t.depth(leaf), 2);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_exact_adjacency_order() {
+        // A DAG whose children lists are *not* in topic-id order: C gains
+        // B as a second parent after D was already B's child.
+        let mut b = Taxonomy::builder("Top");
+        let a = b.add_topic("A", TopicId::TOP).unwrap();
+        let bb = b.add_topic("B", TopicId::TOP).unwrap();
+        let c = b.add_topic("C", a).unwrap();
+        let d = b.add_topic("D", bb).unwrap();
+        b.add_parent(c, bb).unwrap();
+        let t = b.build();
+        assert_eq!(t.children(bb), &[d, c], "insertion order, not id order");
+
+        let rebuilt = Taxonomy::from_parts(t.to_parts()).unwrap();
+        assert_eq!(rebuilt.to_parts(), t.to_parts());
+        assert_eq!(rebuilt.children(bb), &[d, c]);
+        assert_eq!(rebuilt.by_label("C"), Some(c));
+        assert_eq!(rebuilt.depth(c), t.depth(c));
+    }
+
+    #[test]
+    fn malformed_parts_are_rejected_with_typed_errors() {
+        let (t, _) = small();
+        let good = t.to_parts();
+
+        let mut empty = good.clone();
+        empty.labels.clear();
+        empty.parents.clear();
+        empty.children.clear();
+        empty.depth.clear();
+        assert!(matches!(Taxonomy::from_parts(empty), Err(TaxonomyError::InvalidParts(_))));
+
+        let mut short = good.clone();
+        short.depth.pop();
+        assert!(matches!(Taxonomy::from_parts(short), Err(TaxonomyError::InvalidParts(_))));
+
+        let mut rooted = good.clone();
+        rooted.parents[0].push(TopicId::from_index(1));
+        assert!(matches!(Taxonomy::from_parts(rooted), Err(TaxonomyError::InvalidParts(_))));
+
+        let mut orphan = good.clone();
+        orphan.parents[3].clear();
+        assert!(matches!(Taxonomy::from_parts(orphan), Err(TaxonomyError::InvalidParts(_))));
+
+        let mut oob = good.clone();
+        oob.parents[3] = vec![TopicId::from_index(99)];
+        assert!(matches!(Taxonomy::from_parts(oob), Err(TaxonomyError::InvalidParts(_))));
+
+        let mut dup = good.clone();
+        dup.labels[2] = dup.labels[1].clone();
+        assert!(matches!(Taxonomy::from_parts(dup), Err(TaxonomyError::DuplicateLabel(_))));
+
+        let mut lopsided = good;
+        lopsided.children[1].pop();
+        assert!(matches!(Taxonomy::from_parts(lopsided), Err(TaxonomyError::InvalidParts(_))));
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! crawlers *fetch*. There is no direct agent-to-agent channel — by design.
 //!
 //! Instrumentation: every fetch that finds a document bumps the global
-//! `store.reads` counter, every fetch that misses bumps `store.misses`
+//! `web.store.reads` counter, every fetch that misses bumps `web.store.misses`
 //! (dangling links are not real traffic), and every publish/remove bumps
-//! `store.writes` — so crawl dashboards can tell served documents from
+//! `web.store.writes` — so crawl dashboards can tell served documents from
 //! 404s, alongside the per-web [`DocumentWeb::fetch_count`] (which counts
 //! both).
 
@@ -52,7 +52,7 @@ impl DocumentWeb {
         body: impl Into<String>,
         content_type: impl Into<String>,
     ) -> u64 {
-        semrec_obs::counter("store.writes").inc();
+        semrec_obs::counter("web.store.writes").inc();
         let mut docs = self.docs.write().unwrap();
         let entry = docs.entry(uri.into());
         match entry {
@@ -75,20 +75,20 @@ impl DocumentWeb {
     }
 
     /// Fetches a document (cloned, like a network response). Hits count as
-    /// `store.reads`, misses as `store.misses`.
+    /// `web.store.reads`, misses as `web.store.misses`.
     pub fn fetch(&self, uri: &str) -> Option<Document> {
         self.fetches.fetch_add(1, Ordering::Relaxed);
         let doc = self.docs.read().unwrap().get(uri).cloned();
         match doc {
-            Some(_) => semrec_obs::counter("store.reads").inc(),
-            None => semrec_obs::counter("store.misses").inc(),
+            Some(_) => semrec_obs::counter("web.store.reads").inc(),
+            None => semrec_obs::counter("web.store.misses").inc(),
         }
         doc
     }
 
     /// Removes a document; returns `true` if it existed.
     pub fn remove(&self, uri: &str) -> bool {
-        semrec_obs::counter("store.writes").inc();
+        semrec_obs::counter("web.store.writes").inc();
         self.docs.write().unwrap().remove(uri).is_some()
     }
 
@@ -170,9 +170,9 @@ mod tests {
 
     #[test]
     fn read_write_counters_track_traffic() {
-        let reads = semrec_obs::counter("store.reads");
-        let misses = semrec_obs::counter("store.misses");
-        let writes = semrec_obs::counter("store.writes");
+        let reads = semrec_obs::counter("web.store.reads");
+        let misses = semrec_obs::counter("web.store.misses");
+        let writes = semrec_obs::counter("web.store.writes");
         let (reads_before, misses_before, writes_before) =
             (reads.get(), misses.get(), writes.get());
         let web = DocumentWeb::new();

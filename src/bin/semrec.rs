@@ -11,6 +11,9 @@
 //! semrec recommend --data ./world --agent http://community.example.org/agents/0#me --top 10
 //! semrec serve-bench --scale small --seed 42 --workers 4 --clients 8
 //! semrec refresh-bench --scale small --seed 42 --rounds 3 --churn 0.05
+//! semrec checkpoint --data ./world --store ./checkpoints
+//! semrec recover --store ./checkpoints --top 5
+//! semrec store-bench --scale small --seed 42 --rounds 3 --churn 0.05
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -39,6 +42,9 @@ fn main() {
         "recommend" => recommend(&opts),
         "serve-bench" => serve_bench(&opts),
         "refresh-bench" => refresh_bench(&opts),
+        "checkpoint" => checkpoint(&opts),
+        "recover" => recover(&opts),
+        "store-bench" => store_bench(&opts),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -59,6 +65,7 @@ struct Options {
     cache: usize,
     rounds: usize,
     churn: f64,
+    store: PathBuf,
 }
 
 impl Options {
@@ -79,6 +86,7 @@ impl Options {
             cache: 4096,
             rounds: 3,
             churn: 0.05,
+            store: PathBuf::from("./checkpoints"),
         };
         let mut i = 0;
         while i < args.len() {
@@ -119,6 +127,7 @@ impl Options {
                 "--churn" => {
                     opts.churn = value(&mut i).parse().unwrap_or_else(|_| usage("bad churn"))
                 }
+                "--store" => opts.store = PathBuf::from(value(&mut i)),
                 other => usage(&format!("unknown option `{other}`")),
             }
             i += 1;
@@ -141,6 +150,12 @@ fn usage(reason: &str) -> ! {
     eprintln!(
         "  refresh-bench --scale small|medium|paper --seed N [--rounds N] [--churn F]\n\
          \x20               [--workers N]"
+    );
+    eprintln!("  checkpoint --data DIR --store DIR");
+    eprintln!("  recover    --store DIR [--agent URI] [--top N]");
+    eprintln!(
+        "  store-bench --scale small|medium|paper --seed N [--rounds N] [--churn F]\n\
+         \x20             [--store DIR]"
     );
     std::process::exit(2);
 }
@@ -205,6 +220,15 @@ fn generate(opts: &Options) {
 // --- loading -----------------------------------------------------------------
 
 fn load(data: &Path) -> Community {
+    let (taxonomy, catalog, extracted) = load_extracted(data);
+    let (community, _) = semrec::web::crawler::assemble_community(&extracted, taxonomy, catalog);
+    community
+}
+
+fn load_extracted(
+    data: &Path,
+) -> (semrec::taxonomy::Taxonomy, semrec::taxonomy::Catalog, Vec<semrec::web::extract::ExtractedAgent>)
+{
     let read = |name: &str| -> String {
         std::fs::read_to_string(data.join(name))
             .unwrap_or_else(|e| fail(&format!("{}/{name}: {e}", data.display())))
@@ -245,8 +269,7 @@ fn load(data: &Path) -> Community {
     if parse_errors > 0 {
         eprintln!("warning: {parse_errors} homepages failed to parse");
     }
-    let (community, _) = semrec::web::crawler::assemble_community(&extracted, taxonomy, catalog);
-    community
+    (taxonomy, catalog, extracted)
 }
 
 fn resolve_agent(community: &Community, opts: &Options) -> semrec::AgentId {
@@ -513,4 +536,178 @@ fn refresh_bench(opts: &Options) {
         "cache: {} hits, {} misses, {} carried, {} invalidated",
         cache.hits, cache.misses, cache.carried, cache.invalidated
     );
+}
+
+fn checkpoint(opts: &Options) {
+    use semrec::store::Store;
+    use semrec::web::crawler::CommunityBuilder;
+
+    let (taxonomy, catalog, extracted) = load_extracted(&opts.data);
+    let builder = CommunityBuilder::new(&extracted);
+    let (community, _) = builder.build(taxonomy, catalog);
+    let engine = Recommender::new(community, RecommenderConfig::default());
+
+    let store = Store::open(&opts.store).unwrap_or_else(|e| fail(&e.to_string()));
+    let report = store
+        .checkpoint(&engine, builder.agents(), 1)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "Checkpointed {} agents as snapshot {} ({} bytes) in {}",
+        engine.community().agent_count(),
+        report.seq,
+        report.snapshot_bytes,
+        opts.store.display()
+    );
+}
+
+fn recover(opts: &Options) {
+    use semrec::store::Store;
+
+    let store = Store::open(&opts.store).unwrap_or_else(|e| fail(&e.to_string()));
+    let recovery = store.recover().unwrap_or_else(|e| fail(&e.to_string()));
+
+    let mut table = Table::new(["measure", "value"]);
+    table.row(["snapshot seq".to_string(), recovery.snapshot_seq.to_string()]);
+    table.row(["snapshot epoch".to_string(), recovery.snapshot_epoch.to_string()]);
+    table.row(["wal records replayed".to_string(), recovery.replayed.to_string()]);
+    table.row(["resume epoch".to_string(), recovery.epoch.to_string()]);
+    table.row(["agents".to_string(), recovery.engine.community().agent_count().to_string()]);
+    table.row([
+        "snapshots skipped (corrupt)".to_string(),
+        recovery.skipped.len().to_string(),
+    ]);
+    table.row([
+        "wal status".to_string(),
+        match &recovery.wal_error {
+            None => "clean".to_string(),
+            Some(e) => format!("degraded: {e}"),
+        },
+    ]);
+    println!("{}", table.render());
+    for (seq, error) in &recovery.skipped {
+        eprintln!("warning: snapshot {seq} skipped: {error}");
+    }
+
+    if opts.agent.is_some() {
+        let agent = resolve_agent(recovery.engine.community(), opts);
+        let recommendations =
+            recovery.engine.recommend(agent, opts.top).unwrap_or_else(|e| fail(&e.to_string()));
+        let mut table = Table::new(["#", "product", "score"]);
+        for (i, rec) in recommendations.iter().enumerate() {
+            let product = recovery.engine.community().catalog.product(rec.product);
+            table.row([
+                (i + 1).to_string(),
+                product.identifier.clone(),
+                format!("{:.3}", rec.score),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+fn store_bench(opts: &Options) {
+    use semrec::store::Store;
+    use semrec::web::crawler::{crawl, refresh, CommunityBuilder, CrawlConfig};
+    use semrec::web::publish::{homepage_uri, publish_community};
+    use semrec::web::store::DocumentWeb;
+
+    let config = match opts.scale.as_str() {
+        "small" => CommunityGenConfig::small(opts.seed),
+        "medium" => CommunityGenConfig::medium(opts.seed),
+        "paper" => CommunityGenConfig::paper_scale(opts.seed),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    println!(
+        "Generating {} community (seed {}), checkpointing, then {} WAL rounds at churn {:.2}…",
+        opts.scale, opts.seed, opts.rounds, opts.churn
+    );
+    let mut source = generate_community(&config).community;
+    let agents = source.agent_count();
+    let products: Vec<_> = source.catalog.iter().collect();
+    let seeds: Vec<String> =
+        source.agents().map(|a| source.agent(a).map(|i| i.uri.clone()).unwrap()).collect();
+
+    let web = DocumentWeb::new();
+    publish_community(&source, &web);
+    let crawl_config = CrawlConfig::default();
+    let mut previous = crawl(&web, &seeds, &crawl_config);
+    let mut builder = CommunityBuilder::new(&previous.agents);
+    let (community, _) = builder.build(source.taxonomy.clone(), source.catalog.clone());
+    let mut engine = Recommender::new(community, RecommenderConfig::default());
+
+    let store = Store::open(&opts.store).unwrap_or_else(|e| fail(&e.to_string()));
+    let report = store
+        .checkpoint(&engine, builder.agents(), 1)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5704e);
+    for _ in 0..opts.rounds {
+        let republishers = ((agents as f64 * opts.churn) as usize).max(1);
+        for _ in 0..republishers {
+            let agent = semrec::AgentId::from_index(rng.random_range(0..agents));
+            let product = products[rng.random_range(0..products.len())];
+            let rating = -1.0 + 2.0 * rng.random::<f64>();
+            source.set_rating(agent, product, rating).unwrap_or_else(|e| fail(&e.to_string()));
+            let uri = source.agent(agent).map(|i| i.uri.clone()).unwrap();
+            web.publish(homepage_uri(&uri), homepage_turtle(&source, agent), "text/turtle");
+        }
+        let result = refresh(&web, &seeds, &crawl_config, &previous);
+        let delta = result.delta.clone().expect("refresh always diffs");
+        let health = result.health();
+        store.append_delta(&delta, &health).unwrap_or_else(|e| fail(&e.to_string()));
+
+        builder.apply_delta(&delta);
+        let (next, _) = builder.build(source.taxonomy.clone(), source.catalog.clone());
+        let (advanced, _) = engine.advance(next, &delta.model_delta(), health);
+        engine = advanced;
+        previous = result;
+    }
+
+    // Cold rebuild: re-derive the whole model from the standing view.
+    let started = std::time::Instant::now();
+    let rebuilt = CommunityBuilder::new(builder.agents());
+    let (cold, _) = rebuilt.build(source.taxonomy.clone(), source.catalog.clone());
+    std::hint::black_box(Recommender::new(cold, RecommenderConfig::default()));
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Warm recovery: snapshot + WAL replay.
+    let started = std::time::Instant::now();
+    let recovery = store.recover().unwrap_or_else(|e| fail(&e.to_string()));
+    let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let identical = {
+        let live: Vec<_> = engine
+            .community()
+            .agents()
+            .flat_map(|a| engine.recommend(a, 5).unwrap_or_default())
+            .map(|r| (r.product, r.score.to_bits()))
+            .collect();
+        let recovered: Vec<_> = recovery
+            .engine
+            .community()
+            .agents()
+            .flat_map(|a| recovery.engine.recommend(a, 5).unwrap_or_default())
+            .map(|r| (r.product, r.score.to_bits()))
+            .collect();
+        live == recovered
+    };
+
+    let mut table = Table::new(["measure", "value"]);
+    table.row(["agents".to_string(), agents.to_string()]);
+    table.row(["snapshot bytes".to_string(), report.snapshot_bytes.to_string()]);
+    table.row([
+        "wal bytes".to_string(),
+        store.wal_bytes().unwrap_or_else(|e| fail(&e.to_string())).to_string(),
+    ]);
+    table.row(["wal records replayed".to_string(), recovery.replayed.to_string()]);
+    table.row(["cold rebuild (ms)".to_string(), format!("{cold_ms:.2}")]);
+    table.row(["snapshot+wal recovery (ms)".to_string(), format!("{recover_ms:.2}")]);
+    table.row([
+        "recovered ≡ live (bit-for-bit)".to_string(),
+        if identical { "yes".to_string() } else { "NO".to_string() },
+    ]);
+    println!("{}", table.render());
+    if !identical {
+        fail("recovered model diverged from the live model");
+    }
 }

@@ -19,6 +19,7 @@
 //! | [`eval`] | `semrec-eval` | splits, metrics, baselines, tables |
 //! | [`obs`] | `semrec-obs` | metrics registry, stage spans, event observers |
 //! | [`serve`] | `semrec-serve` | concurrent serving: snapshot swap, admission control, batching |
+//! | [`store`] | `semrec-store` | durable checkpoints, delta WAL, crash-recoverable warm starts |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -32,6 +33,7 @@ pub use semrec_obs as obs;
 pub use semrec_profiles as profiles;
 pub use semrec_rdf as rdf;
 pub use semrec_serve as serve;
+pub use semrec_store as store;
 pub use semrec_taxonomy as taxonomy;
 pub use semrec_trust as trust;
 pub use semrec_web as web;

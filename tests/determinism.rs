@@ -273,6 +273,120 @@ fn incremental_refresh_is_thread_count_invariant() {
     assert_eq!(totals(&counters_seq), totals(&counters_par));
 }
 
+/// One fault-injected checkpoint→restart→resume pass: crawl through a
+/// transient-fault web, checkpoint the model, run one deterministic churn
+/// round through the same faulty web appending the delta to the WAL, then
+/// *recover from disk* and recommend from the recovered engine. Returns
+/// the rendered recommendations (bit-exact scores), the rendered recovery
+/// record, and the counter map including the `store.*` namespace — all of
+/// which must be invariant across runs and thread counts.
+fn run_checkpointed(seed: u64, threads: usize) -> (String, String, BTreeMap<String, u64>) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let scratch = std::env::temp_dir().join(format!(
+        "semrec-determinism-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let generated = generate_community(&CommunityGenConfig::small(seed));
+    let mut community = generated.community;
+    let web = DocumentWeb::new();
+    publish_community(&community, &web);
+    let seeds: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+
+    obs::global().reset();
+    let faulty = FaultyWeb::new(&web, FaultPlan::transient(0.3, seed));
+    let config = CrawlConfig { threads, ..Default::default() };
+    let policy = FetchPolicy::default();
+    let (first, mut breaker) = crawl_resilient(&faulty, &seeds, &config, &policy);
+    let builder = CommunityBuilder::new(&first.agents);
+    let (initial, _) =
+        builder.build(community.taxonomy.clone(), community.catalog.clone());
+    let engine = Recommender::new(initial, RecommenderConfig::default())
+        .with_source_health(first.health());
+
+    let store = semrec::store::Store::open(&scratch).expect("scratch store opens");
+    store.checkpoint(&engine, builder.agents(), 1).expect("checkpoint succeeds");
+
+    // Deterministic churn, as in `run_incremental`.
+    let products: Vec<_> = community.catalog.iter().collect();
+    for (k, agent) in community.agents().take(5).enumerate() {
+        community.set_rating(agent, products[k % products.len()], 0.5).expect("valid rating");
+        let uri = community.agent(agent).unwrap().uri.clone();
+        web.publish(homepage_uri(&uri), homepage_turtle(&community, agent), "text/turtle");
+    }
+    let second = refresh_resilient(&faulty, &seeds, &config, &policy, &mut breaker, &first);
+    let delta = second.delta.clone().expect("refresh always diffs");
+    store.append_delta(&delta, &second.health()).expect("append succeeds");
+
+    // Restart: everything below this line uses only what's on disk.
+    let recovery = store.recover().expect("recovery succeeds");
+    let record = format!(
+        "touched={} replayed={} epoch={} snapshot_seq={} degraded={}",
+        delta.touched(),
+        recovery.replayed,
+        recovery.epoch,
+        recovery.snapshot_seq,
+        recovery.degraded(),
+    );
+
+    let agents: Vec<_> = recovery.engine.community().agents().collect();
+    let batch = recommend_batch(&recovery.engine, &agents, 10, threads);
+    let mut rendered = String::new();
+    for (agent, result) in agents.iter().zip(&batch) {
+        rendered.push_str(&format!("{agent:?}:"));
+        for rec in result.as_ref().expect("recommendation succeeds") {
+            rendered.push_str(&format!(" {:?}={}", rec.product, rec.score.to_bits()));
+        }
+        rendered.push('\n');
+    }
+    let counters = obs::global().snapshot().counters;
+    std::fs::remove_dir_all(&scratch).ok();
+    (rendered, record, counters)
+}
+
+#[test]
+fn checkpoint_restart_resume_is_byte_identical_across_runs() {
+    let _serial = lock();
+    let (recs_a, rec_a, counters_a) = run_checkpointed(42, 4);
+    let (recs_b, rec_b, counters_b) = run_checkpointed(42, 4);
+
+    assert!(!recs_a.is_empty());
+    assert_eq!(recs_a, recs_b, "recovered recommendations must be byte-identical");
+    assert_eq!(rec_a, rec_b, "the recovery record must be identical");
+    assert!(
+        counters_a.get("store.snapshot.write").copied().unwrap_or(0) > 0
+            && counters_a.get("store.snapshot.load").copied().unwrap_or(0) > 0
+            && counters_a.get("store.wal.appended").copied().unwrap_or(0) > 0
+            && counters_a.get("store.wal.replayed").copied().unwrap_or(0) > 0,
+        "the store namespace must register the full cycle: {counters_a:?}"
+    );
+    assert_eq!(
+        counters_a, counters_b,
+        "counter values (including store.*) must be identical across runs"
+    );
+}
+
+#[test]
+fn checkpoint_restart_resume_is_thread_count_invariant() {
+    let _serial = lock();
+    let (recs_seq, rec_seq, counters_seq) = run_checkpointed(7, 1);
+    let (recs_par, rec_par, counters_par) = run_checkpointed(7, 4);
+
+    assert_eq!(recs_seq, recs_par, "thread count must not change recovered recommendations");
+    assert_eq!(rec_seq, rec_par, "thread count must not change the recovery record");
+    let totals = |counters: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
+        counters
+            .iter()
+            .filter(|(name, _)| !name.starts_with("batch.worker."))
+            .map(|(name, &count)| (name.clone(), count))
+            .collect()
+    };
+    assert_eq!(totals(&counters_seq), totals(&counters_par));
+}
+
 #[test]
 fn different_seeds_diverge() {
     let _serial = lock();

@@ -249,12 +249,12 @@ fn crawl_and_store_counters_track_a_publish_fetch_cycle() {
     assert_eq!(snapshot.counters["crawl.fetch.missing"], result.missing as u64);
     // Hits and misses are counted separately; together they are the store's
     // total served traffic. (Counters are created lazily, so a crawl without
-    // dangling links may never mint `store.misses`.)
-    let reads = snapshot.counters.get("store.reads").copied().unwrap_or(0);
-    let misses = snapshot.counters.get("store.misses").copied().unwrap_or(0);
+    // dangling links may never mint `web.store.misses`.)
+    let reads = snapshot.counters.get("web.store.reads").copied().unwrap_or(0);
+    let misses = snapshot.counters.get("web.store.misses").copied().unwrap_or(0);
     assert_eq!(reads + misses, web.fetch_count());
     assert_eq!(misses, result.missing as u64, "crawl misses are exactly the dangling links");
-    assert!(snapshot.counters["store.writes"] >= web.len() as u64);
+    assert!(snapshot.counters["web.store.writes"] >= web.len() as u64);
     // Level counters partition the fetch attempts.
     let level_sum: u64 = snapshot
         .counters
