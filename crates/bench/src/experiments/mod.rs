@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E18 (DESIGN.md §3).
+//! The reproduced experiments E1–E19 (DESIGN.md §3).
 //!
 //! Every experiment is a function of the chosen [`crate::Scale`] that prints
 //! its table(s) to stdout — the same rows recorded in EXPERIMENTS.md — and
@@ -23,10 +23,11 @@ pub mod e15_resilience;
 pub mod e16_serving;
 pub mod e17_incremental;
 pub mod e18_store;
+pub mod e19_ranking;
 
 use crate::Scale;
 
-/// Runs one experiment by id (`"e1"` … `"e18"`); `true` if the id is known.
+/// Runs one experiment by id (`"e1"` … `"e19"`); `true` if the id is known.
 pub fn run(id: &str, scale: Scale) -> bool {
     match id {
         "e1" => {
@@ -83,15 +84,18 @@ pub fn run(id: &str, scale: Scale) -> bool {
         "e18" => {
             e18_store::run(scale);
         }
+        "e19" => {
+            e19_ranking::run(scale);
+        }
         _ => return false,
     }
     true
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18",
+    "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Prints a section header.

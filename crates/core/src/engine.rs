@@ -16,8 +16,9 @@ use crate::error::Result;
 use crate::health::SourceHealth;
 use crate::model::Community;
 use crate::profiles::{ProfileStore, SimilarityMeasure};
+use crate::rank::{RankContext, RankedPeer, SharedRanker, SimilarityRanker};
 use crate::recommend::{novel_only, vote, Recommendation, VotingParams};
-use crate::synthesis::{synthesize, PeerScores, SynthesisStrategy};
+use crate::synthesis::{PeerScores, SynthesisStrategy};
 
 /// Full configuration of the recommendation pipeline.
 #[derive(Clone, Copy, Debug, Default)]
@@ -101,13 +102,33 @@ pub struct SharedModel {
     profiles: ProfileStore,
     config: RecommenderConfig,
     source_health: SourceHealth,
+    ranker: SharedRanker,
 }
 
 impl SharedModel {
     /// Builds the model state, materializing every agent's profile once.
+    /// Ranking uses the default [`SimilarityRanker`]; see
+    /// [`SharedModel::with_ranker`] for a custom rank synthesization stage.
     pub fn new(community: Community, config: RecommenderConfig) -> Self {
+        SharedModel::with_ranker(community, config, Arc::new(SimilarityRanker))
+    }
+
+    /// Like [`SharedModel::new`], with an explicit rank synthesization
+    /// stage. The ranker travels with the model, so serving layers swap it
+    /// with the same epoch publish that swaps models.
+    pub fn with_ranker(
+        community: Community,
+        config: RecommenderConfig,
+        ranker: SharedRanker,
+    ) -> Self {
         let profiles = ProfileStore::build(&community, &config.profile);
-        SharedModel { community, profiles, config, source_health: SourceHealth::default() }
+        SharedModel {
+            community,
+            profiles,
+            config,
+            source_health: SourceHealth::default(),
+            ranker,
+        }
     }
 
     /// The underlying community.
@@ -130,6 +151,11 @@ impl SharedModel {
         &self.source_health
     }
 
+    /// The active rank synthesization stage.
+    pub fn ranker(&self) -> &SharedRanker {
+        &self.ranker
+    }
+
     /// Reassembles a model from explicitly supplied parts, e.g. as
     /// deserialized from a durable checkpoint (see `semrec-store`).
     ///
@@ -139,6 +165,10 @@ impl SharedModel {
     /// `config.profile`. Persistence round-trip tests prove that a model
     /// rebuilt this way answers every query byte-identically to the model
     /// it was captured from.
+    ///
+    /// Rankers are code, not data — checkpoints do not carry them — so the
+    /// reassembled model ranks with the default [`SimilarityRanker`];
+    /// attach a custom stage afterwards via [`Recommender::using_ranker`].
     pub fn from_parts(
         community: Community,
         profiles: ProfileStore,
@@ -150,7 +180,13 @@ impl SharedModel {
             community.agent_count(),
             "one profile per agent, in agent-id order"
         );
-        SharedModel { community, profiles, config, source_health }
+        SharedModel {
+            community,
+            profiles,
+            config,
+            source_health,
+            ranker: Arc::new(SimilarityRanker),
+        }
     }
 
     /// Produces the next model generation from `next` incrementally:
@@ -184,6 +220,7 @@ impl SharedModel {
             profiles,
             config: self.config,
             source_health,
+            ranker: Arc::clone(&self.ranker),
         };
         (model, stats)
     }
@@ -208,6 +245,16 @@ impl Recommender {
         Recommender { model: Arc::new(SharedModel::new(community, config)) }
     }
 
+    /// Like [`Recommender::new`], with an explicit rank synthesization
+    /// stage (see [`crate::rank::Ranker`]).
+    pub fn with_ranker(
+        community: Community,
+        config: RecommenderConfig,
+        ranker: SharedRanker,
+    ) -> Self {
+        Recommender { model: Arc::new(SharedModel::with_ranker(community, config, ranker)) }
+    }
+
     /// Wraps an already-shared model without copying it.
     pub fn from_shared(model: Arc<SharedModel>) -> Self {
         Recommender { model }
@@ -224,6 +271,20 @@ impl Recommender {
     pub fn with_source_health(mut self, health: SourceHealth) -> Self {
         Arc::make_mut(&mut self.model).source_health = health;
         self
+    }
+
+    /// Replaces the rank synthesization stage. Copy-on-write like
+    /// [`Recommender::with_source_health`]: a shared model is cloned first,
+    /// so other owners keep ranking with the stage they pinned. Profiles
+    /// are *not* rebuilt — the ranker is downstream of them.
+    pub fn using_ranker(mut self, ranker: SharedRanker) -> Self {
+        Arc::make_mut(&mut self.model).ranker = ranker;
+        self
+    }
+
+    /// The active rank synthesization stage.
+    pub fn ranker(&self) -> &SharedRanker {
+        self.model.ranker()
     }
 
     /// The health of the source this community was assembled from.
@@ -258,9 +319,10 @@ impl Recommender {
         (Recommender { model: Arc::new(model) }, stats)
     }
 
-    /// Computes the synthesized peer weights for a target agent —
-    /// the §3.2 + §3.3 + §3.4 front half of the pipeline.
-    pub fn peer_weights(&self, target: AgentId) -> Result<(Vec<(AgentId, f64)>, PipelineTrace)> {
+    /// Runs the §3.2 + §3.3 + §3.4 front half of the pipeline through the
+    /// model's [`crate::rank::Ranker`], returning each peer's final weight together with
+    /// its per-component decomposition.
+    pub fn rank_peers(&self, target: AgentId) -> Result<(Vec<RankedPeer>, PipelineTrace)> {
         let model = &*self.model;
         let neighborhood = {
             let _stage = semrec_obs::span("engine.stage.neighborhood");
@@ -282,18 +344,33 @@ impl Recommender {
                 })
                 .collect()
         };
-        let weighted = {
+        let ranked = {
             let _stage = semrec_obs::span("engine.stage.synthesis");
-            synthesize(model.config.synthesis, &peers)
+            let ctx = RankContext {
+                target,
+                neighborhood: &neighborhood,
+                peers: &peers,
+                community: &model.community,
+                profiles: &model.profiles,
+                config: &model.config,
+            };
+            model.ranker.rank(&ctx)
         };
         let trace = PipelineTrace {
             neighborhood_size: neighborhood.peers.len(),
             trust_iterations: neighborhood.iterations,
             nodes_explored: neighborhood.nodes_explored,
-            effective_peers: weighted.len(),
+            effective_peers: ranked.len(),
         };
         trace.publish(semrec_obs::global());
-        Ok((weighted, trace))
+        Ok((ranked, trace))
+    }
+
+    /// Computes the synthesized peer weights for a target agent — the
+    /// weight-only view of [`Recommender::rank_peers`].
+    pub fn peer_weights(&self, target: AgentId) -> Result<(Vec<(AgentId, f64)>, PipelineTrace)> {
+        let (ranked, trace) = self.rank_peers(target)?;
+        Ok((ranked.into_iter().map(|p| (p.agent, p.weight)).collect(), trace))
     }
 
     /// Produces the top-`n` recommendations for a target agent.

@@ -15,7 +15,8 @@ use semrec_trust::AgentId;
 
 use crate::engine::Recommender;
 use crate::error::Result;
-use crate::synthesis::{synthesize, PeerScores};
+use crate::rank::{RankContext, ScoreComponents};
+use crate::synthesis::PeerScores;
 
 /// One voting peer's contribution to a recommendation.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +34,9 @@ pub struct Voter {
     /// Their vote contribution (`weight · rating` under rating-weighted
     /// voting, `weight` otherwise).
     pub contribution: f64,
+    /// The contribution decomposed by ranker score component
+    /// (similarity / activation / centrality); sums to `contribution`.
+    pub components: ScoreComponents,
     /// The strongest explicit trust chain `target → … → peer` behind the
     /// peer's admission (per-hop trust product in `.0`). `None` only if the
     /// chain exceeds the provenance depth bound.
@@ -48,6 +52,11 @@ pub struct Explanation {
     pub voters: Vec<Voter>,
     /// Total vote score (the value recommendation ranking uses).
     pub score: f64,
+    /// The score decomposed by ranker component across all voters
+    /// (similarity / activation / centrality); sums to `score`. Under the
+    /// default [`crate::rank::SimilarityRanker`] all mass sits in
+    /// `similarity`.
+    pub components: ScoreComponents,
     /// Topics where the target's interest profile and the product's content
     /// profile overlap: `(topic, target score, product score)`, strongest
     /// product-side mass first.
@@ -80,17 +89,31 @@ impl Recommender {
                     .apply(target_profile, self.profiles().profile(agent)),
             })
             .collect();
-        let weights = synthesize(config.synthesis, &peers);
+        // The same ranker recommendation generation runs, so explanations
+        // attribute the scores users actually saw — for any Ranker impl.
+        let ranked = self.ranker().rank(&RankContext {
+            target,
+            neighborhood: &neighborhood,
+            peers: &peers,
+            community,
+            profiles: self.profiles(),
+            config,
+        });
 
         let mut voters = Vec::new();
         let mut score = 0.0;
-        for &(agent, weight) in &weights {
+        let mut components = ScoreComponents::default();
+        for peer in &ranked {
+            let (agent, weight) = (peer.agent, peer.weight);
             let Some(rating) = community.rating(agent, product) else { continue };
             if rating <= config.voting.min_rating {
                 continue;
             }
-            let contribution =
-                if config.voting.rating_weighted_votes { weight * rating } else { weight };
+            let (contribution, vote_components) = if config.voting.rating_weighted_votes {
+                (weight * rating, peer.components.scaled(rating))
+            } else {
+                (weight, peer.components)
+            };
             let base = peers.iter().find(|p| p.agent == agent).expect("peer was scored");
             let trust_path = strongest_path(&community.trust, target, agent, Some(8))?;
             voters.push(Voter {
@@ -100,9 +123,11 @@ impl Recommender {
                 similarity: base.similarity,
                 rating,
                 contribution,
+                components: vote_components,
                 trust_path,
             });
             score += contribution;
+            components.accumulate(&vote_components);
         }
         if voters.is_empty() {
             return Ok(None);
@@ -131,7 +156,7 @@ impl Recommender {
 
         let degraded =
             if self.source_health().is_degraded() { Some(*self.source_health()) } else { None };
-        Ok(Some(Explanation { product, voters, score, shared_topics, degraded }))
+        Ok(Some(Explanation { product, voters, score, components, shared_topics, degraded }))
     }
 }
 
@@ -202,6 +227,39 @@ mod tests {
         for &(_, target_score, product_score) in &explanation.shared_topics {
             assert!(target_score > 0.0);
             assert!(product_score > 0.0);
+        }
+    }
+
+    #[test]
+    fn component_decomposition_sums_to_the_score() {
+        let (engine, agents, products) = setup();
+        // Default ranker: all mass is similarity-attributed.
+        let explanation = engine.explain(agents[0], products[0]).unwrap().unwrap();
+        assert!((explanation.components.total() - explanation.score).abs() < 1e-12);
+        assert_eq!(explanation.components.activation, 0.0);
+        assert_eq!(explanation.components.centrality, 0.0);
+        for voter in &explanation.voters {
+            assert!((voter.components.total() - voter.contribution).abs() < 1e-12);
+        }
+
+        // Spreading-activation ranker: the decomposition still sums, the
+        // explanation still matches the recommendation score, and at least
+        // one non-similarity component carries mass.
+        let engine = engine.using_ranker(std::sync::Arc::new(
+            crate::rank::SpreadingActivationRanker::default(),
+        ));
+        let recs = engine.recommend(agents[0], 10).unwrap();
+        let top = recs.first().unwrap();
+        let explanation = engine.explain(agents[0], top.product).unwrap().unwrap();
+        assert!((explanation.score - top.score).abs() < 1e-12);
+        assert!((explanation.components.total() - explanation.score).abs() < 1e-12);
+        assert!(
+            explanation.components.activation > 0.0 || explanation.components.centrality > 0.0,
+            "the blend must attribute mass beyond similarity: {:?}",
+            explanation.components
+        );
+        for voter in &explanation.voters {
+            assert!((voter.components.total() - voter.contribution).abs() < 1e-12);
         }
     }
 

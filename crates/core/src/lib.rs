@@ -13,8 +13,11 @@
 //! 2. **Similarity-based filtering** (§3.3) — taxonomy-driven profiles are
 //!    compared with Pearson/cosine (`semrec-profiles`);
 //! 3. **Rank synthesization** (§3.4) — trust and similarity ranks merge
-//!    into one weight per peer ([`synthesis`], with the strategy ablation
-//!    the paper calls for);
+//!    into one weight per peer behind the pluggable [`rank::Ranker`] trait
+//!    ([`synthesis`] holds the strategy ablation the paper calls for;
+//!    [`rank::SpreadingActivationRanker`] closes the §5 future-work gap
+//!    with two-phase spreading activation over the merged trust +
+//!    taxonomy graph);
 //! 4. **Recommendation generation** (§3.4) — weighted peer voting, plus the
 //!    content-driven "untouched categories" novelty scheme ([`recommend`])
 //!    and the topic-diversification extension ([`diversify`]).
@@ -48,6 +51,7 @@ pub mod error;
 pub mod health;
 pub mod model;
 pub mod profiles;
+pub mod rank;
 pub mod recommend;
 pub mod synthesis;
 
@@ -59,6 +63,10 @@ pub use error::{CoreError, Result};
 pub use health::SourceHealth;
 pub use model::{AgentInfo, Community};
 pub use profiles::{ProfileStore, SimilarityMeasure};
+pub use rank::{
+    BlendWeights, RankContext, RankedPeer, Ranker, ScoreComponents, SharedRanker,
+    SimilarityRanker, SpreadResult, SpreadingActivationRanker, SpreadingParams,
+};
 pub use recommend::{Recommendation, VotingParams};
 pub use synthesis::{PeerScores, SynthesisStrategy};
 

@@ -14,6 +14,7 @@
 //! semrec checkpoint --data ./world --store ./checkpoints
 //! semrec recover --store ./checkpoints --top 5
 //! semrec store-bench --scale small --seed 42 --rounds 3 --churn 0.05
+//! semrec rank-bench --scale small --seed 42 --blend 0.5,0.3,0.2
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -45,6 +46,7 @@ fn main() {
         "checkpoint" => checkpoint(&opts),
         "recover" => recover(&opts),
         "store-bench" => store_bench(&opts),
+        "rank-bench" => rank_bench(&opts),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -66,6 +68,7 @@ struct Options {
     rounds: usize,
     churn: f64,
     store: PathBuf,
+    blend: Option<String>,
 }
 
 impl Options {
@@ -87,6 +90,7 @@ impl Options {
             rounds: 3,
             churn: 0.05,
             store: PathBuf::from("./checkpoints"),
+            blend: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -128,6 +132,7 @@ impl Options {
                     opts.churn = value(&mut i).parse().unwrap_or_else(|_| usage("bad churn"))
                 }
                 "--store" => opts.store = PathBuf::from(value(&mut i)),
+                "--blend" => opts.blend = Some(value(&mut i)),
                 other => usage(&format!("unknown option `{other}`")),
             }
             i += 1;
@@ -156,6 +161,9 @@ fn usage(reason: &str) -> ! {
     eprintln!(
         "  store-bench --scale small|medium|paper --seed N [--rounds N] [--churn F]\n\
          \x20             [--store DIR]"
+    );
+    eprintln!(
+        "  rank-bench --scale small|medium|paper --seed N [--top N] [--blend S,A,C]"
     );
     std::process::exit(2);
 }
@@ -710,4 +718,96 @@ fn store_bench(opts: &Options) {
     if !identical {
         fail("recovered model diverged from the live model");
     }
+}
+
+fn rank_bench(opts: &Options) {
+    use semrec::core::{BlendWeights, SpreadingActivationRanker, SpreadingParams};
+    use std::sync::Arc;
+
+    let config = match opts.scale.as_str() {
+        "small" => CommunityGenConfig::small(opts.seed),
+        "medium" => CommunityGenConfig::medium(opts.seed),
+        "paper" => CommunityGenConfig::paper_scale(opts.seed),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    let blend = match &opts.blend {
+        None => BlendWeights::default(),
+        Some(spec) => {
+            let parts: Vec<f64> =
+                spec.split(',').map(|p| p.trim().parse().unwrap_or_else(|_| usage("bad blend"))).collect();
+            let [similarity, activation, centrality] = parts[..] else {
+                usage("--blend wants three comma-separated weights, e.g. 0.5,0.3,0.2")
+            };
+            BlendWeights { similarity, activation, centrality }
+        }
+    };
+    println!(
+        "Generating {} community (seed {}), ranking every agent with both rankers…",
+        opts.scale, opts.seed
+    );
+    let community = generate_community(&config).community;
+    let panel: Vec<semrec::AgentId> = community.agents().take(256).collect();
+
+    let baseline = Recommender::new(community.clone(), RecommenderConfig::default());
+    let spreading = Recommender::with_ranker(
+        community,
+        RecommenderConfig::default(),
+        Arc::new(SpreadingActivationRanker::new(SpreadingParams {
+            blend,
+            ..SpreadingParams::default()
+        })),
+    );
+
+    // (label, engine) × panel → latency + top-N overlap against baseline.
+    let time_engine = |engine: &Recommender| -> (f64, Vec<Vec<semrec::ProductId>>) {
+        let started = std::time::Instant::now();
+        let tops: Vec<Vec<semrec::ProductId>> = panel
+            .iter()
+            .map(|&agent| {
+                engine
+                    .recommend(agent, opts.top)
+                    .map(|r| r.into_iter().map(|x| x.product).collect())
+                    .unwrap_or_default()
+            })
+            .collect();
+        (started.elapsed().as_secs_f64() * 1e6 / panel.len() as f64, tops)
+    };
+    let (base_us, base_tops) = time_engine(&baseline);
+    let (spread_us, spread_tops) = time_engine(&spreading);
+
+    let mut overlap_sum = 0.0;
+    let mut compared = 0usize;
+    for (b, s) in base_tops.iter().zip(&spread_tops) {
+        if b.is_empty() {
+            continue;
+        }
+        let hits = s.iter().filter(|p| b.contains(p)).count();
+        overlap_sum += hits as f64 / b.len() as f64;
+        compared += 1;
+    }
+    let norm = blend.normalized();
+
+    let mut table = Table::new(["measure", "similarity", "spreading-activation"]);
+    table.row(["ranker".to_string(), baseline.ranker().name().to_string(), spreading.ranker().name().to_string()]);
+    table.row([
+        "blend (sim/act/cent)".to_string(),
+        "1.00/0.00/0.00".to_string(),
+        format!("{:.2}/{:.2}/{:.2}", norm.similarity, norm.activation, norm.centrality),
+    ]);
+    table.row([
+        "mean latency (µs/agent)".to_string(),
+        format!("{base_us:.1}"),
+        format!("{spread_us:.1}"),
+    ]);
+    table.row([
+        format!("overlap@{} vs similarity", opts.top),
+        "1.000".to_string(),
+        format!("{:.3}", if compared > 0 { overlap_sum / compared as f64 } else { 0.0 }),
+    ]);
+    table.row([
+        "recommendations".to_string(),
+        base_tops.iter().map(Vec::len).sum::<usize>().to_string(),
+        spread_tops.iter().map(Vec::len).sum::<usize>().to_string(),
+    ]);
+    println!("{}", table.render());
 }

@@ -7,6 +7,87 @@ use semrec::datagen::community::{generate_community, CommunityGenConfig};
 use semrec::eval::baselines::knn_product_cf;
 use semrec::ProductId;
 
+/// The pre-`Ranker`-trait pipeline, reimplemented inline from the public
+/// stage functions exactly as `Recommender::peer_weights` composed them
+/// before the refactor: neighborhood → per-peer scores → `synthesize` →
+/// weighted vote → truncate. The golden test below holds the refactored
+/// engine to this bit-for-bit.
+fn pre_refactor_recommend(
+    engine: &Recommender,
+    target: semrec::AgentId,
+    n: usize,
+) -> Vec<semrec::Recommendation> {
+    use semrec::core::recommend::{novel_only, vote};
+    use semrec::core::synthesis::{synthesize, PeerScores};
+    use semrec::trust::neighborhood::form_neighborhood;
+
+    let model = engine.community();
+    let config = engine.config();
+    let neighborhood =
+        form_neighborhood(&model.trust, target, &config.neighborhood).unwrap();
+    let target_profile = engine.profiles().profile(target);
+    let peers: Vec<PeerScores> = neighborhood
+        .normalized()
+        .into_iter()
+        .map(|(agent, trust)| PeerScores {
+            agent,
+            trust,
+            similarity: config
+                .similarity
+                .apply(target_profile, engine.profiles().profile(agent)),
+        })
+        .collect();
+    let weighted = synthesize(config.synthesis, &peers);
+    let mut recs = vote(model, target, &weighted, &config.voting);
+    if config.novel_categories_only {
+        recs = novel_only(model, target_profile, recs);
+    }
+    recs.truncate(n);
+    recs
+}
+
+#[test]
+fn similarity_ranker_reproduces_the_pre_refactor_pipeline_bit_for_bit() {
+    // Paper-fidelity fixture world (Example 1 taxonomy/catalog) plus a
+    // seeded synthetic community: on both, the refactored engine with the
+    // default SimilarityRanker must reproduce the inline pre-refactor
+    // pipeline bit-for-bit — scores compared by bits, not tolerance.
+    let e = semrec::taxonomy::fixtures::example1();
+    let products: Vec<_> = e.catalog.iter().collect();
+    let mut fixture = semrec::core::Community::new(e.fig.taxonomy, e.catalog);
+    let agents: Vec<_> = (0..5)
+        .map(|i| fixture.add_agent(format!("http://ex.org/u{i}")).unwrap())
+        .collect();
+    fixture.trust.set_trust(agents[0], agents[1], 0.9).unwrap();
+    fixture.trust.set_trust(agents[0], agents[2], 0.7).unwrap();
+    fixture.trust.set_trust(agents[1], agents[3], 0.8).unwrap();
+    fixture.trust.set_trust(agents[2], agents[4], 0.5).unwrap();
+    for (i, &a) in agents.iter().enumerate() {
+        fixture.set_rating(a, products[i % products.len()], 1.0).unwrap();
+        fixture.set_rating(a, products[(i + 1) % products.len()], 0.5).unwrap();
+    }
+    let worlds = [fixture, generate_community(&CommunityGenConfig::small(17)).community];
+
+    for community in worlds {
+        let engine = Recommender::new(community, RecommenderConfig::default());
+        let bits = |recs: &[semrec::Recommendation]| -> Vec<(ProductId, u64, usize)> {
+            recs.iter().map(|r| (r.product, r.score.to_bits(), r.voters)).collect()
+        };
+        let mut compared = 0usize;
+        for agent in engine.community().agents().take(60) {
+            let golden = pre_refactor_recommend(&engine, agent, 10);
+            let refactored = engine.recommend(agent, 10).unwrap();
+            assert_eq!(
+                bits(&golden),
+                bits(&refactored),
+                "trait extraction must be behavior-preserving for {agent:?}"
+            );
+            compared += golden.len();
+        }
+        assert!(compared > 0, "the golden comparison must not be vacuous");
+    }
+}
+
 #[test]
 fn recommendations_are_deterministic() {
     let generated = generate_community(&CommunityGenConfig::small(3));

@@ -1,0 +1,256 @@
+//! Property tests for the ranking invariants every [`Ranker`] must uphold:
+//! run- and thread-count-determinism (byte-identical top-N plus identical
+//! `rank.*` counters), similarity-only blend equivalence between the two
+//! shipped rankers, and spreading-activation physics (monotone in per-hop
+//! retention, dark beyond the horizon).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use semrec::core::rank::spread_activation;
+use semrec::core::{
+    recommend_batch, BlendWeights, Community, ProfileStore, Recommender, RecommenderConfig,
+    SpreadingActivationRanker, SpreadingParams,
+};
+use semrec::datagen::{generate_community, CommunityGenConfig};
+use semrec::obs;
+use semrec::taxonomy::fixtures::example1;
+use semrec::{AgentId, ProductId};
+
+/// Serializes tests touching the global registry (shared across this
+/// binary's test threads).
+fn lock() -> MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Builds a community over the Example 1 world from generated edge/rating
+/// lists (indexes taken modulo the population).
+fn build(
+    n_agents: usize,
+    trust: &[(usize, usize, f64)],
+    ratings: &[(usize, usize, f64)],
+) -> Community {
+    let e = example1();
+    let mut c = Community::new(e.fig.taxonomy, e.catalog);
+    let agents: Vec<AgentId> = (0..n_agents)
+        .map(|i| c.add_agent(format!("http://ex.org/u{i}")).unwrap())
+        .collect();
+    for &(a, b, w) in trust {
+        let (a, b) = (a % n_agents, b % n_agents);
+        if a != b {
+            c.trust.set_trust(agents[a], agents[b], w).unwrap();
+        }
+    }
+    let m = c.catalog.len();
+    for &(a, p, r) in ratings {
+        c.set_rating(agents[a % n_agents], ProductId::from_index(p % m), r).unwrap();
+    }
+    c
+}
+
+type World = (usize, Vec<(usize, usize, f64)>, Vec<(usize, usize, f64)>);
+
+fn arb_world() -> impl Strategy<Value = World> {
+    (3usize..12).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec((0..n, 0..n, -1.0f64..=1.0), 0..30),
+            prop::collection::vec((0..n, 0usize..4, -1.0f64..=1.0), 0..30),
+        )
+    })
+}
+
+fn spreading_engine(community: Community, params: SpreadingParams) -> Recommender {
+    Recommender::with_ranker(
+        community,
+        RecommenderConfig::default(),
+        Arc::new(SpreadingActivationRanker::new(params)),
+    )
+}
+
+/// One batch pass with the chosen ranker: rendered bit-exact top-N plus the
+/// thread-count-invariant counter map (per-worker task split excluded).
+fn run_batch(
+    engine: &Recommender,
+    agents: &[AgentId],
+    threads: usize,
+) -> (String, BTreeMap<String, u64>) {
+    obs::global().reset();
+    let batch = recommend_batch(engine, agents, 10, threads);
+    let mut rendered = String::new();
+    for (agent, result) in agents.iter().zip(&batch) {
+        rendered.push_str(&format!("{agent:?}:"));
+        for rec in result.as_ref().expect("recommendation succeeds") {
+            rendered.push_str(&format!(" {:?}={}", rec.product, rec.score.to_bits()));
+        }
+        rendered.push('\n');
+    }
+    let counters = obs::global()
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("batch.worker."))
+        .collect();
+    (rendered, counters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) Both rankers are deterministic across runs and thread counts:
+    /// byte-identical top-N lists and identical `rank.*` counters.
+    #[test]
+    fn rankers_are_run_and_thread_count_deterministic(
+        (n, trust, ratings) in arb_world(),
+        spreading in prop_oneof![Just(false), Just(true)],
+    ) {
+        let _serial = lock();
+        let community = build(n, &trust, &ratings);
+        let agents: Vec<AgentId> = community.agents().collect();
+        let engine = |c: Community| if spreading {
+            spreading_engine(c, SpreadingParams::default())
+        } else {
+            Recommender::new(c, RecommenderConfig::default())
+        };
+
+        let (recs_a, counters_a) = run_batch(&engine(community.clone()), &agents, 1);
+        let (recs_b, counters_b) = run_batch(&engine(community.clone()), &agents, 1);
+        let (recs_c, counters_c) = run_batch(&engine(community), &agents, 4);
+
+        prop_assert_eq!(&recs_a, &recs_b, "same-thread reruns must be byte-identical");
+        prop_assert_eq!(&recs_a, &recs_c, "thread count must not change the top-N");
+        let expected = if spreading { "rank.spread.runs" } else { "rank.similarity.runs" };
+        prop_assert!(
+            counters_a.get(expected).copied().unwrap_or(0) as usize >= agents.len(),
+            "every query must pass through the ranker: {:?}", counters_a
+        );
+        prop_assert_eq!(&counters_a, &counters_b, "rank.* counters must match across runs");
+        prop_assert_eq!(&counters_a, &counters_c, "rank.* counters must be thread invariant");
+    }
+
+    /// (b) A similarity-only blend makes the spreading ranker rank-order
+    /// equivalent to the similarity ranker on any world (here even
+    /// bit-identical in the weights).
+    #[test]
+    fn similarity_only_blend_is_rank_order_equivalent(
+        (n, trust, ratings) in arb_world(),
+    ) {
+        let community = build(n, &trust, &ratings);
+        let baseline = Recommender::new(community.clone(), RecommenderConfig::default());
+        let spread = spreading_engine(
+            community,
+            SpreadingParams { blend: BlendWeights::SIMILARITY_ONLY, ..Default::default() },
+        );
+        for agent in baseline.community().agents() {
+            let (base, _) = baseline.peer_weights(agent).unwrap();
+            let (with_blend, _) = spread.peer_weights(agent).unwrap();
+            let order = |v: &[(AgentId, f64)]| v.iter().map(|&(a, _)| a).collect::<Vec<_>>();
+            prop_assert_eq!(order(&base), order(&with_blend), "rank order must match");
+            let bits = |v: &[(AgentId, f64)]| {
+                v.iter().map(|&(a, w)| (a, w.to_bits())).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(bits(&base), bits(&with_blend), "weights must be bit-identical");
+        }
+    }
+
+    /// (c) Spreading physics: per-agent activation is monotone
+    /// non-decreasing in the per-hop retention (equivalently, monotone
+    /// non-increasing in decay), and agents unreachable from the anchor set
+    /// within the horizon never receive activation.
+    #[test]
+    fn activation_is_monotone_in_retention_and_horizon_bounded(
+        (n, trust, ratings) in arb_world(),
+        retention_a in 0.05f64..1.0,
+        retention_b in 0.05f64..1.0,
+        horizon in 0usize..4,
+    ) {
+        let community = build(n, &trust, &ratings);
+        let config = RecommenderConfig::default();
+        let profiles = ProfileStore::build(&community, &config.profile);
+        let target = community.agents().next().unwrap();
+        let anchors: Vec<(AgentId, f64)> =
+            community.trust.positive_out_edges(target).collect();
+        if anchors.is_empty() {
+            continue; // no trust edges, nothing to anchor — skip the case
+        }
+
+        let spread = |decay: f64| {
+            spread_activation(
+                &community,
+                &profiles,
+                config.similarity,
+                target,
+                &anchors,
+                &SpreadingParams { decay, horizon, ..Default::default() },
+            )
+        };
+        let (lo, hi) = (retention_a.min(retention_b), retention_a.max(retention_b));
+        let low = spread(lo);
+        let high = spread(hi);
+        for (agent, &a) in &low.activation {
+            let b = high.activation.get(agent).copied().unwrap_or(0.0);
+            prop_assert!(
+                b >= a - 1e-15,
+                "activation of {:?} shrank when retention grew: {} -> {}", agent, a, b
+            );
+        }
+
+        // Horizon bound: BFS over positive trust edges from the anchors,
+        // never through the target, at most `horizon` hops deep. Anything
+        // outside that set must stay at zero activation.
+        let mut reachable: BTreeSet<AgentId> = anchors.iter().map(|&(a, _)| a).collect();
+        let mut frontier: Vec<AgentId> = reachable.iter().copied().collect();
+        for _ in 0..horizon {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                for (nbr, _) in community.trust.positive_out_edges(node) {
+                    if nbr != target && reachable.insert(nbr) {
+                        next.push(nbr);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for result in [&low, &high] {
+            prop_assert!(result.hops <= horizon);
+            for agent in result.activation.keys() {
+                prop_assert!(
+                    reachable.contains(agent),
+                    "{:?} is unreachable within horizon {} yet was activated", agent, horizon
+                );
+            }
+        }
+    }
+}
+
+/// The determinism contract at generated-community scale (the
+/// `tests/determinism.rs` world), for the non-default ranker.
+#[test]
+fn spreading_ranker_is_deterministic_on_a_generated_community() {
+    let _serial = lock();
+    let generated = generate_community(&CommunityGenConfig::small(42));
+    let engine =
+        |c: Community| spreading_engine(c, SpreadingParams::default());
+    let community = generated.community;
+    let panel: Vec<AgentId> = community.agents().take(48).collect();
+
+    let (recs_a, counters_a) = run_batch(&engine(community.clone()), &panel, 4);
+    let (recs_b, counters_b) = run_batch(&engine(community.clone()), &panel, 4);
+    let (recs_seq, counters_seq) = run_batch(&engine(community), &panel, 1);
+
+    assert!(!recs_a.is_empty());
+    assert_eq!(recs_a, recs_b, "reruns must be byte-identical");
+    assert_eq!(recs_a, recs_seq, "thread count must not change the lists");
+    assert!(
+        counters_a.get("rank.spread.runs").copied().unwrap_or(0) >= panel.len() as u64,
+        "rank namespace must register: {counters_a:?}"
+    );
+    assert!(
+        counters_a.get("rank.activation.hops").copied().unwrap_or(0) > 0,
+        "spreading must actually hop: {counters_a:?}"
+    );
+    assert_eq!(counters_a, counters_b, "counters must match across runs");
+    assert_eq!(counters_a, counters_seq, "counters must be thread-count invariant");
+}

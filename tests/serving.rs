@@ -104,6 +104,75 @@ fn snapshot_swap_mid_load_loses_nothing_and_retires_the_old_model() {
 }
 
 #[test]
+fn publishing_a_different_ranker_swaps_atomically_and_invalidates_the_cache() {
+    use semrec::core::{Recommendation, SpreadingActivationRanker};
+
+    // A ring plus a few chords, so the two rankers genuinely disagree.
+    let (seed, agents) = ring(32);
+    let mut c = seed.community().clone();
+    for i in 0..8 {
+        c.trust.set_trust(agents[i], agents[(i + 5) % 32], 0.8).unwrap();
+    }
+    let similarity = Recommender::new(c.clone(), RecommenderConfig::default());
+    let spreading = Recommender::with_ranker(
+        c,
+        RecommenderConfig::default(),
+        Arc::new(SpreadingActivationRanker::default()),
+    );
+    let bits = |recs: &[Recommendation]| -> Vec<(semrec::ProductId, u64)> {
+        recs.iter().map(|r| (r.product, r.score.to_bits())).collect()
+    };
+    let direct_sim: Vec<_> =
+        agents.iter().map(|&a| similarity.recommend(a, 10).unwrap()).collect();
+    let direct_spread: Vec<_> =
+        agents.iter().map(|&a| spreading.recommend(a, 10).unwrap()).collect();
+    assert_ne!(
+        bits(&direct_sim[0]),
+        bits(&direct_spread[0]),
+        "the fixture must make the rankers disagree, or the swap test is vacuous"
+    );
+
+    let server =
+        Server::start(similarity, ServeConfig { workers: 2, ..ServeConfig::default() });
+    // Warm the cache under the similarity ranker.
+    assert!(!server.submit(agents[0], 10).unwrap().wait().unwrap().cache_hit);
+    let warmed = server.submit(agents[0], 10).unwrap().wait().unwrap();
+    assert!(warmed.cache_hit, "repeat must hit the epoch-1 cache");
+    assert_eq!(bits(&warmed.recommendations), bits(&direct_sim[0]));
+
+    // A wave in flight, then the ranker swap racing the workers.
+    let first: Vec<_> = agents.iter().map(|&a| server.submit(a, 10).unwrap()).collect();
+    let new_epoch = server.publish(spreading);
+    let second: Vec<_> = agents.iter().map(|&a| server.submit(a, 10).unwrap()).collect();
+
+    // No mixed-ranker batch: every first-wave answer is exactly one
+    // generation's ranking — the epoch its micro-batch pinned.
+    for (i, ticket) in first.into_iter().enumerate() {
+        let response = ticket.wait().unwrap();
+        let expected =
+            if response.epoch == new_epoch { &direct_spread[i] } else { &direct_sim[i] };
+        assert_eq!(
+            bits(&response.recommendations),
+            bits(expected),
+            "agent {i} (epoch {}) must match that epoch's ranker exactly",
+            response.epoch
+        );
+    }
+    // Everything after publish() is ranked by the new generation — including
+    // the warmed agent: the (epoch, agent, n) cache key makes the stale
+    // similarity-ranked entry unreachable.
+    for (i, ticket) in second.into_iter().enumerate() {
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.epoch, new_epoch);
+        assert_eq!(bits(&response.recommendations), bits(&direct_spread[i]));
+    }
+    // And the new generation caches normally under its own epoch.
+    let rewarmed = server.submit(agents[0], 10).unwrap().wait().unwrap();
+    assert!(rewarmed.cache_hit, "the post-swap entry must be cached");
+    assert_eq!(bits(&rewarmed.recommendations), bits(&direct_spread[0]));
+}
+
+#[test]
 fn admission_control_refuses_deterministically_and_shutdown_answers() {
     let (engine, agents) = ring(8);
     // Zero workers: nothing drains, so admission behavior is exact.
