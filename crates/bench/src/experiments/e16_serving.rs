@@ -245,7 +245,7 @@ pub fn run(scale: Scale) -> Outcome {
          past its bound (depth now {}).",
         overload.attempts,
         overload.served,
-        overload.shed_overload,
+        overload.shed_admission,
         fmt(overload.shed_rate()),
         server.queue_depth(),
     );
@@ -289,7 +289,7 @@ mod tests {
         assert_eq!(o.swap.epoch_after, 2);
 
         // Overload: the tiny queue shed load instead of growing.
-        assert!(o.overload.shed_overload > 0, "burst-8×4 against queue-2 must shed");
+        assert!(o.overload.shed_admission > 0, "burst-8×4 against queue-2 must shed");
         assert_eq!(o.overload.served + o.overload.shed(), o.overload.attempts);
     }
 }

@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E19 (DESIGN.md §3).
+//! The reproduced experiments E1–E20 (DESIGN.md §3).
 //!
 //! Every experiment is a function of the chosen [`crate::Scale`] that prints
 //! its table(s) to stdout — the same rows recorded in EXPERIMENTS.md — and
@@ -24,10 +24,11 @@ pub mod e16_serving;
 pub mod e17_incremental;
 pub mod e18_store;
 pub mod e19_ranking;
+pub mod e20_slo;
 
 use crate::Scale;
 
-/// Runs one experiment by id (`"e1"` … `"e19"`); `true` if the id is known.
+/// Runs one experiment by id (`"e1"` … `"e20"`); `true` if the id is known.
 pub fn run(id: &str, scale: Scale) -> bool {
     match id {
         "e1" => {
@@ -87,15 +88,18 @@ pub fn run(id: &str, scale: Scale) -> bool {
         "e19" => {
             e19_ranking::run(scale);
         }
+        "e20" => {
+            e20_slo::run(scale);
+        }
         _ => return false,
     }
     true
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 19] = [
+pub const ALL: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19",
+    "e15", "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Prints a section header.

@@ -51,7 +51,7 @@ mod trace;
 
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, HistogramSummary, MetricsRegistry,
-    MetricsSnapshot, DEFAULT_BUCKETS,
+    MetricsSnapshot, DEFAULT_BUCKETS, TICK_BUCKETS,
 };
 pub use observer::{Event, EventKind, Observer, RingBufferObserver};
 pub use trace::{span, take_trace, SpanGuard, SpanNode, TraceTree};
@@ -77,6 +77,13 @@ pub fn gauge(name: &str) -> Gauge {
 /// Handle to the global registry's histogram `name`.
 pub fn histogram(name: &str) -> Histogram {
     global().histogram(name)
+}
+
+/// Handle to the global registry's histogram `name` with caller-chosen
+/// bucket bounds (e.g. [`TICK_BUCKETS`] for virtual-tick waits). Bounds are
+/// fixed at first creation; later callers get the existing cells.
+pub fn histogram_with_buckets(name: &str, bounds: &[f64]) -> Histogram {
+    global().histogram_with_buckets(name, bounds)
 }
 
 /// Emits an event to the global registry's observers.

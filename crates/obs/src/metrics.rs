@@ -57,6 +57,15 @@ pub const DEFAULT_BUCKETS: [f64; 22] = [
     1e-1, 2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0,
 ];
 
+/// Bucket upper bounds for *virtual-tick* quantities (queue waits, deadline
+/// slack): a 1-1.5-2-3 ladder from 1 tick to 1024 ticks. Tick observations
+/// are small integers, so the seconds-tuned [`DEFAULT_BUCKETS`] would fold
+/// everything into its top buckets and quantiles would be useless.
+pub const TICK_BUCKETS: [f64; 20] = [
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0, 192.0,
+    256.0, 384.0, 512.0, 768.0, 1024.0,
+];
+
 #[derive(Debug)]
 struct HistogramInner {
     /// Ascending upper bounds; an implicit +∞ bucket follows the last.

@@ -1,0 +1,154 @@
+//! Request priority classes.
+//!
+//! Production recommendation traffic is not homogeneous: an interactive
+//! page render, a prefetch, and a batch re-rank job have very different
+//! latency contracts. A [`Priority`] rides on every request and drives
+//! three mechanisms downstream:
+//!
+//! * **weighted-fair dequeue** — the [`WeightedFairQueue`](crate::wfq)
+//!   hands each class a share of service proportional to its
+//!   [`weight`](Priority::weight), so a flood of `Low` traffic cannot
+//!   starve `High`, and vice versa the fair share bounds how far `High`
+//!   can crowd out `Low`;
+//! * **admission displacement** — at capacity, an arriving higher-class
+//!   request may displace the newest queued request of a strictly lower
+//!   class instead of being refused;
+//! * **pressure shedding** — under SLO pressure the
+//!   [`SloController`](crate::slo::SloController) sheds `Low` first,
+//!   `Normal` second, and `High` only at its own hard deadline, which is
+//!   what makes high-priority goodput degrade *last* under overload.
+
+/// The priority class of one serving request.
+///
+/// Ordering is by urgency: `High < Normal < Low` in enum discriminant so
+/// that `index()` doubles as a strict-priority scan order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Interactive traffic: tight deadline, shed last.
+    High,
+    /// The default class for callers that don't differentiate.
+    #[default]
+    Normal,
+    /// Background traffic: generous deadline, shed first.
+    Low,
+}
+
+impl Priority {
+    /// Number of classes.
+    pub const COUNT: usize = 3;
+
+    /// Every class, in strict-priority order (`High` first).
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Default weighted-fair service weights, aligned with [`Priority::ALL`].
+    pub const DEFAULT_WEIGHTS: [u32; Priority::COUNT] = [4, 2, 1];
+
+    /// Dense index into per-class arrays (`High` = 0, `Normal` = 1, `Low` = 2).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Default weighted-fair service weight (4 / 2 / 1).
+    pub fn weight(self) -> u32 {
+        Priority::DEFAULT_WEIGHTS[self.index()]
+    }
+
+    /// Stable lowercase label, used in `serve.class.*` metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A value per priority class; indexing sugar for configs and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerClass<T> {
+    /// The [`Priority::High`] value.
+    pub high: T,
+    /// The [`Priority::Normal`] value.
+    pub normal: T,
+    /// The [`Priority::Low`] value.
+    pub low: T,
+}
+
+impl<T> PerClass<T> {
+    /// The same value for every class.
+    pub fn uniform(value: T) -> Self
+    where
+        T: Clone,
+    {
+        PerClass { high: value.clone(), normal: value.clone(), low: value }
+    }
+
+    /// The value for `class`.
+    pub fn get(&self, class: Priority) -> &T {
+        match class {
+            Priority::High => &self.high,
+            Priority::Normal => &self.normal,
+            Priority::Low => &self.low,
+        }
+    }
+
+    /// Mutable access to the value for `class`.
+    pub fn get_mut(&mut self, class: Priority) -> &mut T {
+        match class {
+            Priority::High => &mut self.high,
+            Priority::Normal => &mut self.normal,
+            Priority::Low => &mut self.low,
+        }
+    }
+}
+
+impl<T> std::ops::Index<Priority> for PerClass<T> {
+    type Output = T;
+    fn index(&self, class: Priority) -> &T {
+        self.get(class)
+    }
+}
+
+impl<T> std::ops::IndexMut<Priority> for PerClass<T> {
+    fn index_mut(&mut self, class: Priority) -> &mut T {
+        self.get_mut(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, class) in Priority::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn weights_favor_urgency() {
+        assert!(Priority::High.weight() > Priority::Normal.weight());
+        assert!(Priority::Normal.weight() > Priority::Low.weight());
+        assert!(Priority::Low.weight() >= 1, "every class gets some service");
+    }
+
+    #[test]
+    fn per_class_indexing_round_trips() {
+        let mut p = PerClass { high: 1u64, normal: 2, low: 3 };
+        assert_eq!(p[Priority::High], 1);
+        p[Priority::Low] = 9;
+        assert_eq!(*p.get(Priority::Low), 9);
+        assert_eq!(PerClass::uniform(7u32)[Priority::Normal], 7);
+        assert_eq!(Priority::Low.to_string(), "low");
+    }
+}

@@ -12,6 +12,8 @@ use std::fmt;
 
 use semrec_core::CoreError;
 
+use crate::class::Priority;
+
 /// Result alias for serving operations.
 pub type Result<T> = std::result::Result<T, ServeError>;
 
@@ -19,10 +21,16 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// Admission control refused the request: the queue was at capacity.
-    /// The depth the queue was at is attached for telemetry.
+    /// Depth, capacity and the refused request's class are attached so a
+    /// shed diagnostic can tell "tiny queue" from "huge backlog" and show
+    /// *whose* traffic was turned away.
     Overloaded {
-        /// Queue depth observed at rejection (== configured capacity).
+        /// Queue depth observed at rejection.
         depth: usize,
+        /// The configured queue capacity the depth ran into.
+        capacity: usize,
+        /// Priority class of the refused (or displaced) request.
+        class: Priority,
     },
     /// The request sat in the queue past its deadline and was shed at
     /// dequeue rather than served late.
@@ -45,8 +53,11 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Overloaded { depth } => {
-                write!(f, "request rejected: queue at capacity ({depth} deep)")
+            ServeError::Overloaded { depth, capacity, class } => {
+                write!(
+                    f,
+                    "{class} request rejected: queue at capacity ({depth} of {capacity} deep)"
+                )
             }
             ServeError::DeadlineExceeded { deadline, now } => {
                 write!(f, "request shed: deadline tick {deadline} passed (now {now})")
@@ -79,7 +90,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        assert!(ServeError::Overloaded { depth: 8 }.to_string().contains("8 deep"));
+        let overloaded =
+            ServeError::Overloaded { depth: 8, capacity: 8, class: Priority::Low }.to_string();
+        assert!(overloaded.contains("8 of 8"), "{overloaded}");
+        assert!(overloaded.contains("low"), "{overloaded}");
         assert!(ServeError::DeadlineExceeded { deadline: 3, now: 5 }
             .to_string()
             .contains("tick 3"));

@@ -10,19 +10,31 @@
 //!   model. A crawl/refresh round publishes a new generation while
 //!   requests are in flight; readers pin the generation they started on,
 //!   and the old one drops with its last reader. Serving never pauses.
-//! * **[`BoundedQueue`]** — admission control. At capacity, submission
-//!   fails fast with [`ServeError::Overloaded`] instead of queuing without
-//!   bound, and requests whose virtual-tick deadline passed while queued
-//!   are shed at dequeue ([`ServeError::DeadlineExceeded`]) rather than
-//!   served late.
+//! * **[`WeightedFairQueue`] / [`BoundedQueue`]** — admission control
+//!   with priority classes. Every request carries a [`Priority`]; at
+//!   capacity, submission fails fast with [`ServeError::Overloaded`] (or
+//!   displaces a strictly-lower-class request) instead of queuing without
+//!   bound, dequeue is deficit-round-robin weighted by class, and requests
+//!   whose virtual-tick deadline passed while queued are shed at dequeue
+//!   ([`ServeError::DeadlineExceeded`]) rather than served late.
 //! * **[`Server`]** — the worker pool. Workers drain micro-batches (up to
 //!   `batch_size` per lock acquisition), pin one snapshot per batch, and
 //!   consult a sharded per-snapshot LRU ([`RecCache`]) keyed by
 //!   `(epoch, agent, n)` — swap invalidation is wholesale and a stale
 //!   generation can never answer, because the epoch is part of the key.
-//! * **[`loadgen`]** — a deterministic closed-loop load generator (seeded
-//!   Zipf over the agent panel) reporting latency percentiles,
-//!   throughput, shed rate, and cache hit rate.
+//!   Zero-worker servers instead drain through the lockstep
+//!   [`Server::drain_step`], the deterministic path the SLO machinery
+//!   rides on.
+//! * **[`slo`]** — SLO enforcement: per-class deadline budgets, an exact
+//!   sliding-window p99 pressure controller ([`SloController`]) that sheds
+//!   `Low` before `Normal` and never pressure-sheds `High`, and a
+//!   hysteretic queue-depth autoscaler ([`WorkerScaler`]) for the drain
+//!   width.
+//! * **[`loadgen`]** — deterministic load generators: the closed-loop
+//!   [`run_load`] (seeded Zipf over the agent panel) and the open-loop
+//!   [`run_open_loop`] (Poisson / diurnal / flash-crowd arrivals on the
+//!   virtual tick axis) reporting per-class latency percentiles and
+//!   goodput-under-SLO.
 //!
 //! Everything observable lands in the global `semrec-obs` registry under
 //! the `serve.*` namespace (see the README's serving metric table).
@@ -60,17 +72,29 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod class;
 pub mod clock;
 pub mod error;
 pub mod loadgen;
 pub mod queue;
 pub mod server;
+pub mod slo;
 pub mod snapshot;
+pub mod wfq;
 
 pub use cache::{CacheKey, CacheStats, RecCache};
+pub use class::{PerClass, Priority};
 pub use clock::TickClock;
 pub use error::{Result, ServeError};
-pub use loadgen::{run_load, LoadGenConfig, LoadReport};
+pub use loadgen::{
+    run_load, run_open_loop, run_open_loop_with, ArrivalProcess, ClassReport, LoadGenConfig,
+    LoadReport, OpenLoopConfig, OpenLoopReport,
+};
 pub use queue::{BoundedQueue, PushRefused};
-pub use server::{PublishReport, ServeConfig, ServeStats, ServedResponse, Server, Ticket};
+pub use server::{
+    ClassStats, DrainOutcome, PublishReport, ServeConfig, ServeStats, ServedResponse, Server,
+    Ticket,
+};
+pub use slo::{ScalerConfig, SloConfig, SloController, WorkerScaler};
 pub use snapshot::{ModelSnapshot, SnapshotSwitch};
+pub use wfq::{Admitted, WeightedFairQueue};

@@ -18,8 +18,11 @@ use std::sync::{Condvar, Mutex};
 pub enum PushRefused {
     /// The queue was at capacity (admission control).
     Full {
-        /// Depth observed (== capacity).
+        /// Depth observed at refusal.
         depth: usize,
+        /// The configured capacity the depth ran into — without it, a shed
+        /// diagnostic can't tell "tiny queue" from "huge backlog".
+        capacity: usize,
     },
     /// The queue was closed.
     Closed,
@@ -77,7 +80,10 @@ impl<T> BoundedQueue<T> {
             return Err((item, PushRefused::Closed));
         }
         if inner.items.len() >= self.capacity {
-            return Err((item, PushRefused::Full { depth: inner.items.len() }));
+            return Err((
+                item,
+                PushRefused::Full { depth: inner.items.len(), capacity: self.capacity },
+            ));
         }
         inner.items.push_back(item);
         let depth = inner.items.len();
@@ -139,9 +145,10 @@ mod tests {
         assert_eq!(queue.push(1), Ok(1));
         assert_eq!(queue.push(2), Ok(2));
         match queue.push(3) {
-            Err((item, PushRefused::Full { depth })) => {
+            Err((item, PushRefused::Full { depth, capacity })) => {
                 assert_eq!(item, 3);
                 assert_eq!(depth, 2);
+                assert_eq!(capacity, 2);
             }
             other => panic!("expected Full, got {other:?}"),
         }

@@ -1,20 +1,37 @@
-//! The serving core: a sharded worker pool draining the bounded request
-//! queue in micro-batches.
+//! The serving core: a classed, weighted-fair request queue with two drain
+//! modes — a free-running worker pool, and a lockstep [`Server::drain_step`]
+//! for deterministic SLO-controlled serving.
 //!
 //! Life of a request:
 //!
-//! 1. **Admission** — [`Server::submit`] pushes onto the bounded queue. At
-//!    capacity the push is refused with [`ServeError::Overloaded`]
-//!    (load-shedding, counted as `serve.requests.shed.overload`).
-//! 2. **Batching** — a worker drains up to `batch_size` requests with one
-//!    lock acquisition and pins the current [`ModelSnapshot`] once for the
-//!    whole batch, so every request in a batch is answered from a single
-//!    consistent generation.
-//! 3. **Deadline check** — a request whose virtual-tick deadline passed
-//!    while it queued is shed (`serve.requests.shed.deadline`) rather than
-//!    served late.
+//! 1. **Admission** — [`Server::submit_classed`] pushes onto the
+//!    [`WeightedFairQueue`]. At capacity the push either displaces the
+//!    newest strictly-lower-class queued request (the victim resolves with
+//!    [`ServeError::Overloaded`]) or is itself refused the same way
+//!    (load-shedding, counted as `serve.requests.shed.admission`).
+//! 2. **Batching** — a drain hands out up to `batch_size` requests in
+//!    deficit-round-robin order and pins the current [`ModelSnapshot`] once
+//!    for the whole batch, so every request in a batch is answered from a
+//!    single consistent generation.
+//! 3. **Deadline check** — a request whose deadline (explicit, or derived
+//!    from its class's SLO budget) passed while it queued is shed
+//!    (`serve.requests.shed.deadline`) rather than served late. Under SLO
+//!    pressure, `Low` and then `Normal` requests are shed pre-compute while
+//!    `High` only ever misses its own hard deadline.
 //! 4. **Cache / compute** — the sharded LRU is consulted under the pinned
 //!    epoch; a miss runs the full pipeline and populates the cache.
+//!
+//! ## Two drain modes
+//!
+//! `ServeConfig::workers > 0` starts the classic free-running pool:
+//! convenient, but wall-clock scheduling makes cache and shed counters
+//! depend on thread interleaving. `workers == 0` builds a *lockstep*
+//! server: nothing drains until the harness calls [`Server::drain_step`],
+//! which makes every decision (shed, cache, response order) sequentially
+//! and parallelizes only the pure recommendation compute of deduplicated
+//! cache misses — chunked by index so the result is byte-identical for any
+//! `threads`. The open-loop load generator drives this mode one virtual
+//! tick at a time.
 //!
 //! Snapshot swap ([`Server::publish`]) happens between batches from the
 //! workers' point of view: requests already drained finish on the old
@@ -27,20 +44,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use semrec_core::{AgentId, Recommendation, Recommender, SwapPlan};
+use semrec_core::{AgentId, CoreError, Recommendation, Recommender, SwapPlan};
 
 use crate::cache::{CacheStats, RecCache};
+use crate::class::{PerClass, Priority};
 use crate::clock::TickClock;
 use crate::error::ServeError;
-use crate::queue::{BoundedQueue, PushRefused};
+use crate::queue::PushRefused;
+use crate::slo::SloController;
 use crate::snapshot::{ModelSnapshot, SnapshotSwitch};
+use crate::wfq::WeightedFairQueue;
 
 /// Serving configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
-    /// Worker threads draining the queue. `0` builds an accept-only server
-    /// (requests queue but are never processed — useful for admission and
-    /// shutdown tests).
+    /// Worker threads draining the queue. `0` builds a lockstep server:
+    /// requests queue until [`Server::drain_step`] is called (also the
+    /// accept-only mode admission and shutdown tests rely on).
     pub workers: usize,
     /// Maximum queued requests before admission control sheds.
     pub queue_capacity: usize,
@@ -51,6 +71,9 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cache shards (each with its own lock).
     pub cache_shards: usize,
+    /// Weighted-fair service weights per class, aligned with
+    /// [`Priority::ALL`] (length = [`Priority::COUNT`]).
+    pub class_weights: [u32; 3],
 }
 
 impl Default for ServeConfig {
@@ -61,6 +84,7 @@ impl Default for ServeConfig {
             batch_size: 8,
             cache_capacity: 4096,
             cache_shards: 8,
+            class_weights: Priority::DEFAULT_WEIGHTS,
         }
     }
 }
@@ -87,12 +111,18 @@ pub struct ServedResponse {
     pub epoch: u64,
     /// Whether the answer came from the cache.
     pub cache_hit: bool,
+    /// The request's priority class.
+    pub class: Priority,
+    /// True when the answering snapshot was built from degraded source
+    /// data (crawl losses, parse failures — see `SourceHealth`), so the
+    /// caller can caption the explanation accordingly.
+    pub degraded: bool,
 }
 
 /// What a request resolves to.
 pub type ServeResult = Result<ServedResponse, ServeError>;
 
-/// A pending response: block on [`Ticket::wait`] to collect it.
+/// A pending response: block on [`Ticket::wait`] or poll [`Ticket::try_wait`].
 #[derive(Debug)]
 pub struct Ticket {
     receiver: mpsc::Receiver<ServeResult>,
@@ -104,6 +134,16 @@ impl Ticket {
     pub fn wait(self) -> ServeResult {
         self.receiver.recv().unwrap_or(Err(ServeError::Disconnected))
     }
+
+    /// Non-blocking poll: `Some` once the request has resolved. The
+    /// lockstep harness polls tickets between ticks instead of blocking.
+    pub fn try_wait(&self) -> Option<ServeResult> {
+        match self.receiver.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
 }
 
 /// One queued request.
@@ -111,9 +151,24 @@ impl Ticket {
 struct Request {
     agent: AgentId,
     n: usize,
-    /// Virtual tick this request must be *started* by, if any.
+    class: Priority,
+    /// Virtual tick the request was admitted at (queue-wait accounting).
+    submitted_at: u64,
+    /// Explicit virtual-tick start-by deadline, if any. When absent, the
+    /// lockstep path derives one from the class's SLO budget.
     deadline: Option<u64>,
     responder: mpsc::Sender<ServeResult>,
+}
+
+/// Per-class slice of the request counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Requests of this class admitted into the queue.
+    pub submitted: u64,
+    /// Requests of this class answered with a recommendation list.
+    pub served: u64,
+    /// Requests of this class shed (admission, displacement or deadline).
+    pub shed: u64,
 }
 
 /// Cumulative per-server request counters (survive registry resets).
@@ -123,18 +178,22 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests answered with a recommendation list.
     pub served: u64,
-    /// Requests refused at admission (queue full).
-    pub shed_overload: u64,
-    /// Requests dropped at dequeue because their deadline passed.
+    /// Requests refused at admission (queue full) or displaced by a
+    /// higher-class arrival.
+    pub shed_admission: u64,
+    /// Requests dropped at dequeue because their deadline passed (hard
+    /// deadline misses and SLO pressure sheds).
     pub shed_deadline: u64,
     /// Requests that reached the engine and got an engine error back.
     pub failed: u64,
+    /// The same counters sliced per priority class.
+    pub class: PerClass<ClassStats>,
 }
 
 impl ServeStats {
     /// Total load shed, whatever the mechanism.
     pub fn shed(&self) -> u64 {
-        self.shed_overload + self.shed_deadline
+        self.shed_admission + self.shed_deadline
     }
 
     /// Every request that was resolved one way or another.
@@ -147,19 +206,68 @@ impl ServeStats {
 struct StatCells {
     submitted: AtomicU64,
     served: AtomicU64,
-    shed_overload: AtomicU64,
+    shed_admission: AtomicU64,
     shed_deadline: AtomicU64,
     failed: AtomicU64,
+    class_submitted: [AtomicU64; Priority::COUNT],
+    class_served: [AtomicU64; Priority::COUNT],
+    class_shed: [AtomicU64; Priority::COUNT],
+}
+
+/// Handle to the `serve.class.{label}.{event}` counter.
+fn class_counter(class: Priority, event: &str) -> semrec_obs::Counter {
+    semrec_obs::counter(&format!("serve.class.{}.{event}", class.label()))
 }
 
 /// State shared between the server handle and its workers.
 struct Shared {
-    queue: BoundedQueue<Request>,
+    queue: WeightedFairQueue<Request>,
     switch: SnapshotSwitch,
     cache: RecCache,
     clock: TickClock,
     batch_size: usize,
     stats: StatCells,
+}
+
+impl Shared {
+    fn count_served(&self, class: Priority) {
+        self.stats.served.fetch_add(1, Ordering::Relaxed);
+        self.stats.class_served[class.index()].fetch_add(1, Ordering::Relaxed);
+        semrec_obs::counter("serve.requests.served").inc();
+        class_counter(class, "served").inc();
+    }
+
+    fn count_shed_deadline(&self, class: Priority) {
+        self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        self.stats.class_shed[class.index()].fetch_add(1, Ordering::Relaxed);
+        semrec_obs::counter("serve.requests.shed").inc();
+        semrec_obs::counter("serve.requests.shed.deadline").inc();
+        semrec_obs::counter("serve.slo.violations").inc();
+        class_counter(class, "shed").inc();
+    }
+
+    fn count_shed_admission(&self, class: Priority) {
+        self.stats.shed_admission.fetch_add(1, Ordering::Relaxed);
+        self.stats.class_shed[class.index()].fetch_add(1, Ordering::Relaxed);
+        semrec_obs::counter("serve.requests.shed").inc();
+        semrec_obs::counter("serve.requests.shed.admission").inc();
+        class_counter(class, "shed").inc();
+    }
+}
+
+/// Outcome of one lockstep [`Server::drain_step`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// Requests taken off the queue this step.
+    pub drained: usize,
+    /// Requests answered with a recommendation list.
+    pub served: usize,
+    /// Requests shed at a hard deadline.
+    pub shed_deadline: usize,
+    /// Requests shed by SLO pressure (before their hard deadline).
+    pub shed_pressure: usize,
+    /// Requests that resolved with an engine error.
+    pub failed: usize,
 }
 
 /// The in-process recommendation server.
@@ -183,7 +291,7 @@ impl Server {
     /// persisted model had reached instead of restarting at 1.
     pub fn start_at(engine: Recommender, config: ServeConfig, epoch: u64) -> Server {
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: WeightedFairQueue::with_weights(config.queue_capacity, config.class_weights),
             switch: SnapshotSwitch::new_at(engine, epoch),
             cache: RecCache::new(config.cache_capacity, config.cache_shards),
             clock: TickClock::new(),
@@ -203,35 +311,65 @@ impl Server {
         Server { shared, workers }
     }
 
-    /// Submits a request with no deadline. Returns a [`Ticket`] on
-    /// admission, or the typed shed error immediately.
+    /// Submits a [`Priority::Normal`] request with no deadline.
     pub fn submit(&self, agent: AgentId, n: usize) -> Result<Ticket, ServeError> {
-        self.submit_with_deadline(agent, n, None)
+        self.submit_classed(agent, n, Priority::Normal, None)
     }
 
-    /// Submits a request that must be *started* by virtual tick
-    /// `deadline` — if the queue is still holding it past that tick, it is
-    /// shed at dequeue instead of served late.
+    /// Submits a [`Priority::Normal`] request that must be *started* by
+    /// virtual tick `deadline`.
     pub fn submit_with_deadline(
         &self,
         agent: AgentId,
         n: usize,
         deadline: Option<u64>,
     ) -> Result<Ticket, ServeError> {
+        self.submit_classed(agent, n, Priority::Normal, deadline)
+    }
+
+    /// Submits a request in `class`, optionally with an explicit start-by
+    /// deadline (virtual ticks). Returns a [`Ticket`] on admission, or the
+    /// typed shed error immediately. At capacity a higher-class request may
+    /// displace the newest queued strictly-lower-class request — the victim
+    /// resolves with [`ServeError::Overloaded`] and the newcomer is
+    /// admitted in its place.
+    pub fn submit_classed(
+        &self,
+        agent: AgentId,
+        n: usize,
+        class: Priority,
+        deadline: Option<u64>,
+    ) -> Result<Ticket, ServeError> {
         let (sender, receiver) = mpsc::channel();
-        let request = Request { agent, n, deadline, responder: sender };
-        match self.shared.queue.push(request) {
-            Ok(depth) => {
+        let request = Request {
+            agent,
+            n,
+            class,
+            submitted_at: self.shared.clock.now(),
+            deadline,
+            responder: sender,
+        };
+        match self.shared.queue.push(class, request) {
+            Ok(admitted) => {
                 self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                self.shared.stats.class_submitted[class.index()].fetch_add(1, Ordering::Relaxed);
                 semrec_obs::counter("serve.requests.submitted").inc();
-                semrec_obs::gauge("serve.queue.depth").set(depth as f64);
+                class_counter(class, "submitted").inc();
+                semrec_obs::gauge("serve.queue.depth").set(admitted.depth as f64);
+                if let Some((victim_class, victim)) = admitted.displaced {
+                    self.shared.count_shed_admission(victim_class);
+                    semrec_obs::counter("serve.requests.displaced").inc();
+                    let _ = victim.responder.send(Err(ServeError::Overloaded {
+                        depth: self.shared.queue.capacity(),
+                        capacity: self.shared.queue.capacity(),
+                        class: victim_class,
+                    }));
+                }
                 Ok(Ticket { receiver })
             }
-            Err((_, PushRefused::Full { depth })) => {
-                self.shared.stats.shed_overload.fetch_add(1, Ordering::Relaxed);
-                semrec_obs::counter("serve.requests.shed").inc();
-                semrec_obs::counter("serve.requests.shed.overload").inc();
-                Err(ServeError::Overloaded { depth })
+            Err((_, PushRefused::Full { depth, capacity })) => {
+                self.shared.count_shed_admission(class);
+                Err(ServeError::Overloaded { depth, capacity, class })
             }
             Err((_, PushRefused::Closed)) => Err(ServeError::ShuttingDown),
         }
@@ -285,21 +423,224 @@ impl Server {
         self.shared.queue.len()
     }
 
+    /// Current queue depth per class, aligned with [`Priority::ALL`].
+    pub fn class_depths(&self) -> [usize; Priority::COUNT] {
+        self.shared.queue.class_depths()
+    }
+
     /// Per-server request counters.
     pub fn stats(&self) -> ServeStats {
         let cells = &self.shared.stats;
+        let mut class = PerClass::<ClassStats>::default();
+        for c in Priority::ALL {
+            let i = c.index();
+            *class.get_mut(c) = ClassStats {
+                submitted: cells.class_submitted[i].load(Ordering::Relaxed),
+                served: cells.class_served[i].load(Ordering::Relaxed),
+                shed: cells.class_shed[i].load(Ordering::Relaxed),
+            };
+        }
         ServeStats {
             submitted: cells.submitted.load(Ordering::Relaxed),
             served: cells.served.load(Ordering::Relaxed),
-            shed_overload: cells.shed_overload.load(Ordering::Relaxed),
+            shed_admission: cells.shed_admission.load(Ordering::Relaxed),
             shed_deadline: cells.shed_deadline.load(Ordering::Relaxed),
             failed: cells.failed.load(Ordering::Relaxed),
+            class,
         }
     }
 
     /// Per-server cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.shared.cache.stats()
+    }
+
+    /// One synchronous serving step for the lockstep (zero-worker) mode:
+    /// pops requests in weighted-fair order until up to `max` of them
+    /// *survive* shedding (dropping an expired request runs no compute, so
+    /// it costs no serving slot), makes every shed/cache decision
+    /// sequentially, and computes the deduplicated cache misses on up to
+    /// `threads` scoped threads. The compute is pure and chunked by index,
+    /// so counters and responses are byte-identical for any `threads`
+    /// value.
+    ///
+    /// With an [`SloController`], requests without an explicit deadline get
+    /// `submitted_at + class budget` as their hard deadline, served waits
+    /// feed the controller's window, pressure is re-evaluated once per
+    /// step, and pressure sheds claim `Low` then `Normal` pre-compute.
+    ///
+    /// # Panics
+    /// Panics if the server was started with worker threads — mixing the
+    /// two drain modes would race the queue.
+    pub fn drain_step(
+        &self,
+        max: usize,
+        threads: usize,
+        mut slo: Option<&mut SloController>,
+    ) -> DrainOutcome {
+        assert!(
+            self.workers.is_empty(),
+            "drain_step requires a lockstep server (ServeConfig.workers == 0)"
+        );
+        let shared = &self.shared;
+        let mut outcome = DrainOutcome::default();
+        if let Some(slo) = slo.as_mut() {
+            slo.update();
+        }
+        let now = shared.clock.now();
+        let snapshot = shared.switch.pin();
+        let degraded = snapshot.engine().source_health().is_degraded();
+        let waits = semrec_obs::histogram_with_buckets("serve.wait.ticks", &semrec_obs::TICK_BUCKETS);
+
+        /// What a drained request resolved to before compute.
+        enum Pending {
+            /// Already responded (shed).
+            Done,
+            /// Answered from cache.
+            Hit(Arc<Vec<Recommendation>>),
+            /// Waiting on the compute of unique miss `index`.
+            Miss(usize),
+        }
+
+        let max = max.max(1);
+        let mut requests = Vec::with_capacity(max);
+        let mut pending = Vec::with_capacity(max);
+        let mut unique: Vec<(u64, AgentId, usize)> = Vec::new();
+        let mut survivors = 0usize;
+        // `max` budgets *service*, not queue pops: shedding a dead request
+        // runs no compute, so it must not burn a serving slot. Dropping the
+        // expired head of a lane is exactly what converts queue backlog
+        // into goodput for the live requests behind it.
+        while survivors < max {
+            let batch = shared.queue.try_drain(max - survivors);
+            if batch.is_empty() {
+                break;
+            }
+            outcome.drained += batch.len();
+            for (class, request) in batch {
+                let deadline = request.deadline.or_else(|| {
+                    slo.as_ref().map(|slo| request.submitted_at + slo.deadline_budget(class))
+                });
+                if let Some(deadline) = deadline {
+                    if now > deadline {
+                        shared.count_shed_deadline(class);
+                        outcome.shed_deadline += 1;
+                        let _ = request
+                            .responder
+                            .send(Err(ServeError::DeadlineExceeded { deadline, now }));
+                        requests.push(request);
+                        pending.push(Pending::Done);
+                        continue;
+                    }
+                }
+                if slo.as_ref().is_some_and(|slo| slo.should_shed(class)) {
+                    shared.count_shed_deadline(class);
+                    semrec_obs::counter("serve.slo.pressure_sheds").inc();
+                    outcome.shed_pressure += 1;
+                    let _ = request.responder.send(Err(ServeError::DeadlineExceeded {
+                        deadline: deadline.unwrap_or(now),
+                        now,
+                    }));
+                    requests.push(request);
+                    pending.push(Pending::Done);
+                    continue;
+                }
+                // Survivor: its wait feeds the SLO window whether it turns
+                // out to be a hit, a miss, or an engine error.
+                survivors += 1;
+                let wait = now.saturating_sub(request.submitted_at);
+                waits.observe(wait as f64);
+                if let Some(slo) = slo.as_mut() {
+                    slo.record_wait(wait);
+                }
+                let key = (snapshot.epoch(), request.agent, request.n);
+                if let Some(cached) = shared.cache.get(&key) {
+                    pending.push(Pending::Hit(cached));
+                } else {
+                    let index = match unique.iter().position(|&u| u == key) {
+                        Some(index) => index,
+                        None => {
+                            unique.push(key);
+                            unique.len() - 1
+                        }
+                    };
+                    pending.push(Pending::Miss(index));
+                }
+                requests.push(request);
+            }
+        }
+        semrec_obs::gauge("serve.queue.depth").set(shared.queue.len() as f64);
+        if requests.is_empty() {
+            return outcome;
+        }
+        semrec_obs::histogram("serve.batch.size").observe(outcome.drained as f64);
+
+        // Parallel pure compute of the unique misses. Chunked by index:
+        // thread count changes who computes, never what or in which slot.
+        let computed: Vec<Result<Arc<Vec<Recommendation>>, CoreError>> = if unique.is_empty() {
+            Vec::new()
+        } else {
+            let lanes = threads.max(1).min(unique.len());
+            let chunk = unique.len().div_ceil(lanes);
+            let engine = snapshot.engine();
+            let mut results: Vec<Option<Result<Arc<Vec<Recommendation>>, CoreError>>> =
+                (0..unique.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = unique
+                    .chunks(chunk)
+                    .map(|keys| {
+                        scope.spawn(move || {
+                            keys.iter()
+                                .map(|&(_, agent, n)| engine.recommend(agent, n).map(Arc::new))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut slot = 0;
+                for handle in handles {
+                    for result in handle.join().expect("drain_step compute lane") {
+                        results[slot] = Some(result);
+                        slot += 1;
+                    }
+                }
+            });
+            results.into_iter().map(|r| r.expect("every slot filled")).collect()
+        };
+        // Populate the cache in first-occurrence order, sequentially.
+        for (key, result) in unique.iter().zip(&computed) {
+            if let Ok(recommendations) = result {
+                shared.cache.insert(*key, Arc::clone(recommendations));
+            }
+        }
+
+        // Respond in drained (weighted-fair) order.
+        for (request, state) in requests.into_iter().zip(pending) {
+            let class = request.class;
+            let (recommendations, cache_hit) = match state {
+                Pending::Done => continue,
+                Pending::Hit(cached) => (cached, true),
+                Pending::Miss(index) => match &computed[index] {
+                    Ok(recommendations) => (Arc::clone(recommendations), false),
+                    Err(e) => {
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        semrec_obs::counter("serve.requests.failed").inc();
+                        outcome.failed += 1;
+                        let _ = request.responder.send(Err(ServeError::Engine(e.clone())));
+                        continue;
+                    }
+                },
+            };
+            shared.count_served(class);
+            outcome.served += 1;
+            let _ = request.responder.send(Ok(ServedResponse {
+                recommendations,
+                epoch: snapshot.epoch(),
+                cache_hit,
+                class,
+                degraded,
+            }));
+        }
+        outcome
     }
 
     /// Closes the queue, drains it, joins the workers, and returns the
@@ -317,7 +658,7 @@ impl Server {
         }
         // A zero-worker server (or a panicked pool) may leave requests
         // queued: answer them explicitly rather than dropping channels.
-        for request in self.shared.queue.take_all() {
+        for (_, request) in self.shared.queue.take_all() {
             let _ = request.responder.send(Err(ServeError::ShuttingDown));
         }
     }
@@ -342,7 +683,7 @@ fn worker_loop(shared: &Shared) {
         batch_sizes.observe(batch.len() as f64);
         semrec_obs::gauge("serve.queue.depth").set(shared.queue.len() as f64);
         let snapshot = shared.switch.pin();
-        for request in batch {
+        for (_, request) in batch {
             serve_one(shared, &snapshot, request);
         }
     }
@@ -351,23 +692,24 @@ fn worker_loop(shared: &Shared) {
 /// Serves one drained request against the batch's pinned snapshot.
 fn serve_one(shared: &Shared, snapshot: &ModelSnapshot, request: Request) {
     let now = shared.clock.now();
+    let class = request.class;
     if let Some(deadline) = request.deadline {
         if now > deadline {
-            shared.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
-            semrec_obs::counter("serve.requests.shed").inc();
-            semrec_obs::counter("serve.requests.shed.deadline").inc();
+            shared.count_shed_deadline(class);
             let _ = request.responder.send(Err(ServeError::DeadlineExceeded { deadline, now }));
             return;
         }
     }
+    let degraded = snapshot.engine().source_health().is_degraded();
     let key = (snapshot.epoch(), request.agent, request.n);
     if let Some(cached) = shared.cache.get(&key) {
-        shared.stats.served.fetch_add(1, Ordering::Relaxed);
-        semrec_obs::counter("serve.requests.served").inc();
+        shared.count_served(class);
         let _ = request.responder.send(Ok(ServedResponse {
             recommendations: cached,
             epoch: snapshot.epoch(),
             cache_hit: true,
+            class,
+            degraded,
         }));
         return;
     }
@@ -375,12 +717,13 @@ fn serve_one(shared: &Shared, snapshot: &ModelSnapshot, request: Request) {
         Ok(recommendations) => {
             let recommendations = Arc::new(recommendations);
             shared.cache.insert(key, Arc::clone(&recommendations));
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
-            semrec_obs::counter("serve.requests.served").inc();
+            shared.count_served(class);
             let _ = request.responder.send(Ok(ServedResponse {
                 recommendations,
                 epoch: snapshot.epoch(),
                 cache_hit: false,
+                class,
+                degraded,
             }));
         }
         Err(e) => {
@@ -394,6 +737,7 @@ fn serve_one(shared: &Shared, snapshot: &ModelSnapshot, request: Request) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slo::SloConfig;
     use semrec_core::{Community, RecommenderConfig};
     use semrec_taxonomy::fixtures::example1;
 
@@ -423,10 +767,13 @@ mod tests {
             let response = server.submit(agent, 5).unwrap().wait().unwrap();
             assert_eq!(*response.recommendations, engine.recommend(agent, 5).unwrap());
             assert_eq!(response.epoch, 1);
+            assert_eq!(response.class, Priority::Normal);
+            assert!(!response.degraded);
         }
         let stats = server.shutdown();
         assert_eq!(stats.submitted, 12);
         assert_eq!(stats.served, 12);
+        assert_eq!(stats.class.normal.served, 12);
         assert_eq!(stats.shed(), 0);
     }
 
@@ -456,24 +803,56 @@ mod tests {
         let a = server.submit(agents[0], 5).unwrap();
         let b = server.submit(agents[1], 5).unwrap();
         match server.submit(agents[2], 5) {
-            Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 2),
+            Err(ServeError::Overloaded { depth, capacity, class }) => {
+                assert_eq!(depth, 2);
+                assert_eq!(capacity, 2);
+                assert_eq!(class, Priority::Normal);
+            }
             other => panic!("expected Overloaded, got {other:?}"),
         }
         let stats = server.stats();
         assert_eq!(stats.submitted, 2);
-        assert_eq!(stats.shed_overload, 1);
+        assert_eq!(stats.shed_admission, 1);
+        assert_eq!(stats.class.normal.shed, 1);
         // Shutdown answers the queued-but-never-served requests.
         let stats = server.shutdown();
-        assert_eq!(stats.shed_overload, 1);
+        assert_eq!(stats.shed_admission, 1);
         assert_eq!(a.wait(), Err(ServeError::ShuttingDown));
         assert_eq!(b.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn high_class_displaces_the_newest_low_request() {
+        let (engine, agents) = ring(6);
+        let server = Server::start(
+            engine,
+            ServeConfig { workers: 0, queue_capacity: 2, ..ServeConfig::default() },
+        );
+        let _keep = server.submit_classed(agents[0], 5, Priority::Low, None).unwrap();
+        let victim = server.submit_classed(agents[1], 5, Priority::Low, None).unwrap();
+        let urgent = server.submit_classed(agents[2], 5, Priority::High, None).unwrap();
+        // The victim resolved immediately with a typed admission shed.
+        match victim.try_wait() {
+            Some(Err(ServeError::Overloaded { depth, capacity, class })) => {
+                assert_eq!(depth, 2);
+                assert_eq!(capacity, 2);
+                assert_eq!(class, Priority::Low);
+            }
+            other => panic!("expected displaced Overloaded, got {other:?}"),
+        }
+        assert!(urgent.try_wait().is_none(), "the urgent request is queued");
+        let stats = server.stats();
+        assert_eq!(stats.shed_admission, 1);
+        assert_eq!(stats.class.low.shed, 1);
+        assert_eq!(stats.class.high.submitted, 1);
+        assert_eq!(server.class_depths(), [1, 0, 1]);
     }
 
     #[test]
     fn stale_queued_requests_are_shed_at_dequeue() {
         let (engine, agents) = ring(6);
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(8),
+            queue: WeightedFairQueue::new(8),
             switch: SnapshotSwitch::new(engine.clone()),
             cache: RecCache::new(16, 2),
             clock: TickClock::new(),
@@ -486,11 +865,31 @@ mod tests {
         let (tx2, rx2) = mpsc::channel();
         shared
             .queue
-            .push(Request { agent: agents[0], n: 5, deadline: Some(0), responder: tx1 })
+            .push(
+                Priority::Normal,
+                Request {
+                    agent: agents[0],
+                    n: 5,
+                    class: Priority::Normal,
+                    submitted_at: 0,
+                    deadline: Some(0),
+                    responder: tx1,
+                },
+            )
             .unwrap();
         shared
             .queue
-            .push(Request { agent: agents[1], n: 5, deadline: Some(5), responder: tx2 })
+            .push(
+                Priority::Normal,
+                Request {
+                    agent: agents[1],
+                    n: 5,
+                    class: Priority::Normal,
+                    submitted_at: 0,
+                    deadline: Some(5),
+                    responder: tx2,
+                },
+            )
             .unwrap();
         shared.clock.advance(3);
         shared.queue.close();
@@ -503,6 +902,59 @@ mod tests {
         assert_eq!(*ok.recommendations, engine.recommend(agents[1], 5).unwrap());
         assert_eq!(shared.stats.shed_deadline.load(Ordering::Relaxed), 1);
         assert_eq!(shared.stats.served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_step_serves_in_weighted_fair_order_with_slo_deadlines() {
+        let (engine, agents) = ring(8);
+        let server = Server::start(engine.clone(), config(0));
+        let mut slo = SloController::new(SloConfig::default());
+        let low = server.submit_classed(agents[0], 5, Priority::Low, None).unwrap();
+        let high = server.submit_classed(agents[1], 5, Priority::High, None).unwrap();
+        let outcome = server.drain_step(8, 2, Some(&mut slo));
+        assert_eq!(outcome.drained, 2);
+        assert_eq!(outcome.served, 2);
+        let high = high.try_wait().expect("resolved").unwrap();
+        assert_eq!(high.class, Priority::High);
+        assert_eq!(*high.recommendations, engine.recommend(agents[1], 5).unwrap());
+        assert!(low.try_wait().expect("resolved").is_ok());
+        // A Low request older than its 32-tick budget is shed at dequeue.
+        let stale = server.submit_classed(agents[2], 5, Priority::Low, None).unwrap();
+        server.clock().advance(33);
+        let outcome = server.drain_step(8, 1, Some(&mut slo));
+        assert_eq!(outcome.shed_deadline, 1);
+        assert!(matches!(
+            stale.try_wait(),
+            Some(Err(ServeError::DeadlineExceeded { deadline: 32, now: 33 }))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_step_is_identical_across_thread_counts() {
+        let (engine, agents) = ring(10);
+        let mut baseline: Option<(DrainOutcome, Vec<ServeResult>)> = None;
+        for threads in [1usize, 2, 8] {
+            let server = Server::start(engine.clone(), config(0));
+            let tickets: Vec<_> = (0..10)
+                .map(|i| {
+                    server
+                        .submit_classed(agents[i % agents.len()], 5, Priority::ALL[i % 3], None)
+                        .unwrap()
+                })
+                .collect();
+            let outcome = server.drain_step(16, threads, None);
+            let results: Vec<ServeResult> =
+                tickets.iter().map(|t| t.try_wait().expect("resolved")).collect();
+            match &baseline {
+                None => baseline = Some((outcome, results)),
+                Some((expected_outcome, expected)) => {
+                    assert_eq!(outcome, *expected_outcome, "threads={threads}");
+                    assert_eq!(results, *expected, "threads={threads}");
+                }
+            }
+            server.shutdown();
+        }
     }
 
     #[test]

@@ -1,17 +1,21 @@
-//! Property tests for the serving layer's two load-bearing invariants:
+//! Property tests for the serving layer's load-bearing invariants:
 //!
 //! 1. the sharded LRU never holds more entries than its capacity, whatever
 //!    the operation sequence;
 //! 2. an entry computed against an old snapshot generation is never served
 //!    after a swap — lookups keyed by the current epoch only ever see
-//!    values inserted at that epoch.
+//!    values inserted at that epoch;
+//! 3. admission control is exact (typed refusal carrying depth *and*
+//!    capacity) for both the FIFO and the weighted-fair queue;
+//! 4. weighted-fair dequeue never starves the lowest class beyond its
+//!    weight bound, however the arrival mix is skewed.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use semrec_core::{AgentId, ProductId, Recommendation};
-use semrec_serve::{BoundedQueue, PushRefused, RecCache};
+use semrec_serve::{BoundedQueue, Priority, PushRefused, RecCache, WeightedFairQueue};
 
 /// A recommendation list "stamped" with the epoch it was computed at, so a
 /// cross-epoch leak is detectable from the value alone.
@@ -110,9 +114,10 @@ proptest! {
                     admitted.push(i);
                     prop_assert!(depth <= capacity);
                 }
-                Err((item, PushRefused::Full { depth })) => {
+                Err((item, PushRefused::Full { depth, capacity: reported })) => {
                     prop_assert_eq!(item, i);
                     prop_assert_eq!(depth, capacity);
+                    prop_assert_eq!(reported, capacity, "the refusal must name the capacity");
                 }
                 Err((_, PushRefused::Closed)) => unreachable!("queue never closed"),
             }
@@ -129,5 +134,79 @@ proptest! {
             drained.extend(batch);
         }
         prop_assert_eq!(drained, admitted);
+    }
+
+    #[test]
+    /// No-starvation bound for weighted-fair dequeue: while every class
+    /// stays backlogged, any window of W = w_high + w_normal + w_low
+    /// consecutive pops contains at least w_c pops of class c — so even the
+    /// lowest class is guaranteed its weight share, whatever the weights.
+    fn weighted_fair_dequeue_never_starves_a_backlogged_class(
+        weights in (1u32..6, 1u32..6, 1u32..6),
+        pops in 1usize..60,
+    ) {
+        let weights = [weights.0, weights.1, weights.2];
+        let round: usize = weights.iter().map(|&w| w as usize).sum();
+        // Backlog deep enough that no lane empties mid-run.
+        let backlog = pops + round;
+        let queue = WeightedFairQueue::with_weights(3 * backlog, weights);
+        for i in 0..backlog as u32 {
+            for class in Priority::ALL {
+                queue.push(class, i).unwrap();
+            }
+        }
+        let order: Vec<Priority> =
+            queue.try_drain(pops).into_iter().map(|(class, _)| class).collect();
+        prop_assert_eq!(order.len(), pops);
+        for window in order.windows(round) {
+            for class in Priority::ALL {
+                let got = window.iter().filter(|&&c| c == class).count();
+                let want = weights[class.index()] as usize;
+                prop_assert!(
+                    got >= want,
+                    "class {} got {} of its {} guaranteed pops in a window of {}: {:?}",
+                    class, got, want, round, window
+                );
+            }
+        }
+    }
+
+    #[test]
+    /// Displacement conservation: whatever classed push sequence hits a
+    /// full queue, every admitted item is either still queued or was handed
+    /// back as a displacement victim — nothing vanishes — and depth never
+    /// exceeds capacity.
+    fn classed_admission_conserves_items(
+        capacity in 1usize..8,
+        pushes in prop::collection::vec(0usize..3, 1..60),
+    ) {
+        let queue = WeightedFairQueue::new(capacity);
+        let mut alive = std::collections::BTreeSet::new();
+        let mut displaced = Vec::new();
+        for (item, class_index) in pushes.into_iter().enumerate() {
+            let item = item as u32;
+            let class = Priority::ALL[class_index];
+            match queue.push(class, item) {
+                Ok(admitted) => {
+                    alive.insert(item);
+                    prop_assert!(admitted.depth <= capacity);
+                    if let Some((victim_class, victim)) = admitted.displaced {
+                        prop_assert!(victim_class > class, "only strictly lower classes displace");
+                        prop_assert!(alive.remove(&victim), "victim must have been queued");
+                        displaced.push(victim);
+                    }
+                }
+                Err((item, PushRefused::Full { depth, capacity: reported })) => {
+                    prop_assert_eq!(depth, capacity);
+                    prop_assert_eq!(reported, capacity);
+                    prop_assert!(!alive.contains(&item));
+                }
+                Err(_) => unreachable!("queue never closed"),
+            }
+            prop_assert!(queue.len() <= capacity);
+        }
+        let drained: std::collections::BTreeSet<u32> =
+            queue.take_all().into_iter().map(|(_, item)| item).collect();
+        prop_assert_eq!(drained, alive);
     }
 }

@@ -10,6 +10,7 @@
 //! semrec trust     --data ./world --agent http://community.example.org/agents/0#me
 //! semrec recommend --data ./world --agent http://community.example.org/agents/0#me --top 10
 //! semrec serve-bench --scale small --seed 42 --workers 4 --clients 8
+//! semrec serve-bench --scale small --seed 42 --open-loop flash --ticks 120 --rate 8
 //! semrec refresh-bench --scale small --seed 42 --rounds 3 --churn 0.05
 //! semrec checkpoint --data ./world --store ./checkpoints
 //! semrec recover --store ./checkpoints --top 5
@@ -69,6 +70,13 @@ struct Options {
     churn: f64,
     store: PathBuf,
     blend: Option<String>,
+    open_loop: Option<String>,
+    ticks: u64,
+    rate: f64,
+    slo_p99: u64,
+    min_workers: usize,
+    max_workers: usize,
+    no_slo: bool,
 }
 
 impl Options {
@@ -91,6 +99,13 @@ impl Options {
             churn: 0.05,
             store: PathBuf::from("./checkpoints"),
             blend: None,
+            open_loop: None,
+            ticks: 200,
+            rate: 8.0,
+            slo_p99: 16,
+            min_workers: 1,
+            max_workers: 8,
+            no_slo: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -133,6 +148,25 @@ impl Options {
                 }
                 "--store" => opts.store = PathBuf::from(value(&mut i)),
                 "--blend" => opts.blend = Some(value(&mut i)),
+                "--open-loop" => opts.open_loop = Some(value(&mut i)),
+                "--ticks" => {
+                    opts.ticks = value(&mut i).parse().unwrap_or_else(|_| usage("bad ticks"))
+                }
+                "--rate" => {
+                    opts.rate = value(&mut i).parse().unwrap_or_else(|_| usage("bad rate"))
+                }
+                "--slo-p99" => {
+                    opts.slo_p99 = value(&mut i).parse().unwrap_or_else(|_| usage("bad slo-p99"))
+                }
+                "--min-workers" => {
+                    opts.min_workers =
+                        value(&mut i).parse().unwrap_or_else(|_| usage("bad min-workers"))
+                }
+                "--max-workers" => {
+                    opts.max_workers =
+                        value(&mut i).parse().unwrap_or_else(|_| usage("bad max-workers"))
+                }
+                "--no-slo" => opts.no_slo = true,
                 other => usage(&format!("unknown option `{other}`")),
             }
             i += 1;
@@ -150,7 +184,9 @@ fn usage(reason: &str) -> ! {
     eprintln!("  recommend --data DIR --agent URI [--top N] [--diversify THETA]");
     eprintln!(
         "  serve-bench --scale small|medium|paper --seed N [--workers N] [--clients N]\n\
-         \x20             [--requests N] [--queue N] [--cache N] [--top N]"
+         \x20             [--requests N] [--queue N] [--cache N] [--top N]\n\
+         \x20             [--open-loop poisson|diurnal|flash] [--ticks N] [--rate F]\n\
+         \x20             [--slo-p99 N] [--min-workers N] [--max-workers N] [--no-slo]"
     );
     eprintln!(
         "  refresh-bench --scale small|medium|paper --seed N [--rounds N] [--churn F]\n\
@@ -375,6 +411,9 @@ fn serve_bench(opts: &Options) {
         "paper" => CommunityGenConfig::paper_scale(opts.seed),
         other => usage(&format!("unknown scale `{other}`")),
     };
+    if let Some(process) = &opts.open_loop {
+        return serve_bench_open_loop(opts, &config, process);
+    }
     println!(
         "Generating {} community (seed {}) and serving it with {} worker(s)…",
         opts.scale, opts.seed, opts.workers
@@ -407,7 +446,7 @@ fn serve_bench(opts: &Options) {
     let mut table = Table::new(["measure", "value"]);
     table.row(["requests attempted".to_string(), report.attempts.to_string()]);
     table.row(["served".to_string(), report.served.to_string()]);
-    table.row(["shed (overload)".to_string(), report.shed_overload.to_string()]);
+    table.row(["shed (admission)".to_string(), report.shed_admission.to_string()]);
     table.row(["shed (deadline)".to_string(), report.shed_deadline.to_string()]);
     table.row(["failed".to_string(), report.failed.to_string()]);
     table.row(["throughput (req/s)".to_string(), format!("{:.0}", report.throughput())]);
@@ -417,6 +456,109 @@ fn serve_bench(opts: &Options) {
     table.row(["cache hit rate".to_string(), format!("{:.3}", report.cache_hit_rate())]);
     table.row(["snapshot epoch".to_string(), server.epoch().to_string()]);
     println!("{}", table.render());
+}
+
+/// Open-loop serve-bench: drive the lockstep server with an arrival
+/// process on the virtual tick axis and report goodput-under-SLO by
+/// priority class. Deterministic for a given seed.
+fn serve_bench_open_loop(opts: &Options, config: &CommunityGenConfig, process: &str) {
+    use semrec::serve::{
+        run_open_loop, ArrivalProcess, OpenLoopConfig, Priority, ScalerConfig, SloConfig,
+    };
+
+    let process = match process {
+        "poisson" => ArrivalProcess::Poisson { rate: opts.rate },
+        "diurnal" => ArrivalProcess::Diurnal { base: 1.0, peak: opts.rate },
+        "flash" => ArrivalProcess::FlashCrowd {
+            base: opts.rate / 4.0,
+            spike: opts.rate * 4.0,
+            start: opts.ticks / 4,
+            len: opts.ticks * 3 / 8,
+            hot_agents: 6,
+            hot_fraction: 0.7,
+        },
+        other => usage(&format!("unknown arrival process `{other}`")),
+    };
+    println!(
+        "Generating {} community (seed {}); open-loop {} trace over {} ticks\n\
+         (SLO {}, p99 target {} ticks, workers {}–{})…",
+        opts.scale,
+        opts.seed,
+        opts.open_loop.as_deref().unwrap_or("?"),
+        opts.ticks,
+        if opts.no_slo { "OFF" } else { "on" },
+        opts.slo_p99,
+        opts.min_workers,
+        opts.max_workers,
+    );
+    let community = generate_community(config).community;
+    let panel: Vec<semrec::AgentId> = community.agents().take(64).collect();
+    let engine = Recommender::new(community, RecommenderConfig::default());
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            workers: 0,
+            queue_capacity: opts.queue,
+            cache_capacity: opts.cache,
+            ..ServeConfig::default()
+        },
+    );
+    let report = run_open_loop(
+        &server,
+        &panel,
+        &OpenLoopConfig {
+            ticks: opts.ticks,
+            process,
+            top_n: opts.top,
+            seed: opts.seed,
+            slo: SloConfig {
+                target_p99_wait_ticks: opts.slo_p99,
+                ..SloConfig::default()
+            },
+            enforce_slo: !opts.no_slo,
+            scaler: ScalerConfig {
+                min_workers: opts.min_workers.max(1),
+                max_workers: opts.max_workers.max(opts.min_workers.max(1)),
+                ..ScalerConfig::default()
+            },
+            ..OpenLoopConfig::default()
+        },
+    );
+
+    let mut table = Table::new([
+        "class", "offered", "admitted", "served", "goodput", "good %", "shed adm", "displ",
+        "shed dl", "wait p50", "wait p95", "wait p99",
+    ]);
+    for class in Priority::ALL {
+        let c = report.class.get(class);
+        table.row([
+            class.label().to_string(),
+            c.offered.to_string(),
+            c.admitted.to_string(),
+            c.served.to_string(),
+            c.goodput.to_string(),
+            format!("{:.3}", c.goodput_rate()),
+            c.shed_admission.to_string(),
+            c.displaced.to_string(),
+            c.shed_deadline.to_string(),
+            c.wait_p50.to_string(),
+            c.wait_p95.to_string(),
+            c.wait_p99.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} offered, {} served, {} goodput-under-SLO; {} scale events (peak {}\n\
+         workers), {} ticks run, {} lost.",
+        report.offered(),
+        report.served(),
+        report.goodput(),
+        report.scale_events,
+        report.peak_workers,
+        report.ticks_run,
+        report.lost,
+    );
+    server.shutdown();
 }
 
 fn refresh_bench(opts: &Options) {

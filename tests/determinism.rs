@@ -387,6 +387,105 @@ fn checkpoint_restart_resume_is_thread_count_invariant() {
     assert_eq!(totals(&counters_seq), totals(&counters_par));
 }
 
+/// One open-loop SLO-controlled serving run in lockstep mode: a flash-crowd
+/// trace against a seeded community, with deadline shedding, the pressure
+/// controller and the autoscaler all active. Returns the rendered per-class
+/// outcome (counts and exact tick percentiles) and the counter map —
+/// including every `serve.slo.*` / `serve.class.*` / `serve.workers.*`
+/// counter, all of which must be invariant across runs and compute thread
+/// counts.
+fn run_open_loop_slo(seed: u64, threads: usize) -> (String, BTreeMap<String, u64>) {
+    use semrec::serve::{
+        run_open_loop, ArrivalProcess, OpenLoopConfig, Priority, ScalerConfig, ServeConfig,
+        Server,
+    };
+
+    let generated = generate_community(&CommunityGenConfig::small(seed));
+    let recommender = Recommender::new(generated.community, RecommenderConfig::default());
+    let agents: Vec<_> = recommender.community().agents().collect();
+
+    obs::global().reset();
+    let server = Server::start(
+        recommender,
+        ServeConfig { workers: 0, queue_capacity: 256, ..Default::default() },
+    );
+    // A deep queue and a capped pool: the spike outruns the drain, waits
+    // climb past the deadline budgets, and the SLO machinery has to act.
+    let config = OpenLoopConfig {
+        ticks: 80,
+        process: ArrivalProcess::FlashCrowd {
+            base: 2.0,
+            spike: 32.0,
+            start: 25,
+            len: 30,
+            hot_agents: 6,
+            hot_fraction: 0.7,
+        },
+        seed,
+        class_mix: [0.2, 0.5, 0.3],
+        threads,
+        scaler: ScalerConfig { max_workers: 4, ..Default::default() },
+        ..Default::default()
+    };
+    let report = run_open_loop(&server, &agents, &config);
+    server.shutdown();
+
+    let mut rendered = String::new();
+    for class in Priority::ALL {
+        let s = report.class.get(class);
+        rendered.push_str(&format!(
+            "{class}: offered={} admitted={} served={} goodput={} shed_adm={} displaced={} \
+             shed_dl={} p50={} p95={} p99={}\n",
+            s.offered,
+            s.admitted,
+            s.served,
+            s.goodput,
+            s.shed_admission,
+            s.displaced,
+            s.shed_deadline,
+            s.wait_p50,
+            s.wait_p95,
+            s.wait_p99,
+        ));
+    }
+    rendered.push_str(&format!(
+        "ticks={} scale_events={} peak_workers={} lost={}\n",
+        report.ticks_run, report.scale_events, report.peak_workers, report.lost
+    ));
+    (rendered, obs::global().snapshot().counters)
+}
+
+#[test]
+fn open_loop_slo_run_is_byte_identical_across_runs_and_threads() {
+    let _serial = lock();
+    let (report_a, counters_a) = run_open_loop_slo(42, 1);
+    let (report_b, counters_b) = run_open_loop_slo(42, 1);
+    let (report_c, counters_c) = run_open_loop_slo(42, 2);
+    let (report_d, counters_d) = run_open_loop_slo(42, 8);
+
+    assert!(!report_a.is_empty());
+    assert_eq!(report_a, report_b, "same seed, same threads: identical runs");
+    assert_eq!(report_a, report_c, "2 compute threads must not change the outcome");
+    assert_eq!(report_a, report_d, "8 compute threads must not change the outcome");
+    // The trace must actually exercise the SLO machinery, or the
+    // determinism claim is vacuous.
+    for required in [
+        "serve.slo.violations",
+        "serve.workers.scale_events",
+        "serve.class.high.served",
+        "serve.class.normal.served",
+        "serve.class.low.served",
+    ] {
+        assert!(
+            counters_a.get(required).copied().unwrap_or(0) > 0,
+            "flash crowd must drive {required}: {counters_a:?}"
+        );
+    }
+    assert_eq!(counters_a, counters_b, "counters identical across runs");
+    assert_eq!(counters_a, counters_c, "counters identical at 2 threads");
+    assert_eq!(counters_a, counters_d, "counters identical at 8 threads");
+}
+
 #[test]
 fn different_seeds_diverge() {
     let _serial = lock();

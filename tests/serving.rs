@@ -10,11 +10,19 @@
 //! 3. **Admission control** — at capacity the server sheds with a typed
 //!    `Overloaded` error instead of queuing without bound, and shutdown
 //!    answers still-queued requests instead of dropping them.
+//! 4. **SLO semantics** — the deadline boundary is exactly `now > deadline`
+//!    (a request whose deadline *is* the current tick is served), priority
+//!    classes flow through the weighted-fair queue end to end, and under
+//!    burst load against a degraded-source epoch every admitted request is
+//!    answered with its explanation marked degraded.
 
 use std::sync::Arc;
 
-use semrec::core::{Recommender, RecommenderConfig};
-use semrec::serve::{ServeConfig, ServeError, Server};
+use semrec::core::{Recommender, RecommenderConfig, SourceHealth};
+use semrec::serve::{
+    run_open_loop, run_open_loop_with, ArrivalProcess, OpenLoopConfig, Priority, ServeConfig,
+    ServeError, Server, SloConfig, SloController,
+};
 use semrec::taxonomy::fixtures::example1;
 use semrec::{AgentId, Community};
 
@@ -183,7 +191,11 @@ fn admission_control_refuses_deterministically_and_shutdown_answers() {
 
     let queued: Vec<_> = (0..3).map(|_| server.submit(agents[0], 5).unwrap()).collect();
     match server.submit(agents[0], 5) {
-        Err(ServeError::Overloaded { depth }) => assert_eq!(depth, 3),
+        Err(ServeError::Overloaded { depth, capacity, class }) => {
+            assert_eq!(depth, 3);
+            assert_eq!(capacity, 3, "the shed error must name the capacity it ran into");
+            assert_eq!(class, Priority::Normal);
+        }
         other => panic!("4th submission into a 3-deep queue must shed, got {other:?}"),
     }
     assert_eq!(server.queue_depth(), 3);
@@ -195,4 +207,203 @@ fn admission_control_refuses_deterministically_and_shutdown_answers() {
     for ticket in queued {
         assert!(matches!(ticket.wait(), Err(ServeError::ShuttingDown)));
     }
+}
+
+/// Pins the deadline boundary: the shed condition is strictly
+/// `now > deadline`, so a request drained on exactly its deadline tick is
+/// served, and one tick later it is shed. This is the off-by-one the whole
+/// goodput metric hangs on.
+#[test]
+fn deadline_boundary_is_inclusive_of_the_deadline_tick() {
+    let (engine, agents) = ring(8);
+
+    // Served: drained when now == deadline.
+    let server = Server::start(engine.clone(), ServeConfig { workers: 0, ..Default::default() });
+    let at_deadline = server.submit_with_deadline(agents[0], 5, Some(4)).unwrap();
+    server.clock().advance(4);
+    server.drain_step(8, 1, None);
+    let response = at_deadline.try_wait().expect("resolved at its deadline tick");
+    assert!(response.is_ok(), "deadline == now must be served, got {response:?}");
+    server.shutdown();
+
+    // Shed: drained one tick past.
+    let server = Server::start(engine, ServeConfig { workers: 0, ..Default::default() });
+    let past_deadline = server.submit_with_deadline(agents[0], 5, Some(4)).unwrap();
+    server.clock().advance(5);
+    server.drain_step(8, 1, None);
+    match past_deadline.try_wait().expect("resolved one tick past") {
+        Err(ServeError::DeadlineExceeded { deadline: 4, now: 5 }) => {}
+        other => panic!("deadline + 1 must shed with the exact ticks, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Priority classes flow end to end: under weighted-fair dequeue with all
+/// classes backlogged, High is served strictly before Low within a round,
+/// for both a single worker and a wide pool.
+#[test]
+fn priority_classes_flow_through_the_weighted_fair_queue() {
+    let (engine, agents) = ring(16);
+    for workers in [1usize, 8] {
+        let server = Server::start(
+            engine.clone(),
+            ServeConfig { workers: 0, queue_capacity: 64, ..Default::default() },
+        );
+        let low: Vec<_> = (0..4)
+            .map(|i| server.submit_classed(agents[i], 5, Priority::Low, None).unwrap())
+            .collect();
+        let high: Vec<_> = (0..4)
+            .map(|i| server.submit_classed(agents[i + 4], 5, Priority::High, None).unwrap())
+            .collect();
+        // One narrow drain: the DRR round serves all 4 High (weight 4) but
+        // at most the round's Normal/Low allowance. try_wait consumes the
+        // response, so poll each ticket once and keep the result.
+        server.drain_step(5, workers, None);
+        let mut high_results: Vec<_> = high.iter().map(|t| t.try_wait()).collect();
+        let mut low_results: Vec<_> = low.iter().map(|t| t.try_wait()).collect();
+        let high_done = high_results.iter().filter(|r| r.is_some()).count();
+        let low_done = low_results.iter().filter(|r| r.is_some()).count();
+        assert_eq!(high_done, 4, "workers={workers}: a full High allowance is served first");
+        assert!(low_done <= 1, "workers={workers}: Low gets its weight share, not more");
+        // The rest drains; everything resolves.
+        server.drain_step(64, workers, None);
+        for (ticket, slot) in
+            low.iter().zip(&mut low_results).chain(high.iter().zip(&mut high_results))
+        {
+            let result = slot.take().or_else(|| ticket.try_wait());
+            assert!(result.expect("resolved").is_ok());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.class.high.served, 4);
+        assert_eq!(stats.class.low.served, 4);
+    }
+}
+
+/// Regression: a degraded-source epoch under burst load answers every
+/// admitted request — nothing lost, nothing hung — and every served answer
+/// carries the degraded marker so explanations can say so.
+#[test]
+fn degraded_epoch_under_burst_load_answers_everything_and_marks_it() {
+    let (engine, agents) = ring(24);
+    let health = SourceHealth {
+        attempted: 24,
+        fetched: 20,
+        unreachable: 3,
+        gave_up: 1,
+        corrupted: 0,
+        parse_errors: 2,
+    };
+    assert!(health.is_degraded());
+    let degraded_engine = engine.with_source_health(health);
+
+    let server = Server::start(
+        degraded_engine,
+        ServeConfig { workers: 0, queue_capacity: 48, ..Default::default() },
+    );
+    let config = OpenLoopConfig {
+        ticks: 40,
+        process: ArrivalProcess::FlashCrowd {
+            base: 1.0,
+            spike: 12.0,
+            start: 10,
+            len: 12,
+            hot_agents: 4,
+            hot_fraction: 0.7,
+        },
+        class_mix: [0.3, 0.4, 0.3],
+        ..Default::default()
+    };
+    let report = run_open_loop(&server, &agents, &config);
+    assert!(report.offered() > 0);
+    assert_eq!(report.lost, 0, "every admitted request must resolve: {report:?}");
+    for class in Priority::ALL {
+        let slot = report.class.get(class);
+        assert_eq!(
+            slot.resolved(),
+            slot.admitted,
+            "{class}: admitted requests must all be served, shed or failed"
+        );
+    }
+    // Served answers carry the degraded marker.
+    let probe = server.submit(agents[0], 5).unwrap();
+    server.drain_step(8, 1, None);
+    let response = probe.try_wait().expect("resolved").unwrap();
+    assert!(response.degraded, "a degraded-source epoch must mark its answers");
+    server.shutdown();
+}
+
+/// Robustness: a snapshot publish in the middle of a flash-crowd spike
+/// loses no admitted request, and post-publish answers come from the new
+/// epoch.
+#[test]
+fn mid_burst_publish_loses_nothing_under_open_loop_load() {
+    let (engine, agents) = ring(24);
+    let (next_engine, _) = ring(24);
+    let server = Server::start(
+        engine,
+        ServeConfig { workers: 0, queue_capacity: 48, ..Default::default() },
+    );
+    let config = OpenLoopConfig {
+        ticks: 40,
+        process: ArrivalProcess::FlashCrowd {
+            base: 1.0,
+            spike: 10.0,
+            start: 8,
+            len: 16,
+            hot_agents: 4,
+            hot_fraction: 0.7,
+        },
+        ..Default::default()
+    };
+    // Publish at the middle of the spike window (tick 16).
+    let mut published = false;
+    let report = run_open_loop_with(&server, &agents, &config, |tick, server| {
+        if tick == 16 && !published {
+            published = true;
+            assert_eq!(server.publish(next_engine.clone()), 2);
+        }
+    });
+    assert!(published, "the hook must have fired mid-spike");
+    assert_eq!(report.lost, 0, "a mid-burst publish must lose nothing: {report:?}");
+    assert_eq!(server.epoch(), 2);
+    // Post-publish traffic is served by the new generation.
+    let probe = server.submit(agents[0], 5).unwrap();
+    server.drain_step(8, 1, None);
+    assert_eq!(probe.try_wait().expect("resolved").unwrap().epoch, 2);
+    server.shutdown();
+}
+
+/// Under SLO pressure the controller sheds bottom-up: with a deliberately
+/// saturated window, Low is pressure-shed while High still rides to its own
+/// hard deadline.
+#[test]
+fn pressure_sheds_low_before_high() {
+    let (engine, agents) = ring(8);
+    let server = Server::start(
+        engine,
+        ServeConfig { workers: 0, queue_capacity: 64, ..Default::default() },
+    );
+    let mut slo = SloController::new(SloConfig {
+        target_p99_wait_ticks: 2,
+        window: 8,
+        ..Default::default()
+    });
+    // Saturate the observed-wait window far past 2× target.
+    for _ in 0..8 {
+        slo.record_wait(50);
+    }
+    slo.update();
+    assert_eq!(slo.pressure(), 2);
+    let low = server.submit_classed(agents[0], 5, Priority::Low, None).unwrap();
+    let high = server.submit_classed(agents[1], 5, Priority::High, None).unwrap();
+    server.drain_step(8, 1, Some(&mut slo));
+    assert!(
+        matches!(low.try_wait(), Some(Err(ServeError::DeadlineExceeded { .. }))),
+        "level-2 pressure must shed Low pre-compute"
+    );
+    assert!(
+        high.try_wait().expect("resolved").is_ok(),
+        "High is never pressure-shed before its own deadline"
+    );
+    server.shutdown();
 }
