@@ -1,0 +1,454 @@
+//! Cross-shard Appleseed: the boundary-frontier exchange protocol.
+//!
+//! The global Appleseed iteration (see `semrec-trust`) is partitioned by
+//! shard ownership. Each round has two phases in lockstep:
+//!
+//! 1. **Compute** — every shard advances the energy wave over its own
+//!    members exactly as the unsharded metric would, walking each node's
+//!    precomputed out-star (local and boundary edges merged in global-id
+//!    order, so normalization sums are performed in the same floating-point
+//!    order as the global graph walk). Energy shares destined for remote
+//!    agents are appended to per-destination-shard *frontier buckets*
+//!    (`Packet`s) instead of being applied directly. Shards are
+//!    independent within a round, so this phase fans out across compute
+//!    threads without affecting results.
+//! 2. **Exchange** — a single-threaded barrier flushes every bucket:
+//!    packets are applied destination shard by destination shard, source
+//!    shard by source shard, in append order. Discovery, the node cap, and
+//!    distrust penalties behave as in the global metric, with rerouted
+//!    energy returned to the source node.
+//!
+//! The protocol converges when no rank anywhere moved by more than the
+//! convergence threshold during a round. With one shard no packet is ever
+//! created and the computation is bit-identical to the global metric; with
+//! more shards the fixpoint is the same but iteration interleaving differs,
+//! so ranks agree to within the convergence threshold (the equivalence
+//! property suite pins both statements).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::thread;
+
+use semrec_trust::appleseed::AppleseedParams;
+use semrec_trust::{AgentId, Result};
+
+use crate::model::{Shard, Target};
+use crate::partition::GlobalId;
+
+/// One unit of boundary-frontier traffic: energy (or a distrust penalty)
+/// flushed to an agent owned by another shard.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Packet {
+    /// Destination agent, as the owning shard's local index.
+    dest_local: u32,
+    /// Hop distance assigned if this packet discovers the destination.
+    distance: u32,
+    /// Positive trust energy to deposit into `energy_next`.
+    energy: f64,
+    /// Terminal distrust penalty to subtract from the rank.
+    penalty: f64,
+}
+
+/// Per-shard slice of the energy wave.
+#[derive(Default)]
+struct Wave {
+    nodes: Vec<WaveNode>,
+    index: HashMap<AgentId, usize>,
+}
+
+struct WaveNode {
+    local: AgentId,
+    distance: u32,
+    rank: f64,
+    energy_in: f64,
+    energy_next: f64,
+}
+
+impl Wave {
+    fn discover(&mut self, local: AgentId, distance: u32) -> usize {
+        let idx = self.nodes.len();
+        self.index.insert(local, idx);
+        self.nodes.push(WaveNode {
+            local,
+            distance,
+            rank: 0.0,
+            energy_in: 0.0,
+            energy_next: 0.0,
+        });
+        idx
+    }
+}
+
+/// Result of a sharded Appleseed run, keyed by global ordinal.
+#[derive(Clone, Debug)]
+pub struct ShardedAppleseedResult {
+    /// `(agent, rank)` sorted by descending rank (ascending ordinal on
+    /// ties), source excluded — the same total order the global metric
+    /// produces when ordinals coincide with global `AgentId` indexes.
+    pub ranks: Vec<(GlobalId, f64)>,
+    /// Rounds until convergence (or the iteration cap).
+    pub iterations: usize,
+    /// Wave nodes discovered across all shards (including the source).
+    pub nodes_discovered: usize,
+    /// True if the fixpoint was reached before `max_iterations`.
+    pub converged: bool,
+    /// Rounds in which at least one frontier packet crossed shards.
+    pub exchange_rounds: usize,
+}
+
+/// Outcome of one shard's compute phase in one round.
+struct ComputeOut {
+    max_delta: f64,
+    outbox: Vec<Vec<Packet>>,
+}
+
+/// Runs the boundary-frontier protocol for `source`.
+///
+/// `local_of` maps global ordinals to owning-shard local indexes
+/// (`u32::MAX` marks an agent no longer present). `schedule` is the order
+/// shards are visited in sequential compute (and chunked over `threads`
+/// workers when parallel); it must be a permutation of `0..shards.len()`
+/// and never affects results.
+pub(crate) fn sharded_appleseed(
+    shards: &[std::sync::Arc<Shard>],
+    local_of: &[u32],
+    source: GlobalId,
+    source_shard: usize,
+    params: &AppleseedParams,
+    threads: usize,
+    schedule: &[usize],
+) -> Result<ShardedAppleseedResult> {
+    params.validate()?;
+    let n_shards = shards.len();
+    let source_local = local_of[source.index()];
+    if source_local == u32::MAX {
+        return Err(semrec_trust::TrustError::UnknownAgent(source.index()));
+    }
+
+    let _span = semrec_obs::span("shard.appleseed.run");
+    semrec_obs::counter("shard.appleseed.runs").inc();
+    let iterations_counter = semrec_obs::counter("shard.appleseed.iterations");
+    let exchange_counter = semrec_obs::counter("shard.exchange.rounds");
+    let packets_counter = semrec_obs::counter("shard.frontier.packets");
+    let residual_histogram = semrec_obs::histogram("shard.appleseed.residual");
+    let frontier_histogram = semrec_obs::histogram("shard.frontier.energy");
+
+    let waves: Vec<Mutex<Wave>> = (0..n_shards).map(|_| Mutex::new(Wave::default())).collect();
+    {
+        let mut wave = waves[source_shard].lock().unwrap();
+        let idx = wave.discover(AgentId::from_index(source_local as usize), 0);
+        wave.nodes[idx].energy_in = params.injection;
+    }
+
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut exchange_rounds = 0;
+    while iterations < params.max_iterations {
+        iterations += 1;
+        iterations_counter.inc();
+
+        // Phase 1: per-shard compute, parallel over disjoint waves.
+        let mut outs: Vec<Option<ComputeOut>> = (0..n_shards).map(|_| None).collect();
+        if threads <= 1 || n_shards == 1 {
+            for &s in schedule {
+                let mut wave = waves[s].lock().unwrap();
+                outs[s] = Some(compute_round(
+                    &shards[s],
+                    &mut wave,
+                    s,
+                    source_shard,
+                    source_local,
+                    params,
+                    n_shards,
+                ));
+            }
+        } else {
+            let chunk = schedule.len().div_ceil(threads);
+            let produced: Vec<Vec<(usize, ComputeOut)>> = thread::scope(|scope| {
+                let handles: Vec<_> = schedule
+                    .chunks(chunk)
+                    .map(|mine| {
+                        let waves = &waves;
+                        scope.spawn(move || {
+                            mine.iter()
+                                .map(|&s| {
+                                    let mut wave = waves[s].lock().unwrap();
+                                    let out = compute_round(
+                                        &shards[s],
+                                        &mut wave,
+                                        s,
+                                        source_shard,
+                                        source_local,
+                                        params,
+                                        n_shards,
+                                    );
+                                    (s, out)
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("compute worker")).collect()
+            });
+            for (s, out) in produced.into_iter().flatten() {
+                outs[s] = Some(out);
+            }
+        }
+        let outs: Vec<ComputeOut> = outs.into_iter().map(|o| o.expect("every shard computed")).collect();
+        let mut max_delta = outs.iter().fold(0.0f64, |m, o| m.max(o.max_delta));
+
+        // Phase 2: lockstep exchange barrier — single-threaded, shard-index
+        // order, packet append order. Deterministic by construction.
+        let mut flushed = 0.0;
+        let mut packets = 0u64;
+        let mut rerouted = 0.0;
+        for (dest, wave_slot) in waves.iter().enumerate() {
+            let mut wave = wave_slot.lock().unwrap();
+            for out in &outs {
+                for pkt in &out.outbox[dest] {
+                    packets += 1;
+                    flushed += pkt.energy + pkt.penalty;
+                    let local = AgentId::from_index(pkt.dest_local as usize);
+                    let idx = match wave.index.get(&local) {
+                        Some(&idx) => Some(idx),
+                        None => {
+                            if params.max_nodes.is_some_and(|cap| wave.nodes.len() >= cap) {
+                                None
+                            } else {
+                                Some(wave.discover(local, pkt.distance))
+                            }
+                        }
+                    };
+                    match idx {
+                        Some(idx) => {
+                            wave.nodes[idx].energy_next += pkt.energy;
+                            if pkt.penalty > 0.0 {
+                                wave.nodes[idx].rank -= pkt.penalty;
+                                max_delta = max_delta.max(pkt.penalty);
+                            }
+                        }
+                        // Past the destination cap: energy returns to the
+                        // source (as in the global metric); penalties on
+                        // never-discovered nodes are dropped.
+                        None => rerouted += pkt.energy,
+                    }
+                }
+            }
+        }
+        if rerouted > 0.0 {
+            waves[source_shard].lock().unwrap().nodes[0].energy_next += rerouted;
+        }
+        if packets > 0 {
+            exchange_rounds += 1;
+            exchange_counter.inc();
+            packets_counter.add(packets);
+            frontier_histogram.observe(flushed);
+        }
+
+        // Fold: next round's energy becomes visible everywhere at once.
+        for wave in &waves {
+            let mut wave = wave.lock().unwrap();
+            for node in &mut wave.nodes {
+                node.energy_in += node.energy_next;
+                node.energy_next = 0.0;
+            }
+        }
+
+        residual_histogram.observe(max_delta);
+        if max_delta < params.convergence {
+            converged = true;
+            break;
+        }
+    }
+
+    let mut nodes_discovered = 0;
+    let mut ranks: Vec<(GlobalId, f64)> = Vec::new();
+    for (s, wave) in waves.iter().enumerate() {
+        let wave = wave.lock().unwrap();
+        nodes_discovered += wave.nodes.len();
+        for node in &wave.nodes {
+            let global = shards[s].globals[node.local.index()];
+            if global != source {
+                ranks.push((global, node.rank));
+            }
+        }
+    }
+    ranks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    semrec_obs::counter("shard.appleseed.nodes_explored").add(nodes_discovered as u64);
+
+    Ok(ShardedAppleseedResult {
+        ranks,
+        iterations,
+        nodes_discovered,
+        converged,
+        exchange_rounds,
+    })
+}
+
+/// Advances one shard's wave by one round, mirroring the global Appleseed
+/// node loop statement for statement. Shares for remote agents (and energy
+/// rerouted to a remote source) become packets in `outbox`.
+fn compute_round(
+    shard: &Shard,
+    wave: &mut Wave,
+    me: usize,
+    source_shard: usize,
+    source_local: u32,
+    params: &AppleseedParams,
+    n_shards: usize,
+) -> ComputeOut {
+    let d = params.spreading_factor;
+    let power = params.spreading_power;
+    let mut outbox: Vec<Vec<Packet>> = (0..n_shards).map(|_| Vec::new()).collect();
+    let mut max_delta: f64 = 0.0;
+
+    let count = wave.nodes.len();
+    for i in 0..count {
+        let energy = wave.nodes[i].energy_in;
+        if energy <= 0.0 {
+            continue;
+        }
+        wave.nodes[i].energy_in = 0.0;
+
+        let kept = (1.0 - d) * energy;
+        wave.nodes[i].rank += kept;
+        max_delta = max_delta.max(kept);
+        let forward = d * energy;
+
+        let local = wave.nodes[i].local;
+        let distance = wave.nodes[i].distance;
+        let at_range_limit = params.max_range.is_some_and(|r| distance >= r);
+        // The source is always the first node discovered in its shard.
+        let is_source = me == source_shard && i == 0;
+        let star = &shard.outstar[local.index()];
+
+        let mut pos_sum = 0.0;
+        let mut neg_sum = 0.0;
+        if !at_range_limit {
+            for edge in star {
+                if edge.weight > 0.0 {
+                    pos_sum += edge.weight.powf(power);
+                }
+            }
+            if params.distrust {
+                for edge in star {
+                    if edge.weight < 0.0 {
+                        neg_sum += (-edge.weight).powf(power);
+                    }
+                }
+            }
+        }
+        let backward = if is_source { 0.0 } else { params.backward_weight };
+        let total_weight = pos_sum + neg_sum + backward;
+        if total_weight <= 0.0 {
+            continue;
+        }
+
+        if backward > 0.0 {
+            let share = forward * backward / total_weight;
+            send_to_source(wave, &mut outbox, me, source_shard, source_local, share);
+        }
+        if !at_range_limit {
+            for edge in star {
+                if edge.weight > 0.0 {
+                    let share = forward * edge.weight.powf(power) / total_weight;
+                    match edge.target {
+                        Target::Local(succ) => {
+                            let idx = match wave.index.get(&succ) {
+                                Some(&idx) => idx,
+                                None => {
+                                    if params
+                                        .max_nodes
+                                        .is_some_and(|cap| wave.nodes.len() >= cap)
+                                    {
+                                        send_to_source(
+                                            wave,
+                                            &mut outbox,
+                                            me,
+                                            source_shard,
+                                            source_local,
+                                            share,
+                                        );
+                                        continue;
+                                    }
+                                    wave.discover(succ, distance + 1)
+                                }
+                            };
+                            wave.nodes[idx].energy_next += share;
+                        }
+                        Target::Remote { shard: dest, local: dest_local } => {
+                            outbox[dest as usize].push(Packet {
+                                dest_local,
+                                distance: distance + 1,
+                                energy: share,
+                                penalty: 0.0,
+                            });
+                        }
+                    }
+                }
+            }
+            if params.distrust {
+                for edge in star {
+                    if edge.weight < 0.0 {
+                        let share = forward * (-edge.weight).powf(power) / total_weight;
+                        match edge.target {
+                            Target::Local(succ) => {
+                                let idx = match wave.index.get(&succ) {
+                                    Some(&idx) => Some(idx),
+                                    None => {
+                                        if params
+                                            .max_nodes
+                                            .is_some_and(|cap| wave.nodes.len() >= cap)
+                                        {
+                                            None
+                                        } else {
+                                            Some(wave.discover(succ, distance + 1))
+                                        }
+                                    }
+                                };
+                                if let Some(idx) = idx {
+                                    wave.nodes[idx].rank -= share;
+                                    max_delta = max_delta.max(share);
+                                }
+                            }
+                            Target::Remote { shard: dest, local: dest_local } => {
+                                outbox[dest as usize].push(Packet {
+                                    dest_local,
+                                    distance: distance + 1,
+                                    energy: 0.0,
+                                    penalty: share,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ComputeOut { max_delta, outbox }
+}
+
+/// Deposits rerouted or backward energy at the source node: directly when
+/// the source is local, as a frontier packet otherwise. The source is
+/// discovered (node 0 of its shard's wave) before the first round, so the
+/// packet always resolves through the destination wave index.
+fn send_to_source(
+    wave: &mut Wave,
+    outbox: &mut [Vec<Packet>],
+    me: usize,
+    source_shard: usize,
+    source_local: u32,
+    share: f64,
+) {
+    if me == source_shard {
+        wave.nodes[0].energy_next += share;
+    } else {
+        outbox[source_shard].push(Packet {
+            dest_local: source_local,
+            distance: 0,
+            energy: share,
+            penalty: 0.0,
+        });
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-shard serve cache with epoch-based carry-over.
+//!
+//! Entries are keyed by `(shard, serve_epoch, agent, n)`. When a new model
+//! generation is swapped in with [`ShardedServeCache::swap`], entries whose
+//! shard kept its serve epoch are **carried** across the swap (the sharded
+//! advance only bumps serve epochs of shards within trust range of the
+//! delta, so everything else provably recomputes byte-identically);
+//! entries from serve-dirty shards are invalidated wholesale.
+//!
+//! Eviction is an exact LRU over logical access stamps — deterministic, no
+//! clocks — so cache behaviour is reproducible across runs.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use semrec_core::{Recommendation, Result};
+
+use crate::model::ShardedModel;
+use crate::partition::GlobalId;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Key {
+    shard: u32,
+    epoch: u64,
+    agent: GlobalId,
+    n: usize,
+}
+
+struct Entry {
+    recs: Vec<Recommendation>,
+    stamp: u64,
+}
+
+struct Inner {
+    entries: HashMap<Key, Entry>,
+    clock: u64,
+}
+
+/// A deterministic LRU cache of served recommendation lists, aware of
+/// per-shard serve epochs.
+pub struct ShardedServeCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ShardedServeCache {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> ShardedServeCache {
+        ShardedServeCache {
+            inner: Mutex::new(Inner { entries: HashMap::new(), clock: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Serves `target`'s top-`n` list from the cache, computing and
+    /// inserting it on a miss.
+    pub fn get_or_compute(
+        &self,
+        model: &ShardedModel,
+        target: GlobalId,
+        n: usize,
+    ) -> Result<Vec<Recommendation>> {
+        let shard = model.directory().shard_of(target);
+        let epoch = model.shard(shard as usize).serve_epoch();
+        let key = Key { shard, epoch, agent: target, n };
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.clock += 1;
+            let stamp = inner.clock;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.stamp = stamp;
+                semrec_obs::counter("shard.cache.hits").inc();
+                return Ok(entry.recs.clone());
+            }
+        }
+        semrec_obs::counter("shard.cache.misses").inc();
+        let recs = model.recommend(target, n)?;
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if inner.entries.len() >= self.capacity && !inner.entries.contains_key(&key) {
+            // Exact LRU victim; GlobalId breaks stamp ties deterministically
+            // (stamps are unique under the lock, the tie-break is belt and
+            // braces for the empty-cache edge).
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.stamp, k.agent, k.n))
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(key, Entry { recs: recs.clone(), stamp });
+        Ok(recs)
+    }
+
+    /// Swaps in a new model generation: entries from shards whose serve
+    /// epoch is unchanged are carried, the rest are invalidated.
+    pub fn swap(&self, next: &ShardedModel) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let mut carried = 0u64;
+        let mut invalidated = 0u64;
+        inner.entries.retain(|key, _| {
+            let live = (key.shard as usize) < next.shard_count()
+                && next.shard(key.shard as usize).serve_epoch() == key.epoch;
+            if live {
+                carried += 1;
+            } else {
+                invalidated += 1;
+            }
+            live
+        });
+        semrec_obs::counter("shard.cache.carried").add(carried);
+        semrec_obs::counter("shard.cache.invalidated").add(invalidated);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::HashShardFn;
+    use semrec_core::{Community, ModelDelta, RecommenderConfig};
+    use semrec_taxonomy::fixtures::example1;
+    use std::sync::Arc;
+
+    fn model(shards: usize) -> (Community, ShardedModel) {
+        let e = example1();
+        let products: Vec<_> = e.catalog.iter().collect();
+        let mut c = Community::new(e.fig.taxonomy, e.catalog);
+        let ids: Vec<_> = (0..10)
+            .map(|i| c.add_agent(format!("http://cache.example.org/{i}#me")).unwrap())
+            .collect();
+        for (i, &a) in ids.iter().enumerate() {
+            c.set_rating(a, products[i % products.len()], 0.8).unwrap();
+            c.trust.set_trust(a, ids[(i + 1) % ids.len()], 1.0).unwrap();
+        }
+        let (m, _) =
+            ShardedModel::partition(&c, RecommenderConfig::default(), Arc::new(HashShardFn), shards, 1);
+        (c, m)
+    }
+
+    #[test]
+    fn hit_returns_identical_list() {
+        let (_, m) = model(2);
+        let cache = ShardedServeCache::new(16);
+        let a = cache.get_or_compute(&m, GlobalId(0), 5).unwrap();
+        let b = cache.get_or_compute(&m, GlobalId(0), 5).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.product == y.product && x.score == y.score));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let (_, m) = model(2);
+        let cache = ShardedServeCache::new(3);
+        for i in 0..8 {
+            cache.get_or_compute(&m, GlobalId(i), 5).unwrap();
+        }
+        assert!(cache.len() <= 3);
+    }
+
+    #[test]
+    fn empty_delta_swap_carries_everything() {
+        let (c, m) = model(2);
+        let cache = ShardedServeCache::new(16);
+        for i in 0..4 {
+            cache.get_or_compute(&m, GlobalId(i), 5).unwrap();
+        }
+        let before = cache.len();
+        let (next, _) = m.advance(&c, &ModelDelta::default());
+        cache.swap(&next);
+        assert_eq!(cache.len(), before, "clean swap must carry every entry");
+    }
+}

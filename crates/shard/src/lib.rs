@@ -1,0 +1,37 @@
+//! # semrec-shard — the partitioned agent universe
+//!
+//! Scaling the Ziegler (EDBT 2004) recommender past what one model can
+//! hold: agents are partitioned into N shards by a pluggable [`ShardFn`],
+//! each shard owning its own trust subgraph, ratings, materialized
+//! profiles, and `semrec-store` snapshot/WAL generation. The paper's
+//! decentralized framing — agent data scattered across machine-readable
+//! homepages, merged by whoever computes — maps directly onto shards as
+//! the unit of distribution.
+//!
+//! The load-bearing piece is **cross-shard Appleseed**
+//! ([`mod@crate::appleseed`]): spreading activation runs locally per
+//! shard, energy crossing a shard boundary accumulates into per-edge
+//! frontier packets, and lockstep exchange rounds flush those packets
+//! until the global residual converges. The protocol is deterministic
+//! across shard counts, compute-thread counts, and shard scheduling
+//! order — and at N=1 it degenerates to the exact global algorithm,
+//! byte for byte.
+//!
+//! * [`ShardedModel`] — partition, serve, and incrementally advance
+//! * [`ShardedServeCache`] — per-shard epoch-aware serve cache carry-over
+//! * [`ShardedStore`] — per-shard durable snapshots + WAL + sidecars
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appleseed;
+pub mod cache;
+pub mod model;
+pub mod partition;
+pub mod persist;
+
+pub use appleseed::ShardedAppleseedResult;
+pub use cache::ShardedServeCache;
+pub use model::{Shard, ShardBuildReport, ShardedAdvanceReport, ShardedModel};
+pub use partition::{cut_edges, CommunityShardFn, Directory, GlobalId, HashShardFn, ShardFn};
+pub use persist::{ShardedRecovery, ShardedStore};

@@ -74,7 +74,10 @@ impl Default for AppleseedParams {
 }
 
 impl AppleseedParams {
-    fn validate(&self) -> Result<()> {
+    /// Validates the parameter set; shared with the sharded cross-shard
+    /// variant in `semrec-shard`, which must reject exactly what the
+    /// global metric rejects.
+    pub fn validate(&self) -> Result<()> {
         if self.injection <= 0.0 || !self.injection.is_finite() {
             return Err(TrustError::InvalidParameter {
                 name: "injection",

@@ -16,6 +16,7 @@
 //! semrec recover --store ./checkpoints --top 5
 //! semrec store-bench --scale small --seed 42 --rounds 3 --churn 0.05
 //! semrec rank-bench --scale small --seed 42 --blend 0.5,0.3,0.2
+//! semrec shard-bench --scale small --seed 42 --shards 8 --partitioner hash
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -48,6 +49,7 @@ fn main() {
         "recover" => recover(&opts),
         "store-bench" => store_bench(&opts),
         "rank-bench" => rank_bench(&opts),
+        "shard-bench" => shard_bench(&opts),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -71,6 +73,8 @@ struct Options {
     store: PathBuf,
     blend: Option<String>,
     open_loop: Option<String>,
+    shards: usize,
+    partitioner: String,
     ticks: u64,
     rate: f64,
     slo_p99: u64,
@@ -99,6 +103,8 @@ impl Options {
             churn: 0.05,
             store: PathBuf::from("./checkpoints"),
             blend: None,
+            shards: 8,
+            partitioner: "hash".into(),
             open_loop: None,
             ticks: 200,
             rate: 8.0,
@@ -148,6 +154,10 @@ impl Options {
                 }
                 "--store" => opts.store = PathBuf::from(value(&mut i)),
                 "--blend" => opts.blend = Some(value(&mut i)),
+                "--shards" => {
+                    opts.shards = value(&mut i).parse().unwrap_or_else(|_| usage("bad shards"))
+                }
+                "--partitioner" => opts.partitioner = value(&mut i),
                 "--open-loop" => opts.open_loop = Some(value(&mut i)),
                 "--ticks" => {
                     opts.ticks = value(&mut i).parse().unwrap_or_else(|_| usage("bad ticks"))
@@ -200,6 +210,11 @@ fn usage(reason: &str) -> ! {
     );
     eprintln!(
         "  rank-bench --scale small|medium|paper --seed N [--top N] [--blend S,A,C]"
+    );
+    eprintln!(
+        "  shard-bench --scale small|medium|paper --seed N [--shards N]\n\
+         \x20             [--partitioner hash|community] [--requests N] [--top N]\n\
+         \x20             [--churn F] [--workers N]"
     );
     std::process::exit(2);
 }
@@ -952,4 +967,111 @@ fn rank_bench(opts: &Options) {
         spread_tops.iter().map(Vec::len).sum::<usize>().to_string(),
     ]);
     println!("{}", table.render());
+}
+
+fn shard_bench(opts: &Options) {
+    use semrec::core::ModelDelta;
+    use semrec::shard::{cut_edges, CommunityShardFn, GlobalId, HashShardFn, ShardFn, ShardedModel};
+    use std::sync::Arc;
+
+    let config = match opts.scale.as_str() {
+        "small" => CommunityGenConfig::small(opts.seed),
+        "medium" => CommunityGenConfig::medium(opts.seed),
+        "paper" => CommunityGenConfig::paper_scale(opts.seed),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    let shard_fn: Arc<dyn ShardFn> = match opts.partitioner.as_str() {
+        "hash" => Arc::new(HashShardFn),
+        "community" => Arc::new(CommunityShardFn::default()),
+        other => usage(&format!("unknown partitioner `{other}`")),
+    };
+    let max_shards = opts.shards.max(1);
+    println!(
+        "Generating {} community (seed {}); sweeping 1..={} shards ({} partitioner)…",
+        opts.scale, opts.seed, max_shards, shard_fn.name()
+    );
+    let community = generate_community(&config).community;
+    let agents = community.agent_count();
+
+    // Powers of two up to --shards, always ending on --shards itself.
+    let mut sweep = vec![1usize];
+    while *sweep.last().unwrap() * 2 < max_shards {
+        sweep.push(sweep.last().unwrap() * 2);
+    }
+    if max_shards > 1 {
+        sweep.push(max_shards);
+    }
+
+    let panel: Vec<GlobalId> = {
+        let queries = opts.requests.min(agents).max(1);
+        (0..queries).map(|i| GlobalId((i * (agents / queries)) as u32)).collect()
+    };
+    let churned = ((agents as f64 * opts.churn) as usize).clamp(1, agents);
+
+    let mut table = Table::new([
+        "shards", "cut %", "build cp ms", "build eff", "refresh cp ms", "refresh eff",
+        "recomp", "reused", "serve µs/q", "xch rounds/q",
+    ]);
+    let mut base_build = 0.0f64;
+    let mut base_refresh = 0.0f64;
+    for &n in &sweep {
+        let assignment = shard_fn.partition(&community, n);
+        let (cut, total) = cut_edges(&community, &assignment);
+        let (model, build) =
+            ShardedModel::partition(&community, RecommenderConfig::default(), shard_fn.clone(), n, opts.workers);
+        let build_cp = build.critical_path().as_secs_f64();
+        if n == 1 {
+            base_build = build_cp;
+        }
+
+        // Strided churn across the whole universe, then a sharded advance.
+        let mut next = community.clone();
+        let mut uris = Vec::with_capacity(churned);
+        let products: Vec<semrec::ProductId> = next.catalog.iter().collect();
+        for k in 0..churned {
+            let agent = semrec::AgentId::from_index(k * (agents / churned));
+            next.set_rating(agent, products[k % products.len()], 0.5)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            uris.push(next.agent(agent).map(|i| i.uri.clone()).unwrap());
+        }
+        let (_, refresh) = model.advance(
+            &next,
+            &ModelDelta { ratings_changed: uris, trust_changed: Vec::new() },
+        );
+        let refresh_cp = refresh.critical_path().as_secs_f64();
+        if n == 1 {
+            base_refresh = refresh_cp;
+        }
+
+        let counter = |name: &str| -> u64 {
+            semrec::obs::global().snapshot().counters.get(name).copied().unwrap_or(0)
+        };
+        let rounds_before = counter("shard.exchange.rounds");
+        let started = std::time::Instant::now();
+        let batch = model.recommend_batch(&panel, opts.top);
+        let serve_us = started.elapsed().as_secs_f64() * 1e6 / panel.len() as f64;
+        for result in &batch {
+            result.as_ref().unwrap_or_else(|e| fail(&e.to_string()));
+        }
+        let rounds = counter("shard.exchange.rounds") - rounds_before;
+
+        table.row([
+            n.to_string(),
+            format!("{:.1}", 100.0 * cut as f64 / total.max(1) as f64),
+            format!("{:.1}", build_cp * 1e3),
+            format!("{:.3}", base_build / (n as f64 * build_cp).max(f64::MIN_POSITIVE)),
+            format!("{:.1}", refresh_cp * 1e3),
+            format!("{:.3}", base_refresh / (n as f64 * refresh_cp).max(f64::MIN_POSITIVE)),
+            refresh.profiles_recomputed.to_string(),
+            refresh.profiles_reused.to_string(),
+            format!("{serve_us:.1}"),
+            format!("{:.2}", rounds as f64 / panel.len() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} agents; efficiency is the modeled critical path T(1)/(N·max_i T_i) —\n\
+         the wall-clock a one-node-per-shard deployment would see.",
+        agents
+    );
 }

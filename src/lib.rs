@@ -20,6 +20,7 @@
 //! | [`obs`] | `semrec-obs` | metrics registry, stage spans, event observers |
 //! | [`serve`] | `semrec-serve` | concurrent serving: snapshot swap, admission control, batching |
 //! | [`store`] | `semrec-store` | durable checkpoints, delta WAL, crash-recoverable warm starts |
+//! | [`shard`] | `semrec-shard` | partitioned universe, cross-shard Appleseed, per-shard persistence |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -33,6 +34,7 @@ pub use semrec_obs as obs;
 pub use semrec_profiles as profiles;
 pub use semrec_rdf as rdf;
 pub use semrec_serve as serve;
+pub use semrec_shard as shard;
 pub use semrec_store as store;
 pub use semrec_taxonomy as taxonomy;
 pub use semrec_trust as trust;

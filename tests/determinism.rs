@@ -486,6 +486,137 @@ fn open_loop_slo_run_is_byte_identical_across_runs_and_threads() {
     assert_eq!(counters_a, counters_d, "counters identical at 8 threads");
 }
 
+/// One full sharded pass: partition a seeded community into 4 shards,
+/// batch-serve every agent through the cross-shard protocol, apply one
+/// deterministic churn round via the sharded `advance`, and batch-serve
+/// again. Returns the rendered recommendation lists (bit-exact scores),
+/// the rendered advance record, and the counter map — including the whole
+/// `shard.*` namespace, all of which must be invariant across runs,
+/// compute thread counts, and shard scheduling order.
+fn run_sharded(
+    seed: u64,
+    threads: usize,
+    reverse_schedule: bool,
+) -> (String, String, BTreeMap<String, u64>) {
+    use std::sync::Arc;
+
+    use semrec::core::ModelDelta;
+    use semrec::shard::{GlobalId, HashShardFn, ShardedModel};
+
+    let shards = 4usize;
+    let generated = generate_community(&CommunityGenConfig::small(seed));
+    let community = generated.community;
+
+    obs::global().reset();
+    let (model, build) = ShardedModel::partition(
+        &community,
+        RecommenderConfig::default(),
+        Arc::new(HashShardFn),
+        shards,
+        threads,
+    );
+    let model = if reverse_schedule {
+        model.with_schedule((0..shards).rev().collect())
+    } else {
+        model
+    };
+    let targets: Vec<GlobalId> =
+        (0..model.agent_count()).map(|i| GlobalId(i as u32)).collect();
+
+    let render = |batch: &[semrec::core::Result<Vec<semrec::Recommendation>>]| {
+        let mut rendered = String::new();
+        for (g, result) in targets.iter().zip(batch) {
+            rendered.push_str(&format!("{g:?}:"));
+            for rec in result.as_ref().expect("recommendation succeeds") {
+                rendered.push_str(&format!(" {:?}={}", rec.product, rec.score.to_bits()));
+            }
+            rendered.push('\n');
+        }
+        rendered
+    };
+    let mut rendered = render(&model.recommend_batch(&targets, 10));
+
+    // Deterministic churn, localized to shard 0 so clean shards exist: the
+    // first five shard-0 agents re-rate one product each.
+    let products: Vec<_> = community.catalog.iter().collect();
+    let mut next = community.clone();
+    let mut uris = Vec::new();
+    let churned = community
+        .agents()
+        .filter(|a| model.directory().shard_of(GlobalId(a.index() as u32)) == 0)
+        .take(5);
+    for (k, agent) in churned.enumerate() {
+        next.set_rating(agent, products[k % products.len()], 0.5).expect("valid rating");
+        uris.push(community.agent(agent).expect("dense id").uri.clone());
+    }
+    let (advanced, report) =
+        model.advance(&next, &ModelDelta { ratings_changed: uris, trust_changed: Vec::new() });
+    let record = format!(
+        "sizes={:?} wholesale={} rebuilt={:?} serve_dirty={:?} recomputed={} reused={}",
+        build.sizes,
+        report.wholesale,
+        report.rebuilt,
+        report.serve_dirty,
+        report.profiles_recomputed,
+        report.profiles_reused,
+    );
+    rendered.push_str(&render(&advanced.recommend_batch(&targets, 10)));
+    (rendered, record, obs::global().snapshot().counters)
+}
+
+#[test]
+fn sharded_pipeline_is_byte_identical_across_runs() {
+    let _serial = lock();
+    let (recs_a, rec_a, counters_a) = run_sharded(42, 4, false);
+    let (recs_b, rec_b, counters_b) = run_sharded(42, 4, false);
+
+    assert!(!recs_a.is_empty());
+    assert_eq!(recs_a, recs_b, "sharded recommendations must be byte-identical");
+    assert_eq!(rec_a, rec_b, "the sharded advance record must be identical");
+    assert!(
+        counters_a.get("shard.appleseed.runs").copied().unwrap_or(0) > 0
+            && counters_a.get("shard.exchange.rounds").copied().unwrap_or(0) > 0,
+        "serving at 4 shards must cross boundaries: {counters_a:?}"
+    );
+    assert!(
+        counters_a.get("shard.advance.shards_clean").copied().unwrap_or(0) > 0,
+        "a five-agent churn must leave shards untouched: {counters_a:?}"
+    );
+    assert_eq!(
+        counters_a, counters_b,
+        "counter values (including shard.*) must be identical across runs"
+    );
+}
+
+#[test]
+fn sharded_pipeline_is_thread_count_invariant() {
+    let _serial = lock();
+    let (recs_1, rec_1, counters_1) = run_sharded(7, 1, false);
+    let (recs_2, rec_2, counters_2) = run_sharded(7, 2, false);
+    let (recs_8, rec_8, counters_8) = run_sharded(7, 8, false);
+
+    assert_eq!(recs_1, recs_2, "2 compute threads must not change sharded output");
+    assert_eq!(recs_1, recs_8, "8 compute threads must not change sharded output");
+    assert_eq!(rec_1, rec_2);
+    assert_eq!(rec_1, rec_8);
+    assert_eq!(counters_1, counters_2, "counters identical at 2 threads");
+    assert_eq!(counters_1, counters_8, "counters identical at 8 threads");
+}
+
+#[test]
+fn sharded_pipeline_is_schedule_order_invariant() {
+    let _serial = lock();
+    let (recs_fwd, rec_fwd, counters_fwd) = run_sharded(7, 4, false);
+    let (recs_rev, rec_rev, counters_rev) = run_sharded(7, 4, true);
+
+    assert_eq!(
+        recs_fwd, recs_rev,
+        "reversed shard scheduling must not change recommendations"
+    );
+    assert_eq!(rec_fwd, rec_rev, "reversed scheduling must not change the advance record");
+    assert_eq!(counters_fwd, counters_rev, "reversed scheduling must not change counters");
+}
+
 #[test]
 fn different_seeds_diverge() {
     let _serial = lock();
