@@ -37,7 +37,7 @@ pub fn run(scale: Scale) -> Outcome {
     // Shallow topics (⊤ and depth ≤ 1) carry mass in *every* profile — the
     // stop-words of the topic space. Stripping them before clustering makes
     // the stereotypes reflect actual interest areas.
-    let strip = |v: &ProfileVector| -> ProfileVector {
+    let strip = |v: semrec_profiles::ProfileView<'_>| -> ProfileVector {
         v.iter()
             .filter(|&(t, _)| community.taxonomy.depth(t) >= 2)
             .collect()
@@ -113,12 +113,15 @@ pub fn run(scale: Scale) -> Outcome {
             if visible.is_empty() {
                 continue;
             }
-            let cold_profile = strip(&generate_profile(
-                &community.taxonomy,
-                &community.catalog,
-                &visible,
-                &ProfileParams::default(),
-            ));
+            let cold_profile = strip(
+                generate_profile(
+                    &community.taxonomy,
+                    &community.catalog,
+                    &visible,
+                    &ProfileParams::default(),
+                )
+                .as_view(),
+            );
             let rated: Vec<ProductId> = visible.iter().map(|&(p, _)| p).collect();
             let top = |pop: &[(ProductId, f64)]| -> Vec<ProductId> {
                 pop.iter().map(|&(p, _)| p).filter(|p| !rated.contains(p)).take(10).collect()

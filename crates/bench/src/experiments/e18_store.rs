@@ -27,7 +27,7 @@ use rand::{RngExt, SeedableRng};
 use semrec_core::{AgentId, ProductId, Recommender, RecommenderConfig};
 use semrec_datagen::community::generate_community;
 use semrec_eval::table::Table;
-use semrec_store::{Checkpoint, CompactionPolicy, Store};
+use semrec_store::{decode_v2, CompactionPolicy, Store};
 use semrec_web::crawler::{crawl, refresh, CommunityBuilder, CrawlConfig};
 use semrec_web::publish::{homepage_turtle, homepage_uri, publish_community};
 use semrec_web::store::DocumentWeb;
@@ -168,12 +168,12 @@ pub fn run(scale: Scale) -> Outcome {
         let cold_ms = started.elapsed().as_secs_f64() * 1e3;
 
         // Restart strategy 2: snapshot-only load (what recovery would cost
-        // with an empty WAL) — no float is recomputed.
+        // with an empty WAL) — no float is recomputed. The store writes v2
+        // arena snapshots, so this is the cast-on-load path.
         let snapshot_path = store.snapshot_path(1);
         let started = Instant::now();
         let bytes = std::fs::read(&snapshot_path).expect("snapshot readable");
-        let restored =
-            Checkpoint::decode(&bytes).expect("snapshot intact").restore().expect("restores");
+        let restored = decode_v2(&bytes).expect("v2 snapshot intact");
         std::hint::black_box(&restored.engine);
         let load_ms = started.elapsed().as_secs_f64() * 1e3;
 

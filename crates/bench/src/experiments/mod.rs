@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E21 (DESIGN.md §3).
+//! The reproduced experiments E1–E22 (DESIGN.md §3).
 //!
 //! Every experiment is a function of the chosen [`crate::Scale`] that prints
 //! its table(s) to stdout — the same rows recorded in EXPERIMENTS.md — and
@@ -26,10 +26,11 @@ pub mod e18_store;
 pub mod e19_ranking;
 pub mod e20_slo;
 pub mod e21_sharding;
+pub mod e22_arena;
 
 use crate::Scale;
 
-/// Runs one experiment by id (`"e1"` … `"e21"`); `true` if the id is known.
+/// Runs one experiment by id (`"e1"` … `"e22"`); `true` if the id is known.
 pub fn run(id: &str, scale: Scale) -> bool {
     match id {
         "e1" => {
@@ -95,15 +96,18 @@ pub fn run(id: &str, scale: Scale) -> bool {
         "e21" => {
             e21_sharding::run(scale);
         }
+        "e22" => {
+            e22_arena::run(scale);
+        }
         _ => return false,
     }
     true
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// Prints a section header.

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use semrec_profiles::generation::ProfileParams;
-use semrec_trust::neighborhood::{form_neighborhood, NeighborhoodParams};
-use semrec_trust::AgentId;
+use semrec_trust::neighborhood::{form_neighborhood_csr, NeighborhoodParams};
+use semrec_trust::{AgentId, CsrGraph};
 
 use crate::error::Result;
 use crate::health::SourceHealth;
@@ -99,6 +99,10 @@ impl PipelineTrace {
 #[derive(Clone, Debug)]
 pub struct SharedModel {
     community: Community,
+    /// Flat CSR mirror of `community.trust`, built once per model
+    /// generation so every query's Appleseed walk runs over contiguous
+    /// arenas instead of per-agent adjacency `Vec`s.
+    trust_csr: CsrGraph,
     profiles: ProfileStore,
     config: RecommenderConfig,
     source_health: SourceHealth,
@@ -122,13 +126,39 @@ impl SharedModel {
         ranker: SharedRanker,
     ) -> Self {
         let profiles = ProfileStore::build(&community, &config.profile);
-        SharedModel {
+        let trust_csr = CsrGraph::from_graph(&community.trust);
+        let model = SharedModel {
             community,
+            trust_csr,
             profiles,
             config,
             source_health: SourceHealth::default(),
             ranker,
-        }
+        };
+        model.publish_resident_bytes();
+        model
+    }
+
+    /// Publishes the `model.bytes*` gauges: resident bytes of the flat
+    /// model arenas (trust CSR + profile slab), refreshed on every model
+    /// build or advance.
+    fn publish_resident_bytes(&self) {
+        let trust = self.trust_csr.resident_bytes();
+        let profiles = self.profiles.resident_bytes();
+        semrec_obs::gauge("model.bytes.trust_csr").set(trust as f64);
+        semrec_obs::gauge("model.bytes.profile_slab").set(profiles as f64);
+        semrec_obs::gauge("model.bytes").set((trust + profiles) as f64);
+    }
+
+    /// The flat CSR mirror of the community's trust graph.
+    pub fn trust_csr(&self) -> &CsrGraph {
+        &self.trust_csr
+    }
+
+    /// Bytes of resident flat-arena model storage (trust CSR plus profile
+    /// slab).
+    pub fn resident_bytes(&self) -> usize {
+        self.trust_csr.resident_bytes() + self.profiles.resident_bytes()
     }
 
     /// The underlying community.
@@ -180,13 +210,46 @@ impl SharedModel {
             community.agent_count(),
             "one profile per agent, in agent-id order"
         );
-        SharedModel {
+        let trust_csr = CsrGraph::from_graph(&community.trust);
+        SharedModel::from_parts_with_trust_csr(community, profiles, config, source_health, trust_csr)
+    }
+
+    /// [`SharedModel::from_parts`] for callers that already hold the trust
+    /// CSR (the snapshot-v2 loader decodes it straight off disk), skipping
+    /// the re-derivation from the adjacency graph.
+    ///
+    /// The caller asserts `trust_csr` is exactly what
+    /// [`CsrGraph::from_graph`] would produce for `community.trust` —
+    /// checked in debug builds.
+    pub fn from_parts_with_trust_csr(
+        community: Community,
+        profiles: ProfileStore,
+        config: RecommenderConfig,
+        source_health: SourceHealth,
+        trust_csr: CsrGraph,
+    ) -> Self {
+        debug_assert_eq!(
+            profiles.len(),
+            community.agent_count(),
+            "one profile per agent, in agent-id order"
+        );
+        debug_assert!(
+            {
+                let derived = CsrGraph::from_graph(&community.trust);
+                trust_csr.arenas() == derived.arenas()
+            },
+            "trust CSR must match the community's adjacency graph"
+        );
+        let model = SharedModel {
             community,
+            trust_csr,
             profiles,
             config,
             source_health,
             ranker: Arc::new(SimilarityRanker),
-        }
+        };
+        model.publish_resident_bytes();
+        model
     }
 
     /// Produces the next model generation from `next` incrementally:
@@ -215,13 +278,16 @@ impl SharedModel {
         let (profiles, stats) = self.profiles.advance(&self.community, &next, &dirty);
         semrec_obs::counter("model.profiles.reused").add(stats.reused as u64);
         semrec_obs::counter("model.profiles.recomputed").add(stats.recomputed as u64);
+        let trust_csr = CsrGraph::from_graph(&next.trust);
         let model = SharedModel {
             community: next,
+            trust_csr,
             profiles,
             config: self.config,
             source_health,
             ranker: Arc::clone(&self.ranker),
         };
+        model.publish_resident_bytes();
         (model, stats)
     }
 }
@@ -326,7 +392,7 @@ impl Recommender {
         let model = &*self.model;
         let neighborhood = {
             let _stage = semrec_obs::span("engine.stage.neighborhood");
-            form_neighborhood(&model.community.trust, target, &model.config.neighborhood)?
+            form_neighborhood_csr(&model.trust_csr, target, &model.config.neighborhood)?
         };
         let peers: Vec<PeerScores> = {
             let _stage = semrec_obs::span("engine.stage.profiles");

@@ -25,6 +25,9 @@ pub enum CoreError {
         /// What was expected.
         expected: &'static str,
     },
+    /// Flat arena inputs (e.g. from a snapshot) were internally
+    /// inconsistent.
+    InvalidArena(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +41,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { name, expected } => {
                 write!(f, "invalid configuration `{name}`: expected {expected}")
             }
+            CoreError::InvalidArena(what) => write!(f, "inconsistent model arenas: {what}"),
         }
     }
 }

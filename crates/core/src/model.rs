@@ -137,6 +137,95 @@ impl Community {
         self.ratings.iter().map(Vec::len).sum()
     }
 
+    /// Flattens all rating lists into CSR arenas
+    /// `(offsets, product ids, rating values)` — the snapshot-v2 body
+    /// layout. `offsets` has `agent_count() + 1` entries.
+    pub fn rating_arenas(&self) -> (Vec<u32>, Vec<u32>, Vec<f64>) {
+        let total = self.rating_count();
+        let mut offsets = Vec::with_capacity(self.agents.len() + 1);
+        let mut products = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for list in &self.ratings {
+            for &(p, v) in list {
+                products.push(p.index() as u32);
+                values.push(v);
+            }
+            offsets.push(products.len() as u32);
+        }
+        (offsets, products, values)
+    }
+
+    /// Reassembles a community from flat arenas, bypassing the incremental
+    /// `add_agent`/`set_rating` path: the trust graph arrives whole (e.g.
+    /// via `CsrGraph::to_graph`) and ratings arrive as the CSR arenas
+    /// produced by [`Community::rating_arenas`]. Every structural invariant
+    /// the mutating API maintains is validated here instead, so a corrupt
+    /// snapshot yields a typed error rather than a malformed model.
+    pub fn from_arenas(
+        taxonomy: Taxonomy,
+        catalog: Catalog,
+        uris: Vec<String>,
+        trust: TrustGraph,
+        rating_offsets: &[u32],
+        rating_products: &[u32],
+        rating_values: &[f64],
+    ) -> Result<Self> {
+        if trust.agent_count() != uris.len() {
+            return Err(CoreError::InvalidArena("trust graph and URI list disagree on agent count"));
+        }
+        if rating_products.len() != rating_values.len() {
+            return Err(CoreError::InvalidArena("rating product and value arenas differ in length"));
+        }
+        if rating_offsets.len() != uris.len() + 1 {
+            return Err(CoreError::InvalidArena("rating offset arena has wrong length"));
+        }
+        if rating_offsets.first() != Some(&0)
+            || *rating_offsets.last().expect("length checked") as usize != rating_products.len()
+        {
+            return Err(CoreError::InvalidArena("rating offsets do not span the arena"));
+        }
+        // Monotonicity must hold for the WHOLE arena before any window is
+        // sliced: a single spike ([0, huge, len]) would otherwise index out
+        // of bounds in the window that precedes the violation.
+        if rating_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CoreError::InvalidArena("rating offset arena is not monotone"));
+        }
+        let mut by_uri = HashMap::with_capacity(uris.len());
+        for (i, uri) in uris.iter().enumerate() {
+            if by_uri.insert(uri.clone(), AgentId::from_index(i)).is_some() {
+                return Err(CoreError::DuplicateAgent(uri.clone()));
+            }
+        }
+        let mut ratings = Vec::with_capacity(uris.len());
+        for w in rating_offsets.windows(2) {
+            let range = w[0] as usize..w[1] as usize;
+            let products = &rating_products[range.clone()];
+            if !products.windows(2).all(|p| p[0] < p[1]) {
+                return Err(CoreError::InvalidArena("agent ratings are not strictly sorted"));
+            }
+            let mut list = Vec::with_capacity(products.len());
+            for (&p, &v) in products.iter().zip(&rating_values[range]) {
+                if p as usize >= catalog.len() {
+                    return Err(CoreError::UnknownProduct(p as usize));
+                }
+                if !(-1.0..=1.0).contains(&v) || v.is_nan() {
+                    return Err(CoreError::InvalidRating(v));
+                }
+                list.push((ProductId::from_index(p as usize), v));
+            }
+            ratings.push(list);
+        }
+        Ok(Community {
+            agents: uris.into_iter().map(|uri| AgentInfo { uri }).collect(),
+            by_uri,
+            trust,
+            ratings,
+            taxonomy,
+            catalog,
+        })
+    }
+
     /// Mean ratings per agent.
     pub fn mean_ratings_per_agent(&self) -> f64 {
         if self.agents.is_empty() {
@@ -223,6 +312,96 @@ mod tests {
         assert!(c.remove_rating(alice, products[0]));
         assert!(!c.remove_rating(alice, products[0]));
         assert_eq!(c.rating(alice, products[0]), None);
+    }
+
+    #[test]
+    fn arena_round_trip_preserves_the_model() {
+        let (mut c, products) = community();
+        let alice = c.add_agent("http://example.org/alice").unwrap();
+        let bob = c.add_agent("http://example.org/bob").unwrap();
+        c.trust.set_trust(alice, bob, 0.7).unwrap();
+        c.set_rating(alice, products[0], 0.8).unwrap();
+        c.set_rating(alice, products[2], -0.25).unwrap();
+        c.set_rating(bob, products[1], 1.0).unwrap();
+        let (offsets, prods, values) = c.rating_arenas();
+        let rebuilt = Community::from_arenas(
+            c.taxonomy.clone(),
+            c.catalog.clone(),
+            vec!["http://example.org/alice".into(), "http://example.org/bob".into()],
+            c.trust.clone(),
+            &offsets,
+            &prods,
+            &values,
+        )
+        .unwrap();
+        assert_eq!(rebuilt.agent_count(), 2);
+        assert_eq!(rebuilt.agent_by_uri("http://example.org/bob"), Some(bob));
+        for a in c.agents() {
+            assert_eq!(rebuilt.ratings_of(a), c.ratings_of(a));
+        }
+        assert_eq!(rebuilt.trust.trust(alice, bob), Some(0.7));
+    }
+
+    #[test]
+    fn corrupt_arenas_are_rejected() {
+        let (c, _) = community();
+        let uris = vec!["http://example.org/a".to_string(), "http://example.org/b".to_string()];
+        let trust = {
+            let mut t = TrustGraph::new();
+            t.add_agent();
+            t.add_agent();
+            t
+        };
+        let tax = || c.taxonomy.clone();
+        let cat = || c.catalog.clone();
+        // Wrong offset length.
+        assert!(matches!(
+            Community::from_arenas(tax(), cat(), uris.clone(), trust.clone(), &[0, 0], &[], &[]),
+            Err(CoreError::InvalidArena(_))
+        ));
+        // Duplicate URI.
+        assert!(matches!(
+            Community::from_arenas(
+                tax(),
+                cat(),
+                vec!["http://x".into(), "http://x".into()],
+                trust.clone(),
+                &[0, 0, 0],
+                &[],
+                &[],
+            ),
+            Err(CoreError::DuplicateAgent(_))
+        ));
+        // Out-of-range product and out-of-range rating.
+        assert!(matches!(
+            Community::from_arenas(
+                tax(),
+                cat(),
+                uris.clone(),
+                trust.clone(),
+                &[0, 1, 1],
+                &[999],
+                &[0.5],
+            ),
+            Err(CoreError::UnknownProduct(999))
+        ));
+        assert!(matches!(
+            Community::from_arenas(tax(), cat(), uris.clone(), trust.clone(), &[0, 1, 1], &[0], &[7.0]),
+            Err(CoreError::InvalidRating(_))
+        ));
+        // Unsorted ratings.
+        assert!(matches!(
+            Community::from_arenas(
+                tax(),
+                cat(),
+                uris,
+                trust,
+                &[0, 2, 2],
+                &[1, 0],
+                &[0.5, 0.5],
+            ),
+            Err(CoreError::InvalidArena(_))
+        ));
     }
 
     #[test]

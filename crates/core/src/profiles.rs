@@ -6,12 +6,21 @@
 //! deployment each agent computes these locally per crawl (§2 — "performs
 //! all recommendation computations locally"); the store is the local cache
 //! of that computation.
+//!
+//! Profiles live in one contiguous [`ProfileSlab`] (a flat topic arena, a
+//! flat score arena, and CSR offsets) rather than one heap allocation per
+//! agent. Reads hand out borrowed [`ProfileView`]s into the slab, and the
+//! slab's arenas are exactly what snapshot v2 writes to disk. Incremental
+//! [`advance`](ProfileStore::advance) copies each clean agent's arena range
+//! wholesale and recomputes only the dirty set; per-agent *origin stamps*
+//! record which computation a slot was carried from, preserving the
+//! "shared, not recomputed" observability the old `Arc` pointers provided.
 
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use semrec_profiles::generation::{generate_profile, ProfileParams};
-use semrec_profiles::{similarity, ProfileVector};
+use semrec_profiles::{similarity, ProfileSlab, ProfileVector, ProfileView};
 use semrec_trust::AgentId;
 
 use crate::delta::AdvanceStats;
@@ -29,47 +38,56 @@ pub enum SimilarityMeasure {
 
 impl SimilarityMeasure {
     /// Applies the measure; `None` when undefined for the pair.
-    pub fn apply(self, a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
+    pub fn apply(self, a: ProfileView<'_>, b: ProfileView<'_>) -> Option<f64> {
         match self {
-            SimilarityMeasure::Pearson => similarity::pearson(a, b),
-            SimilarityMeasure::Cosine => similarity::cosine(a, b),
+            SimilarityMeasure::Pearson => similarity::pearson_view(a, b),
+            SimilarityMeasure::Cosine => similarity::cosine_view(a, b),
         }
     }
 }
 
-/// Materialized taxonomy profiles for every agent of a community.
-///
-/// Profiles are stored behind per-agent `Arc`s: cloning the store (or
-/// [`advance`](ProfileStore::advance)-ing it to the next model generation)
-/// copies pointers, not vectors, so an incremental refresh pays O(delta)
-/// for the profiles it actually recomputes and O(n) pointer bumps for the
-/// rest.
+/// Monotone source of computation identities for origin stamps. Every
+/// batch of freshly generated profiles gets a new id; a slot's stamp
+/// `(computation id, slot index)` therefore identifies *which* generation
+/// run produced the bytes in that slot, across any number of advances.
+static NEXT_COMPUTATION_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_computation_id() -> u64 {
+    NEXT_COMPUTATION_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Materialized taxonomy profiles for every agent of a community, stored
+/// as one flat structure-of-arrays slab.
 #[derive(Clone, Debug)]
 pub struct ProfileStore {
-    profiles: Vec<Arc<ProfileVector>>,
+    slab: ProfileSlab,
+    /// `(computation id, slot index at computation time)` per agent.
+    origins: Vec<(u64, u32)>,
     params: ProfileParams,
 }
 
 impl ProfileStore {
     /// Computes all profiles.
     pub fn build(community: &Community, params: &ProfileParams) -> Self {
-        let profiles = community
-            .agents()
-            .map(|a| {
-                Arc::new(generate_profile(
-                    &community.taxonomy,
-                    &community.catalog,
-                    community.ratings_of(a),
-                    params,
-                ))
-            })
-            .collect();
-        ProfileStore { profiles, params: *params }
+        let id = fresh_computation_id();
+        let mut slab = ProfileSlab::new();
+        let mut origins = Vec::new();
+        for a in community.agents() {
+            let p = generate_profile(
+                &community.taxonomy,
+                &community.catalog,
+                community.ratings_of(a),
+                params,
+            );
+            slab.push_view(p.as_view());
+            origins.push((id, a.index() as u32));
+        }
+        ProfileStore { slab, origins, params: *params }
     }
 
     /// Derives the store for the next community generation, recomputing
-    /// only the profiles of agents whose URI is in `dirty` and sharing
-    /// every other profile with `self` by `Arc` clone.
+    /// only the profiles of agents whose URI is in `dirty` and copying
+    /// every other profile's arena range wholesale from `self`.
     ///
     /// `previous` must be the community this store was built from. An agent
     /// is reused only when it exists in both generations *and* is not
@@ -85,31 +103,35 @@ impl ProfileStore {
         dirty: &HashSet<&str>,
     ) -> (ProfileStore, AdvanceStats) {
         let mut stats = AdvanceStats::default();
-        let profiles = next
-            .agents()
-            .map(|a| {
-                let uri = &next.agent(a).expect("iterated id").uri;
-                if !dirty.contains(uri.as_str()) {
-                    if let Some(old) = previous.agent_by_uri(uri) {
-                        debug_assert_eq!(
-                            previous.ratings_of(old),
-                            next.ratings_of(a),
-                            "clean agent {uri} has differing ratings: unsound dirty set"
-                        );
-                        stats.reused += 1;
-                        return Arc::clone(&self.profiles[old.index()]);
-                    }
+        let id = fresh_computation_id();
+        let mut slab = ProfileSlab::new();
+        let mut origins = Vec::with_capacity(self.origins.len());
+        for a in next.agents() {
+            let uri = &next.agent(a).expect("iterated id").uri;
+            if !dirty.contains(uri.as_str()) {
+                if let Some(old) = previous.agent_by_uri(uri) {
+                    debug_assert_eq!(
+                        previous.ratings_of(old),
+                        next.ratings_of(a),
+                        "clean agent {uri} has differing ratings: unsound dirty set"
+                    );
+                    stats.reused += 1;
+                    slab.push_from(&self.slab, old.index());
+                    origins.push(self.origins[old.index()]);
+                    continue;
                 }
-                stats.recomputed += 1;
-                Arc::new(generate_profile(
-                    &next.taxonomy,
-                    &next.catalog,
-                    next.ratings_of(a),
-                    &self.params,
-                ))
-            })
-            .collect();
-        (ProfileStore { profiles, params: self.params }, stats)
+            }
+            stats.recomputed += 1;
+            let p = generate_profile(
+                &next.taxonomy,
+                &next.catalog,
+                next.ratings_of(a),
+                &self.params,
+            );
+            slab.push_view(p.as_view());
+            origins.push((id, a.index() as u32));
+        }
+        (ProfileStore { slab, origins, params: self.params }, stats)
     }
 
     /// Rebuilds a store from explicit per-agent profiles in agent-id order,
@@ -121,27 +143,47 @@ impl ProfileStore {
         profiles: impl IntoIterator<Item = ProfileVector>,
         params: ProfileParams,
     ) -> Self {
-        ProfileStore { profiles: profiles.into_iter().map(Arc::new).collect(), params }
+        let id = fresh_computation_id();
+        let mut slab = ProfileSlab::new();
+        let mut origins = Vec::new();
+        for (i, p) in profiles.into_iter().enumerate() {
+            slab.push_view(p.as_view());
+            origins.push((id, i as u32));
+        }
+        ProfileStore { slab, origins, params }
     }
 
-    /// Iterates the stored profiles in agent-id order.
-    pub fn iter(&self) -> impl Iterator<Item = &ProfileVector> {
-        self.profiles.iter().map(|p| &**p)
+    /// Adopts an already-assembled slab (the snapshot-v2 zero-copy load
+    /// path: the slab arrives as three validated bulk arena copies).
+    pub fn from_slab(slab: ProfileSlab, params: ProfileParams) -> Self {
+        let id = fresh_computation_id();
+        let origins = (0..slab.len()).map(|i| (id, i as u32)).collect();
+        ProfileStore { slab, origins, params }
     }
 
-    /// The profile of an agent.
-    pub fn profile(&self, agent: AgentId) -> &ProfileVector {
-        &self.profiles[agent.index()]
+    /// Iterates the stored profile views in agent-id order.
+    pub fn iter(&self) -> impl Iterator<Item = ProfileView<'_>> {
+        self.slab.iter()
+    }
+
+    /// The profile of an agent, as a borrowed view into the slab.
+    pub fn profile(&self, agent: AgentId) -> ProfileView<'_> {
+        self.slab.view(agent.index())
+    }
+
+    /// The underlying arena slab (snapshot capture reads it verbatim).
+    pub fn slab(&self) -> &ProfileSlab {
+        &self.slab
     }
 
     /// Number of stored profiles.
     pub fn len(&self) -> usize {
-        self.profiles.len()
+        self.slab.len()
     }
 
     /// True if no profiles are stored.
     pub fn is_empty(&self) -> bool {
-        self.profiles.is_empty()
+        self.slab.is_empty()
     }
 
     /// The parameters the profiles were generated with.
@@ -149,21 +191,39 @@ impl ProfileStore {
         &self.params
     }
 
+    /// Bytes of resident arena storage backing the profiles.
+    pub fn resident_bytes(&self) -> usize {
+        self.slab.resident_bytes() + self.origins.len() * 12
+    }
+
     /// Recomputes a single agent's profile (after their ratings changed).
     pub fn refresh(&mut self, community: &Community, agent: AgentId) {
-        self.profiles[agent.index()] = Arc::new(generate_profile(
+        let p = generate_profile(
             &community.taxonomy,
             &community.catalog,
             community.ratings_of(agent),
             &self.params,
-        ));
+        );
+        // Rebuild the slab with the one range replaced; neighbours are
+        // copied wholesale.
+        let mut slab = ProfileSlab::new();
+        for i in 0..self.slab.len() {
+            if i == agent.index() {
+                slab.push_view(p.as_view());
+            } else {
+                slab.push_from(&self.slab, i);
+            }
+        }
+        self.slab = slab;
+        self.origins[agent.index()] = (fresh_computation_id(), agent.index() as u32);
     }
 
-    /// True when two stores share the same `Arc` for this agent slot —
-    /// i.e. the profile was carried across a generation, not recomputed.
+    /// True when two stores carry the same origin stamp for this agent
+    /// slot — i.e. the profile was carried across a generation (its bytes
+    /// copied from the same original computation), not recomputed.
     pub fn shares_profile_with(&self, other: &ProfileStore, agent: AgentId) -> bool {
-        match (self.profiles.get(agent.index()), other.profiles.get(agent.index())) {
-            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+        match (self.origins.get(agent.index()), other.origins.get(agent.index())) {
+            (Some(a), Some(b)) => a == b,
             _ => false,
         }
     }
@@ -248,19 +308,19 @@ mod tests {
         let (mut c, products) = setup();
         let agents: Vec<_> = c.agents().collect();
         let mut store = ProfileStore::build(&c, &ProfileParams::default());
-        let before = store.profile(agents[0]).clone();
+        let before = store.profile(agents[0]).to_vector();
         c.set_rating(agents[0], products[3], 0.7).unwrap();
         store.refresh(&c, agents[0]);
         assert_ne!(
-            store.profile(agents[0]),
-            &before,
+            store.profile(agents[0]).to_vector(),
+            before,
             "adding a rating must move the profile"
         );
         assert!(c.remove_rating(agents[0], products[3]));
         store.refresh(&c, agents[0]);
         assert_eq!(
-            store.profile(agents[0]),
-            &before,
+            store.profile(agents[0]).to_vector(),
+            before,
             "removing the rating must shrink the profile back"
         );
     }
@@ -268,7 +328,7 @@ mod tests {
     #[test]
     fn trust_only_change_does_not_dirty_profiles() {
         // A trust-edge-only delta leaves every profile clean: advance with
-        // an empty dirty set must reuse all profiles by pointer.
+        // an empty dirty set must carry every profile's origin stamp.
         let (mut c, _) = setup();
         let store = ProfileStore::build(&c, &ProfileParams::default());
         let previous = c.clone();
@@ -311,6 +371,18 @@ mod tests {
         assert_eq!(stats, AdvanceStats { recomputed: 1, reused: 2 });
         let fresh = ProfileStore::build(&c, &ProfileParams::default());
         assert_eq!(next.profile(carol), fresh.profile(carol));
+    }
+
+    #[test]
+    fn from_slab_round_trips_the_arena() {
+        let (c, _) = setup();
+        let store = ProfileStore::build(&c, &ProfileParams::default());
+        let restored =
+            ProfileStore::from_slab(store.slab().clone(), *store.params());
+        for a in c.agents() {
+            assert_eq!(restored.profile(a), store.profile(a));
+        }
+        assert!(restored.resident_bytes() >= store.slab().resident_bytes());
     }
 
     #[test]

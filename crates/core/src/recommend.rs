@@ -90,7 +90,7 @@ pub fn vote(
 /// This implements §3.4's content-driven novelty scheme.
 pub fn novel_only(
     community: &Community,
-    target_profile: &semrec_profiles::ProfileVector,
+    target_profile: semrec_profiles::ProfileView<'_>,
     recommendations: Vec<Recommendation>,
 ) -> Vec<Recommendation> {
     let taxonomy = &community.taxonomy;
@@ -227,7 +227,7 @@ mod tests {
             &[(agents[1], 1.0), (agents[2], 1.0)],
             &VotingParams::default(),
         );
-        let novel = novel_only(&c, &profile, recs.clone());
+        let novel = novel_only(&c, profile.as_view(), recs.clone());
         // Matrix analysis shares the Mathematics branch → filtered; the
         // cyberpunk novels are genuinely new territory.
         assert!(novel.iter().all(|r| r.product != products[0]));

@@ -75,7 +75,7 @@ pub fn content_based(
         .iter()
         .filter(|&p| community.rating(target, p).is_none())
         .filter_map(|p| {
-            similarity::cosine(mine, product_profiles.profile(p)).map(|s| (p, s))
+            similarity::cosine_view(mine, product_profiles.profile(p).as_view()).map(|s| (p, s))
         })
         .filter(|&(_, s)| s > 0.0)
         .collect();

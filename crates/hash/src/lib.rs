@@ -1,0 +1,79 @@
+//! # semrec-hash — the workspace's canonical non-cryptographic hashes
+//!
+//! One home for the hash primitives that several crates previously carried
+//! private copies of. Checksums (`semrec-store` snapshot/WAL frames) and
+//! seeded pseudo-random decisions (`semrec-web` fault injection) both hash
+//! the same way, so the two can never silently drift apart.
+//!
+//! Nothing here is cryptographic: these functions guard against torn
+//! writes and provide deterministic, well-mixed fault schedules — they do
+//! not resist adversaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The FNV-1a 64-bit offset basis (the hash of the empty input).
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash over a byte slice.
+///
+/// This is the snapshot/WAL integrity checksum and the byte-mixing step of
+/// fault-injection decisions.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_continue(FNV1A64_OFFSET, bytes)
+}
+
+/// Folds more bytes into an FNV-1a 64-bit state, enabling incremental
+/// hashing over several slices without concatenating them first.
+pub fn fnv1a64_continue(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV1A64_PRIME);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: one round of strong avalanche mixing.
+///
+/// FNV-1a's low bits are weak for short inputs; callers that turn a hash
+/// into a uniform decision (fault injection) finish with this mixer.
+pub fn splitmix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_hashing_matches_one_shot() {
+        let whole = fnv1a64(b"hello world");
+        let split = fnv1a64_continue(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn splitmix64_avalanches_small_inputs() {
+        // Adjacent inputs must not produce adjacent outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a ^ b, 0);
+        assert!((a ^ b).count_ones() > 16, "weak avalanche: {:#x}", a ^ b);
+    }
+}

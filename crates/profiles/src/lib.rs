@@ -32,9 +32,11 @@ pub mod flat;
 pub mod generation;
 pub mod productvec;
 pub mod similarity;
+pub mod slab;
 pub mod stereotypes;
 pub mod vector;
 
 pub use generation::{generate_profile, ProfileParams};
 pub use productvec::ProductVector;
-pub use vector::ProfileVector;
+pub use slab::ProfileSlab;
+pub use vector::{ProfileVector, ProfileView};

@@ -6,10 +6,15 @@
 //! plain product-rating vectors. High similarity evolves from interest in
 //! many identical or related branches."
 
-use crate::vector::ProfileVector;
+use crate::vector::{ProfileVector, ProfileView};
 
 /// Cosine similarity in `[-1, 1]`; `None` if either vector is zero.
 pub fn cosine(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
+    cosine_view(a.as_view(), b.as_view())
+}
+
+/// [`cosine`] over borrowed profile views — the slab-backed hot path.
+pub fn cosine_view(a: ProfileView<'_>, b: ProfileView<'_>) -> Option<f64> {
     semrec_obs::counter("profiles.similarity.cosine").inc();
     let na = a.norm();
     let nb = b.norm();
@@ -27,6 +32,11 @@ pub fn cosine(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
 /// `None` when fewer than 2 union dimensions exist or either side has zero
 /// variance.
 pub fn pearson(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
+    pearson_view(a.as_view(), b.as_view())
+}
+
+/// [`pearson`] over borrowed profile views — the slab-backed hot path.
+pub fn pearson_view(a: ProfileView<'_>, b: ProfileView<'_>) -> Option<f64> {
     semrec_obs::counter("profiles.similarity.pearson").inc();
     let union = union_values(a, b);
     let n = union.len();
@@ -52,32 +62,36 @@ pub fn pearson(a: &ProfileVector, b: &ProfileVector) -> Option<f64> {
 }
 
 /// Paired `(score_a, score_b)` values over the union of supports.
-fn union_values(a: &ProfileVector, b: &ProfileVector) -> Vec<(f64, f64)> {
+///
+/// Walks the two sorted topic arenas directly; the merge order (and thus
+/// every downstream float operation) is identical to the historical
+/// entry-pair walk.
+fn union_values(a: ProfileView<'_>, b: ProfileView<'_>) -> Vec<(f64, f64)> {
     let mut out = Vec::with_capacity(a.support() + b.support());
-    let av: Vec<_> = a.iter().collect();
-    let bv: Vec<_> = b.iter().collect();
+    let (at, asc) = (a.topics(), a.scores());
+    let (bt, bsc) = (b.topics(), b.scores());
     let (mut i, mut j) = (0, 0);
-    while i < av.len() || j < bv.len() {
-        match (av.get(i), bv.get(j)) {
-            (Some(&(ta, sa)), Some(&(tb, sb))) => {
+    while i < at.len() || j < bt.len() {
+        match (at.get(i), bt.get(j)) {
+            (Some(&ta), Some(&tb)) => {
                 if ta == tb {
-                    out.push((sa, sb));
+                    out.push((asc[i], bsc[j]));
                     i += 1;
                     j += 1;
                 } else if ta < tb {
-                    out.push((sa, 0.0));
+                    out.push((asc[i], 0.0));
                     i += 1;
                 } else {
-                    out.push((0.0, sb));
+                    out.push((0.0, bsc[j]));
                     j += 1;
                 }
             }
-            (Some(&(_, sa)), None) => {
-                out.push((sa, 0.0));
+            (Some(_), None) => {
+                out.push((asc[i], 0.0));
                 i += 1;
             }
-            (None, Some(&(_, sb))) => {
-                out.push((0.0, sb));
+            (None, Some(_)) => {
+                out.push((0.0, bsc[j]));
                 j += 1;
             }
             (None, None) => unreachable!(),

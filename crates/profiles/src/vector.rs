@@ -3,14 +3,32 @@
 //! Interest profiles map category score vectors from the taxonomy `C`
 //! "instead of plain product-rating vectors" (§3.3). Profiles are sparse —
 //! a user's score mass concentrates in a few branches — so they are stored
-//! as sorted `(topic, score)` pairs with merge-based vector operations.
+//! as sorted topic/score pairs with merge-based vector operations.
+//!
+//! Since the arena refactor the pairs live in structure-of-arrays form:
+//! one sorted `u32` topic array and one parallel `f64` score array. That
+//! makes an owned [`ProfileVector`] and a borrowed [`ProfileView`] into a
+//! [`ProfileSlab`](crate::slab::ProfileSlab) range the *same shape*, so
+//! every read operation (norms, dots, merges) is written once against the
+//! view and traverses both layouts in the identical order — results are
+//! bit-for-bit the same wherever the floats happen to live.
 
 use semrec_taxonomy::TopicId;
 
-/// A sparse vector of topic scores, sorted by topic id.
+/// A sparse vector of topic scores, sorted by topic id (owned storage).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProfileVector {
-    entries: Vec<(TopicId, f64)>,
+    topics: Vec<u32>,
+    scores: Vec<f64>,
+}
+
+/// A borrowed, `Copy` view of a profile: the sorted topic ids and their
+/// parallel scores. This is what [`ProfileStore`](`crate`)-style slabs
+/// hand out per agent, and what all similarity math consumes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfileView<'a> {
+    topics: &'a [u32],
+    scores: &'a [f64],
 }
 
 impl ProfileVector {
@@ -22,34 +40,61 @@ impl ProfileVector {
     /// Builds a vector from unsorted `(topic, score)` pairs, summing duplicates
     /// and dropping zeros.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (TopicId, f64)>) -> Self {
-        let mut entries: Vec<(TopicId, f64)> = pairs.into_iter().collect();
+        let mut entries: Vec<(u32, f64)> =
+            pairs.into_iter().map(|(t, s)| (t.index() as u32, s)).collect();
         entries.sort_by_key(|&(t, _)| t);
-        let mut merged: Vec<(TopicId, f64)> = Vec::with_capacity(entries.len());
+        let mut topics: Vec<u32> = Vec::with_capacity(entries.len());
+        let mut scores: Vec<f64> = Vec::with_capacity(entries.len());
         for (t, s) in entries {
-            match merged.last_mut() {
-                Some((last, acc)) if *last == t => *acc += s,
-                _ => merged.push((t, s)),
+            match topics.last() {
+                Some(&last) if last == t => *scores.last_mut().expect("parallel arrays") += s,
+                _ => {
+                    topics.push(t);
+                    scores.push(s);
+                }
             }
         }
-        merged.retain(|&(_, s)| s != 0.0);
-        ProfileVector { entries: merged }
+        let mut merged = ProfileVector { topics, scores };
+        merged.retain_nonzero();
+        merged
+    }
+
+    /// Rebuilds an owned vector from a view (e.g. out of a slab).
+    pub fn from_view(view: ProfileView<'_>) -> Self {
+        ProfileVector { topics: view.topics.to_vec(), scores: view.scores.to_vec() }
+    }
+
+    /// The borrowed view of this vector — the type all read math runs on.
+    pub fn as_view(&self) -> ProfileView<'_> {
+        ProfileView { topics: &self.topics, scores: &self.scores }
+    }
+
+    fn retain_nonzero(&mut self) {
+        let mut keep = 0;
+        for i in 0..self.scores.len() {
+            if self.scores[i] != 0.0 {
+                self.topics[keep] = self.topics[i];
+                self.scores[keep] = self.scores[i];
+                keep += 1;
+            }
+        }
+        self.topics.truncate(keep);
+        self.scores.truncate(keep);
     }
 
     /// Number of topics with non-zero score.
     pub fn support(&self) -> usize {
-        self.entries.len()
+        self.topics.len()
     }
 
     /// True if all scores are zero.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.topics.is_empty()
     }
 
     /// The score of a topic (0 when absent).
     pub fn get(&self, topic: TopicId) -> f64 {
-        self.entries
-            .binary_search_by_key(&topic, |&(t, _)| t)
-            .map_or(0.0, |pos| self.entries[pos].1)
+        self.as_view().get(topic)
     }
 
     /// Adds `score` to a topic.
@@ -57,14 +102,19 @@ impl ProfileVector {
         if score == 0.0 {
             return;
         }
-        match self.entries.binary_search_by_key(&topic, |&(t, _)| t) {
+        let t = topic.index() as u32;
+        match self.topics.binary_search(&t) {
             Ok(pos) => {
-                self.entries[pos].1 += score;
-                if self.entries[pos].1 == 0.0 {
-                    self.entries.remove(pos);
+                self.scores[pos] += score;
+                if self.scores[pos] == 0.0 {
+                    self.topics.remove(pos);
+                    self.scores.remove(pos);
                 }
             }
-            Err(pos) => self.entries.insert(pos, (topic, score)),
+            Err(pos) => {
+                self.topics.insert(pos, t);
+                self.scores.insert(pos, score);
+            }
         }
     }
 
@@ -73,70 +123,153 @@ impl ProfileVector {
         if factor == 0.0 || other.is_empty() {
             return;
         }
-        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let mut topics = Vec::with_capacity(self.topics.len() + other.topics.len());
+        let mut scores = Vec::with_capacity(self.topics.len() + other.topics.len());
         let (mut i, mut j) = (0, 0);
-        while i < self.entries.len() || j < other.entries.len() {
-            match (self.entries.get(i), other.entries.get(j)) {
-                (Some(&(ta, sa)), Some(&(tb, sb))) => {
+        while i < self.topics.len() || j < other.topics.len() {
+            match (self.topics.get(i), other.topics.get(j)) {
+                (Some(&ta), Some(&tb)) => {
                     if ta == tb {
-                        let v = sa + sb * factor;
+                        let v = self.scores[i] + other.scores[j] * factor;
                         if v != 0.0 {
-                            merged.push((ta, v));
+                            topics.push(ta);
+                            scores.push(v);
                         }
                         i += 1;
                         j += 1;
                     } else if ta < tb {
-                        merged.push((ta, sa));
+                        topics.push(ta);
+                        scores.push(self.scores[i]);
                         i += 1;
                     } else {
-                        merged.push((tb, sb * factor));
+                        topics.push(tb);
+                        scores.push(other.scores[j] * factor);
                         j += 1;
                     }
                 }
-                (Some(&(ta, sa)), None) => {
-                    merged.push((ta, sa));
+                (Some(&ta), None) => {
+                    topics.push(ta);
+                    scores.push(self.scores[i]);
                     i += 1;
                 }
-                (None, Some(&(tb, sb))) => {
-                    merged.push((tb, sb * factor));
+                (None, Some(&tb)) => {
+                    topics.push(tb);
+                    scores.push(other.scores[j] * factor);
                     j += 1;
                 }
                 (None, None) => unreachable!(),
             }
         }
-        self.entries = merged;
+        self.topics = topics;
+        self.scores = scores;
     }
 
     /// Multiplies every score by a factor.
     pub fn scale(&mut self, factor: f64) {
         if factor == 0.0 {
-            self.entries.clear();
+            self.topics.clear();
+            self.scores.clear();
             return;
         }
-        for (_, s) in &mut self.entries {
+        for s in &mut self.scores {
             *s *= factor;
         }
     }
 
     /// Total score mass `Σ_k score(d_k)`.
     pub fn total(&self) -> f64 {
-        self.entries.iter().map(|&(_, s)| s).sum()
+        self.as_view().total()
     }
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries.iter().map(|&(_, s)| s * s).sum::<f64>().sqrt()
+        self.as_view().norm()
     }
 
     /// Dot product (merge-based).
     pub fn dot(&self, other: &ProfileVector) -> f64 {
+        self.as_view().dot(other.as_view())
+    }
+
+    /// Number of topics present in both vectors.
+    pub fn overlap(&self, other: &ProfileVector) -> usize {
+        self.as_view().overlap(other.as_view())
+    }
+
+    /// Iterates `(topic, score)` pairs in topic order.
+    pub fn iter(&self) -> impl Iterator<Item = (TopicId, f64)> + '_ {
+        self.topics
+            .iter()
+            .zip(&self.scores)
+            .map(|(&t, &s)| (TopicId::from_index(t as usize), s))
+    }
+
+    /// The highest-scored topics, descending.
+    pub fn top_topics(&self, k: usize) -> Vec<(TopicId, f64)> {
+        self.as_view().top_topics(k)
+    }
+}
+
+impl<'a> ProfileView<'a> {
+    /// A view over raw parallel arrays. `topics` must be strictly sorted
+    /// and the arrays must have equal length (slab construction and
+    /// snapshot validation guarantee this).
+    pub fn from_raw(topics: &'a [u32], scores: &'a [f64]) -> Self {
+        debug_assert_eq!(topics.len(), scores.len());
+        ProfileView { topics, scores }
+    }
+
+    /// An empty view.
+    pub fn empty() -> ProfileView<'static> {
+        ProfileView { topics: &[], scores: &[] }
+    }
+
+    /// The sorted topic-index array.
+    pub fn topics(&self) -> &'a [u32] {
+        self.topics
+    }
+
+    /// The score array parallel to [`ProfileView::topics`].
+    pub fn scores(&self) -> &'a [f64] {
+        self.scores
+    }
+
+    /// Number of topics with non-zero score.
+    pub fn support(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// True if all scores are zero.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// The score of a topic (0 when absent).
+    pub fn get(&self, topic: TopicId) -> f64 {
+        self.topics
+            .binary_search(&(topic.index() as u32))
+            .map_or(0.0, |pos| self.scores[pos])
+    }
+
+    /// Total score mass `Σ_k score(d_k)`.
+    pub fn total(&self) -> f64 {
+        self.scores.iter().sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.scores.iter().map(|&s| s * s).sum::<f64>().sqrt()
+    }
+
+    /// Dot product (merge-based over the sorted topic arrays).
+    pub fn dot(&self, other: ProfileView<'_>) -> f64 {
         let (mut i, mut j) = (0, 0);
         let mut sum = 0.0;
-        while i < self.entries.len() && j < other.entries.len() {
-            let (ta, sa) = self.entries[i];
-            let (tb, sb) = other.entries[j];
+        while i < self.topics.len() && j < other.topics.len() {
+            let ta = self.topics[i];
+            let tb = other.topics[j];
             if ta == tb {
-                sum += sa * sb;
+                sum += self.scores[i] * other.scores[j];
                 i += 1;
                 j += 1;
             } else if ta < tb {
@@ -149,12 +282,12 @@ impl ProfileVector {
     }
 
     /// Number of topics present in both vectors.
-    pub fn overlap(&self, other: &ProfileVector) -> usize {
+    pub fn overlap(&self, other: ProfileView<'_>) -> usize {
         let (mut i, mut j) = (0, 0);
         let mut count = 0;
-        while i < self.entries.len() && j < other.entries.len() {
-            let ta = self.entries[i].0;
-            let tb = other.entries[j].0;
+        while i < self.topics.len() && j < other.topics.len() {
+            let ta = self.topics[i];
+            let tb = other.topics[j];
             if ta == tb {
                 count += 1;
                 i += 1;
@@ -169,13 +302,21 @@ impl ProfileVector {
     }
 
     /// Iterates `(topic, score)` pairs in topic order.
-    pub fn iter(&self) -> impl Iterator<Item = (TopicId, f64)> + '_ {
-        self.entries.iter().copied()
+    pub fn iter(&self) -> impl Iterator<Item = (TopicId, f64)> + 'a {
+        self.topics
+            .iter()
+            .zip(self.scores)
+            .map(|(&t, &s)| (TopicId::from_index(t as usize), s))
+    }
+
+    /// Copies the view into an owned [`ProfileVector`].
+    pub fn to_vector(&self) -> ProfileVector {
+        ProfileVector::from_view(*self)
     }
 
     /// The highest-scored topics, descending.
     pub fn top_topics(&self, k: usize) -> Vec<(TopicId, f64)> {
-        let mut sorted = self.entries.clone();
+        let mut sorted: Vec<(TopicId, f64)> = self.iter().collect();
         sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         sorted.truncate(k);
         sorted
@@ -260,5 +401,32 @@ mod tests {
         let top = v.top_topics(2);
         assert_eq!(top, vec![(t(2), 9.0), (t(3), 5.0)]);
         assert_eq!(v.top_topics(10).len(), 3);
+    }
+
+    #[test]
+    fn view_matches_owned_vector_on_every_read_op() {
+        let a = ProfileVector::from_pairs([(t(1), 1.5), (t(2), -2.0), (t(7), 3.25)]);
+        let b = ProfileVector::from_pairs([(t(2), 5.0), (t(7), 7.0), (t(9), 1.0)]);
+        let (va, vb) = (a.as_view(), b.as_view());
+        assert_eq!(va.support(), a.support());
+        assert_eq!(va.total().to_bits(), a.total().to_bits());
+        assert_eq!(va.norm().to_bits(), a.norm().to_bits());
+        assert_eq!(va.dot(vb).to_bits(), a.dot(&b).to_bits());
+        assert_eq!(va.overlap(vb), a.overlap(&b));
+        assert_eq!(va.get(t(2)), a.get(t(2)));
+        assert_eq!(va.top_topics(2), a.top_topics(2));
+        let round_trip = va.to_vector();
+        assert_eq!(round_trip, a);
+    }
+
+    #[test]
+    fn view_from_raw_arrays() {
+        let topics = [1u32, 4, 9];
+        let scores = [0.5, -1.0, 2.0];
+        let view = ProfileView::from_raw(&topics, &scores);
+        assert_eq!(view.get(t(4)), -1.0);
+        assert_eq!(view.get(t(5)), 0.0);
+        assert_eq!(view.to_vector().support(), 3);
+        assert!(ProfileView::empty().is_empty());
     }
 }

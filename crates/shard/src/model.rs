@@ -21,7 +21,7 @@ use semrec_core::{
     AdvanceStats, AgentId, Community, ModelDelta, ProductId, ProfileStore, Recommendation,
     RecommenderConfig, Result,
 };
-use semrec_profiles::ProfileVector;
+use semrec_profiles::ProfileView;
 use semrec_trust::TrustError;
 
 use crate::appleseed::{sharded_appleseed, ShardedAppleseedResult};
@@ -362,7 +362,7 @@ impl ShardedModel {
     }
 
     /// The materialized profile of an agent.
-    pub fn profile_of(&self, agent: GlobalId) -> Result<&ProfileVector> {
+    pub fn profile_of(&self, agent: GlobalId) -> Result<ProfileView<'_>> {
         let (shard, local) = self.locate(agent)?;
         Ok(self.shards[shard].profiles.profile(local))
     }

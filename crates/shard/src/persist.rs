@@ -472,7 +472,7 @@ fn local_view(
             boundary.push((uri.clone(), remote));
         }
         let agent = ExtractedAgent { uri, trust, ratings, knows: Vec::new(), see_also: Vec::new() };
-        items.push((agent, shard.profiles().profile(local).clone()));
+        items.push((agent, shard.profiles().profile(local).to_vector()));
     }
     items.sort_by(|a, b| a.0.uri.cmp(&b.0.uri));
     boundary.sort_by(|a, b| a.0.cmp(&b.0));

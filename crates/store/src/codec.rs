@@ -10,16 +10,10 @@ use crate::error::{Error, Result};
 
 /// FNV-1a 64-bit hash — the snapshot/WAL integrity checksum.
 ///
-/// Not cryptographic; it guards against torn writes and bit rot, not
-/// adversaries, and it is std-only.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// Re-exported from `semrec-hash`, the single canonical implementation
+/// shared with fault-decision hashing in `semrec-web`; not cryptographic —
+/// it guards against torn writes and bit rot, not adversaries.
+pub use semrec_hash::fnv1a64;
 
 /// Append-only byte buffer with typed `put_*` helpers.
 #[derive(Debug, Default)]
@@ -83,6 +77,52 @@ impl Writer {
         self.put_len(v.len());
         self.buf.extend_from_slice(v.as_bytes());
     }
+
+    /// Pads with zero bytes until the buffer length is a multiple of 8.
+    ///
+    /// Snapshot-v2 arenas are written 8-byte aligned relative to the file
+    /// start (the writer buffer includes the 12-byte frame header), so an
+    /// eventual memory-mapped reader could reinterpret them in place.
+    pub fn align8(&mut self) {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+    }
+
+    /// Bytes written so far — the offset the next `put_*` will land at.
+    pub fn offset(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Overwrites a previously written `u64` in place (e.g. a section
+    /// length that is only known after the section is written).
+    ///
+    /// # Panics
+    /// If `offset..offset + 8` is not already written.
+    pub fn patch_u64(&mut self, offset: usize, v: u64) {
+        self.buf[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` arena: length prefix, alignment padding, then the
+    /// elements as raw little-endian bytes.
+    pub fn put_u32_arena(&mut self, values: &[u32]) {
+        self.put_len(values.len());
+        self.align8();
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends an `f64` arena as raw IEEE-754 bit patterns (bit-exact
+    /// round trip), length-prefixed and aligned like
+    /// [`Writer::put_u32_arena`].
+    pub fn put_f64_arena(&mut self, values: &[f64]) {
+        self.put_len(values.len());
+        self.align8();
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
 }
 
 /// Bounds-checked cursor over a byte slice.
@@ -90,6 +130,10 @@ impl Writer {
 pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Absolute file offset of `bytes[0]` — needed to honor the 8-byte
+    /// alignment padding [`Writer::align8`] computed against the file
+    /// start. 0 unless set via [`Reader::with_base`].
+    base: usize,
     /// Reported in [`Error::Truncated`] so the caller knows which
     /// structure the bytes ran out in.
     context: &'static str,
@@ -98,12 +142,25 @@ pub struct Reader<'a> {
 impl<'a> Reader<'a> {
     /// A reader over `bytes`, tagging truncation errors with `context`.
     pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
-        Reader { bytes, pos: 0, context }
+        Reader { bytes, pos: 0, base: 0, context }
+    }
+
+    /// Like [`Reader::new`], for a slice that starts `base` bytes into the
+    /// file the writer produced (e.g. a frame payload after the 12-byte
+    /// header), so alignment padding is skipped correctly.
+    pub fn with_base(bytes: &'a [u8], context: &'static str, base: usize) -> Self {
+        Reader { bytes, pos: 0, base, context }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.bytes.len() - self.pos
+    }
+
+    /// Bytes consumed so far, relative to the slice this reader was built
+    /// over (add [`Reader::with_base`]'s base for the file offset).
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// True when every byte has been consumed.
@@ -166,6 +223,45 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| Error::Corrupt(format!("invalid UTF-8 in {}", self.context)))
+    }
+
+    /// Skips the zero padding [`Writer::align8`] wrote.
+    fn skip_align8(&mut self) -> Result<()> {
+        let misalign = (self.base + self.pos) % 8;
+        if misalign != 0 {
+            self.take(8 - misalign)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a raw byte run of explicit length (no length prefix).
+    pub fn take_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a `u32` arena written by [`Writer::put_u32_arena`]: one
+    /// bounds-checked slice take, then a bulk little-endian copy — no
+    /// per-element framing.
+    pub fn get_u32_arena(&mut self) -> Result<Vec<u32>> {
+        let len = self.get_len()?;
+        self.skip_align8()?;
+        let raw = self.take(len.checked_mul(4).ok_or(Error::Truncated { context: self.context })?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads an `f64` arena written by [`Writer::put_f64_arena`] —
+    /// bit patterns copied verbatim, no float re-derivation.
+    pub fn get_f64_arena(&mut self) -> Result<Vec<f64>> {
+        let len = self.get_len()?;
+        self.skip_align8()?;
+        let raw = self.take(len.checked_mul(8).ok_or(Error::Truncated { context: self.context })?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
     }
 }
 

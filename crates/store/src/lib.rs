@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod codec;
 pub mod error;
 pub mod snapshot;
@@ -49,6 +50,7 @@ pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use arena::{decode_v2, encode_v2, sniff_version, SNAPSHOT_V2};
 pub use error::{Error, Result};
 pub use snapshot::{Checkpoint, RestoredModel, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use store::{CheckpointReport, CompactionPolicy, Recovery, Store};

@@ -304,7 +304,7 @@ fn get_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>> {
     Ok(if r.get_bool()? { Some(r.get_u64()?) } else { None })
 }
 
-fn encode_config(w: &mut Writer, c: &RecommenderConfig) {
+pub(crate) fn encode_config(w: &mut Writer, c: &RecommenderConfig) {
     let a = &c.neighborhood.appleseed;
     w.put_f64(a.injection);
     w.put_f64(a.spreading_factor);
@@ -338,7 +338,7 @@ fn encode_config(w: &mut Writer, c: &RecommenderConfig) {
     w.put_bool(c.novel_categories_only);
 }
 
-fn decode_config(r: &mut Reader<'_>) -> Result<RecommenderConfig> {
+pub(crate) fn decode_config(r: &mut Reader<'_>) -> Result<RecommenderConfig> {
     let mut config = RecommenderConfig::default();
     let a = &mut config.neighborhood.appleseed;
     a.injection = r.get_f64()?;
@@ -373,7 +373,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<RecommenderConfig> {
     Ok(config)
 }
 
-fn encode_taxonomy(w: &mut Writer, t: &TaxonomyParts) {
+pub(crate) fn encode_taxonomy(w: &mut Writer, t: &TaxonomyParts) {
     w.put_len(t.labels.len());
     for label in &t.labels {
         w.put_str(label);
@@ -393,7 +393,7 @@ fn encode_taxonomy(w: &mut Writer, t: &TaxonomyParts) {
     }
 }
 
-fn decode_taxonomy(r: &mut Reader<'_>) -> Result<TaxonomyParts> {
+pub(crate) fn decode_taxonomy(r: &mut Reader<'_>) -> Result<TaxonomyParts> {
     let label_count = r.get_len()?;
     let mut labels = Vec::with_capacity(label_count);
     for _ in 0..label_count {

@@ -33,8 +33,9 @@ use semrec_web::delta::CrawlDelta;
 use semrec_web::extract::ExtractedAgent;
 use semrec_core::SourceHealth;
 
+use crate::arena::{decode_v2, encode_v2, sniff_version, SNAPSHOT_V2};
 use crate::error::{Error, Result};
-use crate::snapshot::Checkpoint;
+use crate::snapshot::{Checkpoint, RestoredModel, SNAPSHOT_VERSION};
 use crate::wal::{decode_wal, encode_record, wal_header, WalRecord};
 
 /// When to fold the live WAL into a fresh snapshot.
@@ -155,6 +156,11 @@ impl Store {
     /// Captures and durably writes the model as the next snapshot
     /// generation, with a fresh empty WAL beside it.
     ///
+    /// Writes snapshot format v2: the model's flat arenas verbatim (see
+    /// [`crate::arena`]), so recovery adopts them with bulk copies instead
+    /// of re-deriving the model per record. [`Store::recover`] still reads
+    /// v1 snapshots written by earlier builds.
+    ///
     /// Bumps `store.snapshot.write` / `store.snapshot.write.bytes` under a
     /// `store.snapshot.write` span.
     pub fn checkpoint(
@@ -165,7 +171,7 @@ impl Store {
     ) -> Result<CheckpointReport> {
         let _span = semrec_obs::span("store.snapshot.write");
         let seq = self.latest_seq()?.unwrap_or(0) + 1;
-        let bytes = Checkpoint::capture(engine, view, epoch).encode();
+        let bytes = encode_v2(engine, view, epoch);
 
         let path = self.snapshot_path(seq);
         write_atomically(&path, &bytes)?;
@@ -226,7 +232,7 @@ impl Store {
         }
         for seq in seqs {
             match self.load_snapshot(seq) {
-                Ok(checkpoint) => return self.replay(seq, checkpoint, skipped),
+                Ok(restored) => return self.replay(seq, restored, skipped),
                 Err(e) => {
                     semrec_obs::counter("store.recovery.fallback").inc();
                     skipped.push((seq, e));
@@ -236,22 +242,31 @@ impl Store {
         Err(Error::NoSnapshot)
     }
 
-    fn load_snapshot(&self, seq: u64) -> Result<Checkpoint> {
+    /// Loads one snapshot generation straight into a live model,
+    /// dispatching on the format version in the frame header: v2 arenas
+    /// decode directly ([`decode_v2`]), v1 goes through
+    /// `Checkpoint::decode().restore()`. Unknown versions are a typed
+    /// [`Error::BadVersion`]; bytes too damaged to carry a version fall
+    /// through to the v1 decoder for its magic/truncation errors.
+    fn load_snapshot(&self, seq: u64) -> Result<RestoredModel> {
         let _span = semrec_obs::span("store.snapshot.load");
         let bytes = fs::read(self.snapshot_path(seq))?;
-        let checkpoint = Checkpoint::decode(&bytes)?;
+        let restored = match sniff_version(&bytes) {
+            Some(SNAPSHOT_V2) => decode_v2(&bytes)?,
+            Some(SNAPSHOT_VERSION) | None => Checkpoint::decode(&bytes)?.restore()?,
+            Some(found) => return Err(Error::BadVersion { expected: SNAPSHOT_V2, found }),
+        };
         semrec_obs::counter("store.snapshot.load").inc();
         semrec_obs::counter("store.snapshot.load.bytes").add(bytes.len() as u64);
-        Ok(checkpoint)
+        Ok(restored)
     }
 
     fn replay(
         &self,
         seq: u64,
-        checkpoint: Checkpoint,
+        restored: RestoredModel,
         skipped: Vec<(u64, Error)>,
     ) -> Result<Recovery> {
-        let restored = checkpoint.restore()?;
         let snapshot_epoch = restored.epoch;
         let mut engine = restored.engine;
         let mut view = restored.view;

@@ -259,12 +259,26 @@ impl Taxonomy {
                 if p.index() >= n {
                     return Err(invalid("parent id out of bounds"));
                 }
-                if !children[p.index()].contains(&TopicId::from_index(idx)) {
-                    return Err(invalid("parent edge missing from the child list"));
+            }
+        }
+        // Parents/children agreement, checked from the child side: parent
+        // lists are short (usually a single entry) where a hub topic's
+        // child list can hold hundreds, so scanning `parents[c]` per child
+        // edge is near-O(edges) instead of O(edges × hub fanout). Equal
+        // edge counts close the loop: every parent edge is then mirrored.
+        let mut child_edges = 0usize;
+        for (idx, list) in children.iter().enumerate() {
+            child_edges += list.len();
+            for c in list {
+                if c.index() >= n {
+                    return Err(invalid("child id out of bounds"));
+                }
+                if !parents[c.index()].contains(&TopicId::from_index(idx)) {
+                    return Err(invalid("child edge missing from the parent list"));
                 }
             }
         }
-        if children.iter().map(Vec::len).sum::<usize>() != edges {
+        if child_edges != edges {
             return Err(invalid("parents/children edge counts disagree"));
         }
         let mut by_label = HashMap::with_capacity(n);

@@ -25,8 +25,48 @@
 use std::collections::HashMap;
 
 use crate::agent::AgentId;
+use crate::csr::CsrGraph;
 use crate::error::{Result, TrustError};
 use crate::graph::TrustGraph;
+
+/// The read-only view of a trust network the spreading-activation loop
+/// needs: a node count plus sign-partitioned out-edge walks. Implemented
+/// by both the adjacency-list [`TrustGraph`] and the flat [`CsrGraph`], so
+/// one metric implementation serves both layouts — and because both
+/// iterate edges in the identical (trustee-sorted) order, the two produce
+/// bit-identical ranks.
+pub trait TrustTopology {
+    /// Number of agents `n = |A|`.
+    fn agent_count(&self) -> usize;
+    /// Outgoing statements of `agent` with strictly positive weight.
+    fn positive_out(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_;
+    /// Outgoing statements of `agent` with strictly negative weight.
+    fn negative_out(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_;
+}
+
+impl TrustTopology for TrustGraph {
+    fn agent_count(&self) -> usize {
+        TrustGraph::agent_count(self)
+    }
+    fn positive_out(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_ {
+        self.positive_out_edges(agent)
+    }
+    fn negative_out(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_ {
+        self.negative_out_edges(agent)
+    }
+}
+
+impl TrustTopology for CsrGraph {
+    fn agent_count(&self) -> usize {
+        CsrGraph::agent_count(self)
+    }
+    fn positive_out(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_ {
+        self.positive_out_edges(agent)
+    }
+    fn negative_out(&self, agent: AgentId) -> impl Iterator<Item = (AgentId, f64)> + '_ {
+        self.negative_out_edges(agent)
+    }
+}
 
 /// Parameters of the Appleseed metric.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -161,9 +201,28 @@ struct NodeState {
     energy_next: f64,
 }
 
-/// Runs Appleseed for `source` over `graph`.
+/// Runs Appleseed for `source` over an adjacency-list graph.
 pub fn appleseed(
     graph: &TrustGraph,
+    source: AgentId,
+    params: &AppleseedParams,
+) -> Result<AppleseedResult> {
+    appleseed_on(graph, source, params)
+}
+
+/// Runs Appleseed for `source` over a flat CSR graph — the cache-friendly
+/// hot path. Bit-identical to [`appleseed`] on the equivalent graph.
+pub fn appleseed_csr(
+    graph: &CsrGraph,
+    source: AgentId,
+    params: &AppleseedParams,
+) -> Result<AppleseedResult> {
+    appleseed_on(graph, source, params)
+}
+
+/// The spreading-activation loop, generic over the graph layout.
+pub fn appleseed_on<G: TrustTopology>(
+    graph: &G,
     source: AgentId,
     params: &AppleseedParams,
 ) -> Result<AppleseedResult> {
@@ -221,11 +280,11 @@ pub fn appleseed(
             let mut pos_sum = 0.0;
             let mut neg_sum = 0.0;
             if !at_range_limit {
-                for (_, w) in graph.positive_out_edges(agent) {
+                for (_, w) in graph.positive_out(agent) {
                     pos_sum += w.powf(power);
                 }
                 if params.distrust {
-                    for (_, w) in graph.negative_out_edges(agent) {
+                    for (_, w) in graph.negative_out(agent) {
                         neg_sum += (-w).powf(power);
                     }
                 }
@@ -242,7 +301,7 @@ pub fn appleseed(
                 nodes[0].energy_next += forward * backward / total_weight;
             }
             if !at_range_limit {
-                for (succ, w) in graph.positive_out_edges(agent) {
+                for (succ, w) in graph.positive_out(agent) {
                     let share = forward * w.powf(power) / total_weight;
                     let idx = match local.get(&succ) {
                         Some(&idx) => idx,
@@ -267,7 +326,7 @@ pub fn appleseed(
                     nodes[idx].energy_next += share;
                 }
                 if params.distrust {
-                    for (succ, w) in graph.negative_out_edges(agent) {
+                    for (succ, w) in graph.negative_out(agent) {
                         let share = forward * (-w).powf(power) / total_weight;
                         // Terminal penalty: deposited as negative rank on
                         // already-discovered nodes; statements about agents

@@ -14,6 +14,9 @@ pub enum TrustError {
     InvalidWeight(f64),
     /// An agent attempted to issue trust in itself.
     SelfTrust(usize),
+    /// CSR arenas were structurally inconsistent (bad offsets, ids out of
+    /// range, mismatched forward/reverse edge counts).
+    InvalidCsr(&'static str),
     /// A metric parameter was out of its legal range.
     InvalidParameter {
         /// Parameter name.
@@ -33,6 +36,7 @@ impl fmt::Display for TrustError {
                 write!(f, "trust weight {w} outside [-1, +1]")
             }
             TrustError::SelfTrust(idx) => write!(f, "agent {idx} cannot trust itself"),
+            TrustError::InvalidCsr(what) => write!(f, "inconsistent CSR arenas: {what}"),
             TrustError::InvalidParameter { name, value, expected } => {
                 write!(f, "parameter `{name}` = {value} invalid: expected {expected}")
             }

@@ -128,6 +128,19 @@ impl TrustGraph {
         self.out[agent.index()].iter().copied().filter(|&(_, w)| w < 0.0)
     }
 
+    /// Reassembles a graph from raw adjacency lists (the
+    /// [`CsrGraph`](crate::csr::CsrGraph) expansion path). The caller —
+    /// crate-internal only — guarantees consistency: `out` sorted by
+    /// trustee, `inc` mirroring it, ids in range.
+    pub(crate) fn from_adjacency(
+        out: Vec<Vec<(AgentId, f64)>>,
+        inc: Vec<Vec<AgentId>>,
+    ) -> TrustGraph {
+        debug_assert_eq!(out.len(), inc.len());
+        let edge_count = out.iter().map(Vec::len).sum();
+        TrustGraph { out, inc, edge_count }
+    }
+
     /// Mean out-degree (trust statements per agent).
     pub fn mean_out_degree(&self) -> f64 {
         if self.out.is_empty() {

@@ -29,6 +29,7 @@
 pub mod advogato;
 pub mod agent;
 pub mod appleseed;
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod maxflow;
@@ -36,6 +37,9 @@ pub mod neighborhood;
 pub mod scalar;
 
 pub use agent::AgentId;
+pub use csr::CsrGraph;
 pub use error::{Result, TrustError};
 pub use graph::TrustGraph;
-pub use neighborhood::{form_neighborhood, NeighborhoodParams, TrustNeighborhood};
+pub use neighborhood::{
+    form_neighborhood, form_neighborhood_csr, NeighborhoodParams, TrustNeighborhood,
+};

@@ -64,6 +64,11 @@ impl FlowNetwork {
 
     /// Computes the maximum flow from `source` to `sink` (Dinic).
     ///
+    /// The per-node `Vec<Vec<u32>>` adjacency is flattened into a CSR
+    /// arena (one offset array plus one flat edge-id array, preserving
+    /// insertion order) before the search, so the BFS/DFS inner loops walk
+    /// contiguous slices instead of chasing one heap allocation per node.
+    ///
     /// Mutates residual capacities; call [`FlowNetwork::flow`] afterwards to
     /// read per-edge flows.
     pub fn max_flow(&mut self, source: FlowNode, sink: FlowNode) -> i64 {
@@ -71,16 +76,29 @@ impl FlowNetwork {
         let _span = semrec_obs::span("maxflow.run");
         let augmenting_paths = semrec_obs::counter("maxflow.augmenting_paths");
         let n = self.adj.len();
+
+        // Flatten the adjacency into CSR form; edge-id order within each
+        // node is preserved, so the augmenting paths found (and therefore
+        // the exact residual state) match the nested-Vec walk.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.to.len());
+        offsets.push(0u32);
+        for list in &self.adj {
+            edges.extend_from_slice(list);
+            offsets.push(edges.len() as u32);
+        }
+
         let mut total = 0i64;
         let mut level = vec![-1i32; n];
-        let mut iter = vec![0usize; n];
+        let mut iter = vec![0u32; n];
         loop {
-            // BFS level graph.
+            // BFS level graph over CSR slices.
             level.fill(-1);
             level[source as usize] = 0;
             let mut queue = std::collections::VecDeque::from([source]);
             while let Some(v) = queue.pop_front() {
-                for &e in &self.adj[v as usize] {
+                let range = offsets[v as usize] as usize..offsets[v as usize + 1] as usize;
+                for &e in &edges[range] {
                     let to = self.to[e as usize];
                     if self.cap[e as usize] > 0 && level[to as usize] < 0 {
                         level[to as usize] = level[v as usize] + 1;
@@ -93,7 +111,7 @@ impl FlowNetwork {
             }
             iter.fill(0);
             loop {
-                let pushed = self.dfs(source, sink, i64::MAX, &level, &mut iter);
+                let pushed = self.dfs(source, sink, i64::MAX, &offsets, &edges, &level, &mut iter);
                 if pushed == 0 {
                     break;
                 }
@@ -103,25 +121,31 @@ impl FlowNetwork {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
         v: FlowNode,
         sink: FlowNode,
         limit: i64,
+        offsets: &[u32],
+        edges: &[u32],
         level: &[i32],
-        iter: &mut [usize],
+        iter: &mut [u32],
     ) -> i64 {
         if v == sink {
             return limit;
         }
-        while iter[v as usize] < self.adj[v as usize].len() {
-            let e = self.adj[v as usize][iter[v as usize]];
+        let end = offsets[v as usize + 1] - offsets[v as usize];
+        while iter[v as usize] < end {
+            let e = edges[(offsets[v as usize] + iter[v as usize]) as usize];
             let to = self.to[e as usize];
             if self.cap[e as usize] > 0 && level[to as usize] == level[v as usize] + 1 {
                 let pushed = self.dfs(
                     to,
                     sink,
                     limit.min(self.cap[e as usize]),
+                    offsets,
+                    edges,
                     level,
                     iter,
                 );

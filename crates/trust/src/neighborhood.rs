@@ -7,7 +7,8 @@
 //! research issue of §2 calls for.
 
 use crate::agent::AgentId;
-use crate::appleseed::{appleseed, AppleseedParams};
+use crate::appleseed::{appleseed_on, AppleseedParams, TrustTopology};
+use crate::csr::CsrGraph;
 use crate::error::Result;
 use crate::graph::TrustGraph;
 
@@ -89,7 +90,26 @@ pub fn form_neighborhood(
     source: AgentId,
     params: &NeighborhoodParams,
 ) -> Result<TrustNeighborhood> {
-    let result = appleseed(graph, source, &params.appleseed)?;
+    form_neighborhood_on(graph, source, params)
+}
+
+/// Forms the trust neighborhood of `source` over a flat [`CsrGraph`] —
+/// the engine's hot path. Bit-identical to [`form_neighborhood`] on the
+/// equivalent adjacency-list graph.
+pub fn form_neighborhood_csr(
+    graph: &CsrGraph,
+    source: AgentId,
+    params: &NeighborhoodParams,
+) -> Result<TrustNeighborhood> {
+    form_neighborhood_on(graph, source, params)
+}
+
+fn form_neighborhood_on<G: TrustTopology>(
+    graph: &G,
+    source: AgentId,
+    params: &NeighborhoodParams,
+) -> Result<TrustNeighborhood> {
+    let result = appleseed_on(graph, source, &params.appleseed)?;
     let peers = result
         .ranks
         .iter()

@@ -214,22 +214,13 @@ const SALT_TRANSIENT: u64 = 0xbf58_476d_1ce4_e5b9;
 const SALT_CORRUPT: u64 = 0x94d0_49bb_1331_11eb;
 const SALT_LATENCY: u64 = 0x2545_f491_4f6c_dd1d;
 
-/// FNV-1a over the URI bytes, mixed with seed/attempt/salt through the
-/// SplitMix64 finalizer — a stateless, platform-independent hash.
+/// FNV-1a over the URI bytes (the workspace's canonical `semrec-hash`
+/// implementation — the same function that checksums snapshots), mixed
+/// with seed/attempt/salt through the SplitMix64 finalizer — a stateless,
+/// platform-independent hash.
 pub(crate) fn stable_hash(seed: u64, uri: &str, attempt: u64, salt: u64) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in uri.as_bytes() {
-        h ^= u64::from(*byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    mix(h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt.wrapping_mul(salt))
-}
-
-/// SplitMix64 finalizer.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    let h = semrec_hash::fnv1a64(uri.as_bytes());
+    semrec_hash::splitmix64(h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt.wrapping_mul(salt))
 }
 
 /// Maps a hash to a uniform f64 in `[0, 1)`.

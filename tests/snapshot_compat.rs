@@ -1,0 +1,115 @@
+//! Cross-version snapshot compatibility: a **committed** v1 snapshot file
+//! (`tests/fixtures/snapshot-v1.bin`, written by the frozen per-record
+//! format) must keep recovering byte-identically through the dispatching
+//! loader, even though live stores now write format v2 — and the first
+//! checkpoint after such a recovery upgrades the store to v2 through the
+//! same path.
+//!
+//! Regenerate the fixture (only if the *world construction* below changes,
+//! never for format reasons — v1 is frozen) with:
+//!
+//! ```text
+//! cargo test --test snapshot_compat regenerate_v1_fixture -- --ignored
+//! ```
+
+use std::path::PathBuf;
+
+use semrec::core::{Recommender, RecommenderConfig};
+use semrec::store::{sniff_version, wal_header, Checkpoint, Store, SNAPSHOT_V2, SNAPSHOT_VERSION};
+use semrec::taxonomy::fixtures::example1;
+use semrec::web::crawler::CommunityBuilder;
+use semrec::web::extract::ExtractedAgent;
+use semrec::{AgentId, ProductId};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/snapshot-v1.bin")
+}
+
+/// The deterministic six-agent ring world over Example 1 — no RNG, so the
+/// fixture captured from it stays reproducible forever.
+fn world() -> (Recommender, Vec<ExtractedAgent>) {
+    let e = example1();
+    let ids: Vec<String> =
+        e.catalog.iter().map(|p| e.catalog.product(p).identifier.clone()).collect();
+    let view: Vec<ExtractedAgent> = (0..6)
+        .map(|i| ExtractedAgent {
+            uri: format!("http://ex.org/u{i}"),
+            trust: vec![
+                (format!("http://ex.org/u{}", (i + 1) % 6), 0.9),
+                (format!("http://ex.org/u{}", (i + 3) % 6), -0.4),
+            ],
+            ratings: vec![
+                (ids[i % ids.len()].clone(), 1.0),
+                (ids[(i + 1) % ids.len()].clone(), -0.5),
+            ],
+            knows: vec![format!("http://ex.org/u{}", (i + 1) % 6)],
+            see_also: vec![format!("http://ex.org/u{}", (i + 2) % 6)],
+        })
+        .collect();
+    let (community, _) = CommunityBuilder::new(&view).build(e.fig.taxonomy, e.catalog);
+    (Recommender::new(community, RecommenderConfig::default()), view)
+}
+
+/// Bit-exact fingerprint of every agent's top recommendations.
+fn fingerprint(engine: &Recommender) -> Vec<(AgentId, ProductId, u64)> {
+    let mut out = Vec::new();
+    for a in engine.community().agents() {
+        for rec in engine.recommend(a, 10).expect("recommendation succeeds") {
+            out.push((a, rec.product, rec.score.to_bits()));
+        }
+    }
+    out
+}
+
+/// One-shot fixture writer; `--ignored` only. Kept next to the test so the
+/// world definition cannot drift from what the fixture captured.
+#[test]
+#[ignore]
+fn regenerate_v1_fixture() {
+    let (engine, view) = world();
+    let bytes = Checkpoint::capture(&engine, &view, 1).encode();
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(fixture_path(), &bytes).unwrap();
+    println!("wrote {} bytes to {}", bytes.len(), fixture_path().display());
+}
+
+#[test]
+fn committed_v1_snapshot_recovers_byte_identically_and_upgrades_to_v2() {
+    let bytes = std::fs::read(fixture_path()).expect("committed fixture exists");
+    assert_eq!(sniff_version(&bytes), Some(SNAPSHOT_VERSION), "fixture is a v1 frame");
+
+    // Stage the fixture as a store directory: newest snapshot + empty WAL.
+    let dir = std::env::temp_dir()
+        .join(format!("semrec-snapshot-compat-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = Store::open(&dir).expect("store opens");
+    std::fs::write(store.snapshot_path(1), &bytes).unwrap();
+    std::fs::write(store.wal_path(1), wal_header()).unwrap();
+
+    let (live, view) = world();
+    let expected = fingerprint(&live);
+
+    // The dispatching loader takes the v1 branch and lands bit-for-bit on
+    // the live model.
+    let recovery = store.recover().expect("v1 fixture recovers");
+    assert_eq!(recovery.epoch, 1);
+    assert_eq!(recovery.replayed, 0);
+    assert!(!recovery.degraded());
+    assert_eq!(recovery.view, view);
+    assert_eq!(fingerprint(&recovery.engine), expected);
+
+    // Checkpointing the recovered node writes format v2; recovery then
+    // takes the arena branch and still serves the same bytes.
+    store
+        .checkpoint(&recovery.engine, &recovery.view, recovery.epoch + 1)
+        .expect("checkpoint succeeds");
+    let upgraded = std::fs::read(store.snapshot_path(2)).unwrap();
+    assert_eq!(sniff_version(&upgraded), Some(SNAPSHOT_V2), "new snapshots are v2");
+    let again = store.recover().expect("v2 snapshot recovers");
+    assert_eq!(again.epoch, 2);
+    assert_eq!(again.view, view);
+    assert_eq!(fingerprint(&again.engine), expected);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
