@@ -1,4 +1,4 @@
-//! The reproduced experiments E1–E22 (DESIGN.md §3).
+//! The reproduced experiments E1–E23 (DESIGN.md §3).
 //!
 //! Every experiment is a function of the chosen [`crate::Scale`] that prints
 //! its table(s) to stdout — the same rows recorded in EXPERIMENTS.md — and
@@ -27,10 +27,11 @@ pub mod e19_ranking;
 pub mod e20_slo;
 pub mod e21_sharding;
 pub mod e22_arena;
+pub mod e23_p2p;
 
 use crate::Scale;
 
-/// Runs one experiment by id (`"e1"` … `"e22"`); `true` if the id is known.
+/// Runs one experiment by id (`"e1"` … `"e23"`); `true` if the id is known.
 pub fn run(id: &str, scale: Scale) -> bool {
     match id {
         "e1" => {
@@ -99,15 +100,18 @@ pub fn run(id: &str, scale: Scale) -> bool {
         "e22" => {
             e22_arena::run(scale);
         }
+        "e23" => {
+            e23_p2p::run(scale);
+        }
         _ => return false,
     }
     true
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// Prints a section header.

@@ -49,6 +49,30 @@ pub fn splitmix64(mut h: u64) -> u64 {
     h
 }
 
+/// A stateless seeded decision hash: FNV-1a over the key bytes, mixed with
+/// `seed`/`attempt`/`salt` through the SplitMix64 finalizer.
+///
+/// This is how every seeded pseudo-random decision in the workspace is
+/// derived — fault-injection schedules and retry jitter (`semrec-web`),
+/// gossip partner selection and payload rotation (`semrec-p2p`). Because
+/// the hash is a pure function of `(seed, key, attempt, salt)` there is no
+/// shared RNG stream, so decisions commute with thread scheduling and stay
+/// byte-identical across runs and worker counts. Each call site owns a
+/// distinct `salt` constant so its decision stream is independent of every
+/// other's under the same seed.
+pub fn stable_hash(seed: u64, key: &str, attempt: u64, salt: u64) -> u64 {
+    let h = fnv1a64(key.as_bytes());
+    splitmix64(h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt.wrapping_mul(salt))
+}
+
+/// Maps a hash to a uniform f64 in `[0, 1)`.
+///
+/// Uses the top 53 bits, so every representable value is an exact multiple
+/// of 2⁻⁵³ — the standard uniform-double construction.
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +90,25 @@ mod tests {
         let whole = fnv1a64(b"hello world");
         let split = fnv1a64_continue(fnv1a64(b"hello "), b"world");
         assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_sensitive_to_every_input() {
+        let base = stable_hash(7, "http://ex.org/a", 0, 0x1234);
+        assert_eq!(base, stable_hash(7, "http://ex.org/a", 0, 0x1234));
+        assert_ne!(base, stable_hash(8, "http://ex.org/a", 0, 0x1234));
+        assert_ne!(base, stable_hash(7, "http://ex.org/b", 0, 0x1234));
+        assert_ne!(base, stable_hash(7, "http://ex.org/a", 1, 0x1234));
+        assert_ne!(base, stable_hash(7, "http://ex.org/a", 0, 0x1235));
+    }
+
+    #[test]
+    fn unit_stays_in_the_half_open_interval() {
+        for h in [0, 1, u64::MAX, 0xdead_beef, 1 << 63] {
+            let u = unit(h);
+            assert!((0.0..1.0).contains(&u), "unit({h}) = {u}");
+        }
+        assert_eq!(unit(0), 0.0);
     }
 
     #[test]

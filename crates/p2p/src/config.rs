@@ -1,0 +1,73 @@
+//! Configuration of the gossip protocol and the per-peer bootstrap.
+
+use semrec_trust::neighborhood::NeighborhoodParams;
+use semrec_web::policy::FetchPolicy;
+
+/// Everything a [`crate::sim::P2pSimulation`] needs besides the world
+/// itself: the gossip protocol's knobs and the per-peer crawl/retry
+/// template.
+///
+/// All pseudo-randomness (partner selection, payload rotation, per-peer
+/// jitter seeds) derives from `seed` through stateless hashes, so two
+/// simulations with equal configs over equal worlds are byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GossipConfig {
+    /// Seed every gossip-level decision derives from.
+    pub seed: u64,
+    /// Partners each peer contacts per round (push/pull fan-out).
+    pub fanout: usize,
+    /// Message-size cap: at most this many candidate records per message
+    /// (the sender's own record plus a rotating window of its knowledge).
+    pub max_records: usize,
+    /// Forwarding budget: a firsthand record starts with this TTL and each
+    /// relay hop decrements it; records at TTL 0 are still merged by their
+    /// receiver but no longer forwarded.
+    pub ttl: u32,
+    /// Range of the bootstrap crawl around each peer's own homepage
+    /// (0 = own homepage only, 1 = homepage + direct trustees, …).
+    pub crawl_range: u32,
+    /// Worker threads for the parallel compute phase of each round (and
+    /// the bootstrap crawls). Any value yields identical results.
+    pub threads: usize,
+    /// Virtual ticks one gossip round advances the shared clock by;
+    /// breaker cooldowns are measured against this axis.
+    pub round_ticks: u64,
+    /// Neighborhood formation parameters — the *same* parameters the
+    /// centralized baseline uses, so convergence is apples to apples.
+    pub neighborhood: NeighborhoodParams,
+    /// Retry/backoff/breaker template for the bootstrap crawl. Each peer
+    /// re-derives `jitter_seed` from `(seed, peer URI)` so retry schedules
+    /// decorrelate across peers; the breaker configured here is the one
+    /// that later gates that peer's gossip exchanges.
+    pub policy: FetchPolicy,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            seed: 0,
+            fanout: 3,
+            max_records: 32,
+            ttl: 32,
+            crawl_range: 1,
+            threads: 4,
+            round_ticks: 16,
+            neighborhood: NeighborhoodParams::default(),
+            policy: FetchPolicy::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GossipConfig::default();
+        assert!(c.fanout >= 1);
+        assert!(c.max_records >= 2, "a message must fit more than the sender itself");
+        assert!(c.ttl >= 1);
+        assert!(c.round_ticks >= 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Gossip wire records: what peers know — and tell each other — about
+//! agents.
+//!
+//! A gossip message is a list of [`AgentRecord`]s. Each record describes
+//! one agent firsthand (extracted from that agent's homepage by whoever
+//! crawled it) and is immutable thereafter, so records are shared between
+//! peers as `Arc`s and knowledge merging is pure set union. On the wire,
+//! one neighborhood **candidate** is the triple *(agent URI, trust weight,
+//! taxonomy-profile digest)*: the record asserts that `uri` — whose
+//! profile inputs hash to `digest` — endorses each [`Candidate`] with the
+//! stated weight.
+
+use std::sync::Arc;
+
+use semrec_hash::{fnv1a64_continue, FNV1A64_OFFSET};
+use semrec_web::extract::ExtractedAgent;
+
+/// One outgoing trust statement inside an [`AgentRecord`]: a neighborhood
+/// candidate for any receiver that trusts (transitively) the record's
+/// owner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// The endorsed agent's URI.
+    pub uri: Arc<str>,
+    /// The trust weight the record's owner stated for it.
+    pub weight: f64,
+}
+
+/// Everything the gossip layer knows about one agent, learned firsthand
+/// from its homepage document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AgentRecord {
+    /// The described agent's URI.
+    pub uri: Arc<str>,
+    /// Digest of the agent's taxonomy-profile inputs (its product
+    /// ratings): lets receivers detect stale knowledge without shipping
+    /// the profile itself.
+    pub digest: u64,
+    /// The agent's outgoing trust statements, highest weight first as
+    /// extracted.
+    pub candidates: Vec<Candidate>,
+}
+
+impl AgentRecord {
+    /// Builds the record for one crawled agent.
+    pub fn from_extracted(agent: &ExtractedAgent) -> AgentRecord {
+        AgentRecord {
+            uri: Arc::from(agent.uri.as_str()),
+            digest: profile_digest(agent),
+            candidates: agent
+                .trust
+                .iter()
+                .map(|(uri, weight)| Candidate { uri: Arc::from(uri.as_str()), weight: *weight })
+                .collect(),
+        }
+    }
+
+    /// The record's estimated wire size in bytes: URI + digest + one
+    /// (URI, f64) pair per candidate + framing. Charged to
+    /// `p2p.bytes.sent` whenever the record is delivered.
+    pub fn wire_bytes(&self) -> u64 {
+        let candidates: u64 =
+            self.candidates.iter().map(|c| c.uri.len() as u64 + 8).sum();
+        self.uri.len() as u64 + 8 + candidates + 4
+    }
+}
+
+/// Digest of the inputs an agent's taxonomy profile is generated from
+/// (Eq. 3 works off the rating vector): the agent URI followed by every
+/// `(product identifier, score bits)` pair, FNV-1a hashed in document
+/// order.
+pub fn profile_digest(agent: &ExtractedAgent) -> u64 {
+    let mut h = fnv1a64_continue(FNV1A64_OFFSET, agent.uri.as_bytes());
+    for (identifier, score) in &agent.ratings {
+        h = fnv1a64_continue(h, identifier.as_bytes());
+        h = fnv1a64_continue(h, &score.to_bits().to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent() -> ExtractedAgent {
+        ExtractedAgent {
+            uri: "http://ex.org/alice#me".into(),
+            trust: vec![("http://ex.org/bob#me".into(), 0.9)],
+            ratings: vec![("urn:isbn:0380789035".into(), 1.0)],
+            ..ExtractedAgent::default()
+        }
+    }
+
+    #[test]
+    fn record_captures_uri_digest_and_candidates() {
+        let r = AgentRecord::from_extracted(&agent());
+        assert_eq!(&*r.uri, "http://ex.org/alice#me");
+        assert_eq!(r.candidates.len(), 1);
+        assert_eq!(&*r.candidates[0].uri, "http://ex.org/bob#me");
+        assert_eq!(r.candidates[0].weight, 0.9);
+        assert_ne!(r.digest, 0);
+    }
+
+    #[test]
+    fn digest_tracks_the_rating_vector() {
+        let a = agent();
+        let mut b = agent();
+        assert_eq!(profile_digest(&a), profile_digest(&b));
+        b.ratings.push(("urn:isbn:0586057242".into(), -1.0));
+        assert_ne!(profile_digest(&a), profile_digest(&b));
+        let mut c = agent();
+        c.ratings[0].1 = 0.5;
+        assert_ne!(profile_digest(&a), profile_digest(&c));
+    }
+
+    #[test]
+    fn wire_size_counts_every_candidate() {
+        let r = AgentRecord::from_extracted(&agent());
+        let lone = AgentRecord { candidates: Vec::new(), ..r.clone() };
+        assert!(r.wire_bytes() > lone.wire_bytes());
+        assert_eq!(r.wire_bytes() - lone.wire_bytes(), "http://ex.org/bob#me".len() as u64 + 8);
+    }
+}

@@ -214,19 +214,10 @@ const SALT_TRANSIENT: u64 = 0xbf58_476d_1ce4_e5b9;
 const SALT_CORRUPT: u64 = 0x94d0_49bb_1331_11eb;
 const SALT_LATENCY: u64 = 0x2545_f491_4f6c_dd1d;
 
-/// FNV-1a over the URI bytes (the workspace's canonical `semrec-hash`
-/// implementation — the same function that checksums snapshots), mixed
-/// with seed/attempt/salt through the SplitMix64 finalizer — a stateless,
-/// platform-independent hash.
-pub(crate) fn stable_hash(seed: u64, uri: &str, attempt: u64, salt: u64) -> u64 {
-    let h = semrec_hash::fnv1a64(uri.as_bytes());
-    semrec_hash::splitmix64(h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ attempt.wrapping_mul(salt))
-}
-
-/// Maps a hash to a uniform f64 in `[0, 1)`.
-pub(crate) fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
+// The seeded decision hash lives in `semrec-hash` (it is shared with the
+// gossip layer of `semrec-p2p`); fault schedules and retry jitter are
+// bit-identical to when the helpers were private to this module.
+pub(crate) use semrec_hash::{stable_hash, unit};
 
 #[cfg(test)]
 mod tests {

@@ -17,6 +17,7 @@
 //! semrec store-bench --scale small --seed 42 --rounds 3 --churn 0.05
 //! semrec rank-bench --scale small --seed 42 --blend 0.5,0.3,0.2
 //! semrec shard-bench --scale small --seed 42 --shards 8 --partitioner hash
+//! semrec p2p-bench --scale small --seed 42 --rounds 12 --fanout 3 --fault 0.3 --dead 0.1
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -50,6 +51,7 @@ fn main() {
         "store-bench" => store_bench(&opts),
         "rank-bench" => rank_bench(&opts),
         "shard-bench" => shard_bench(&opts),
+        "p2p-bench" => p2p_bench(&opts),
         other => usage(&format!("unknown command `{other}`")),
     }
 }
@@ -81,6 +83,12 @@ struct Options {
     min_workers: usize,
     max_workers: usize,
     no_slo: bool,
+    fanout: usize,
+    cap: usize,
+    ttl_hops: u32,
+    range: u32,
+    fault: f64,
+    dead: f64,
 }
 
 impl Options {
@@ -112,6 +120,12 @@ impl Options {
             min_workers: 1,
             max_workers: 8,
             no_slo: false,
+            fanout: 3,
+            cap: 32,
+            ttl_hops: 32,
+            range: 1,
+            fault: 0.0,
+            dead: 0.0,
         };
         let mut i = 0;
         while i < args.len() {
@@ -177,6 +191,24 @@ impl Options {
                         value(&mut i).parse().unwrap_or_else(|_| usage("bad max-workers"))
                 }
                 "--no-slo" => opts.no_slo = true,
+                "--fanout" => {
+                    opts.fanout = value(&mut i).parse().unwrap_or_else(|_| usage("bad fanout"))
+                }
+                "--cap" => {
+                    opts.cap = value(&mut i).parse().unwrap_or_else(|_| usage("bad cap"))
+                }
+                "--ttl" => {
+                    opts.ttl_hops = value(&mut i).parse().unwrap_or_else(|_| usage("bad ttl"))
+                }
+                "--range" => {
+                    opts.range = value(&mut i).parse().unwrap_or_else(|_| usage("bad range"))
+                }
+                "--fault" => {
+                    opts.fault = value(&mut i).parse().unwrap_or_else(|_| usage("bad fault"))
+                }
+                "--dead" => {
+                    opts.dead = value(&mut i).parse().unwrap_or_else(|_| usage("bad dead"))
+                }
                 other => usage(&format!("unknown option `{other}`")),
             }
             i += 1;
@@ -215,6 +247,11 @@ fn usage(reason: &str) -> ! {
         "  shard-bench --scale small|medium|paper --seed N [--shards N]\n\
          \x20             [--partitioner hash|community] [--requests N] [--top N]\n\
          \x20             [--churn F] [--workers N]"
+    );
+    eprintln!(
+        "  p2p-bench --scale small|medium|paper --seed N [--rounds N] [--fanout N]\n\
+         \x20           [--cap N] [--ttl N] [--range N] [--fault F] [--dead F]\n\
+         \x20           [--top N] [--workers N]"
     );
     std::process::exit(2);
 }
@@ -967,6 +1004,100 @@ fn rank_bench(opts: &Options) {
         spread_tops.iter().map(Vec::len).sum::<usize>().to_string(),
     ]);
     println!("{}", table.render());
+}
+
+fn p2p_bench(opts: &Options) {
+    use semrec::p2p::{centralized_baseline, GossipConfig, P2pSimulation};
+    use semrec::web::fault::FaultPlan;
+    use semrec::web::publish::publish_community;
+    use semrec::web::store::DocumentWeb;
+
+    let config = match opts.scale.as_str() {
+        "small" => CommunityGenConfig::small(opts.seed),
+        "medium" => CommunityGenConfig::medium(opts.seed),
+        "paper" => CommunityGenConfig::paper_scale(opts.seed),
+        other => usage(&format!("unknown scale `{other}`")),
+    };
+    println!(
+        "Generating {} community (seed {}); one peer node per agent, crawl range {},\n\
+         then {} gossip rounds at fan-out {} (cap {} records, TTL {},\n\
+         {:.0}% transient faults, {:.0}% dead peers)…",
+        opts.scale,
+        opts.seed,
+        opts.range,
+        opts.rounds,
+        opts.fanout,
+        opts.cap,
+        opts.ttl_hops,
+        opts.fault * 100.0,
+        opts.dead * 100.0,
+    );
+    let community = generate_community(&config).community;
+    let web = DocumentWeb::new();
+    publish_community(&community, &web);
+
+    let mut uris: Vec<String> =
+        community.agents().map(|a| community.agent(a).unwrap().uri.clone()).collect();
+    uris.sort();
+    let panel: Vec<String> =
+        uris.iter().step_by((uris.len() / 64).max(1)).cloned().collect();
+
+    let gossip = GossipConfig {
+        seed: opts.seed,
+        fanout: opts.fanout,
+        max_records: opts.cap.max(1),
+        ttl: opts.ttl_hops,
+        crawl_range: opts.range,
+        threads: opts.workers.max(1),
+        ..GossipConfig::default()
+    };
+    let baseline = centralized_baseline(&community, &gossip.neighborhood, &panel, opts.top);
+    let plan = FaultPlan {
+        transient_rate: opts.fault,
+        dead_rate: opts.dead,
+        seed: opts.seed,
+        ..FaultPlan::none()
+    };
+
+    let mut sim = P2pSimulation::bootstrap(&web, &uris, plan, gossip);
+    let mut table = Table::new([
+        "round",
+        &format!("overlap@{}", opts.top),
+        "rank corr",
+        "known/peer",
+        "messages",
+        "kB sent",
+    ]);
+    for round in 0..=opts.rounds as u32 {
+        if round > 0 {
+            sim.step();
+        }
+        let c = sim.convergence(&baseline);
+        let stats = sim.stats();
+        table.row([
+            round.to_string(),
+            format!("{:.3}", c.mean_overlap),
+            format!("{:.3}", c.mean_rho),
+            format!("{:.1}", c.mean_known),
+            stats.messages_sent.to_string(),
+            (stats.bytes_sent / 1024).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let stats = sim.stats();
+    let dead = sim.peers().iter().filter(|p| p.is_dead()).count();
+    println!(
+        "{} peers ({} dead); {} exchanges failed, {} suppressed by open breakers,\n\
+         {} gossip-phase breaker opens; {} records merged, {} duplicate deliveries.",
+        sim.peers().len(),
+        dead,
+        stats.messages_failed,
+        stats.messages_suppressed,
+        stats.breaker_opens,
+        stats.records_merged,
+        stats.records_duplicate,
+    );
 }
 
 fn shard_bench(opts: &Options) {

@@ -21,6 +21,7 @@
 //! | [`serve`] | `semrec-serve` | concurrent serving: snapshot swap, admission control, batching |
 //! | [`store`] | `semrec-store` | durable checkpoints, delta WAL, crash-recoverable warm starts |
 //! | [`shard`] | `semrec-shard` | partitioned universe, cross-shard Appleseed, per-shard persistence |
+//! | [`p2p`] | `semrec-p2p` | peer-to-peer deployment: per-peer crawls, gossip neighborhood formation |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour, and DESIGN.md /
 //! EXPERIMENTS.md for the paper-reproduction map.
@@ -31,6 +32,7 @@ pub use semrec_core as core;
 pub use semrec_datagen as datagen;
 pub use semrec_eval as eval;
 pub use semrec_obs as obs;
+pub use semrec_p2p as p2p;
 pub use semrec_profiles as profiles;
 pub use semrec_rdf as rdf;
 pub use semrec_serve as serve;
